@@ -1,0 +1,189 @@
+//! Backend capability statistics (paper Table 4).
+//!
+//! Table 4 of the paper compares how many operators each mobile inference engine
+//! supports per backend. The numbers for the external engines are reproduced as
+//! published (they are survey data, not measurements); the MNN-rs numbers are
+//! computed from the operator set this crate actually implements so the table stays
+//! honest about the reproduction.
+
+use crate::traits::{Backend, ForwardType};
+use crate::{CpuBackend, GpuProfile, SimGpuBackend};
+use mnn_graph::{ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Op, PoolAttrs, SoftmaxAttrs};
+
+/// Operator-count entry for one engine (one row of Table 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineCapability {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Operator count on the CPU backend.
+    pub cpu_ops: Option<u32>,
+    /// Operator count on the Metal backend.
+    pub metal_ops: Option<u32>,
+    /// Operator count on the OpenGL backend.
+    pub opengl_ops: Option<u32>,
+    /// Operator count on the OpenCL backend.
+    pub opencl_ops: Option<u32>,
+    /// Operator count on the Vulkan backend.
+    pub vulkan_ops: Option<u32>,
+    /// Supported operating systems.
+    pub supported_os: &'static str,
+}
+
+/// The published Table 4 rows for the external engines plus MNN as reported in the
+/// paper. `None` marks "not supported / not applicable".
+pub fn published_capabilities() -> Vec<EngineCapability> {
+    vec![
+        EngineCapability {
+            engine: "CoreML",
+            cpu_ops: Some(110),
+            metal_ops: Some(110),
+            opengl_ops: None,
+            opencl_ops: None,
+            vulkan_ops: None,
+            supported_os: "iOS",
+        },
+        EngineCapability {
+            engine: "TF-Lite",
+            cpu_ops: Some(93),
+            metal_ops: Some(17),
+            opengl_ops: Some(19),
+            opencl_ops: None,
+            vulkan_ops: None,
+            supported_os: "iOS+Android",
+        },
+        EngineCapability {
+            engine: "MACE",
+            cpu_ops: Some(61),
+            metal_ops: None,
+            opengl_ops: None,
+            opencl_ops: Some(29),
+            vulkan_ops: None,
+            supported_os: "Android",
+        },
+        EngineCapability {
+            engine: "NCNN",
+            cpu_ops: Some(65),
+            metal_ops: None,
+            opengl_ops: None,
+            opencl_ops: None,
+            vulkan_ops: Some(32),
+            supported_os: "iOS+Android",
+        },
+        EngineCapability {
+            engine: "MNN (paper)",
+            cpu_ops: Some(94),
+            metal_ops: Some(55),
+            opengl_ops: Some(15),
+            opencl_ops: Some(33),
+            vulkan_ops: Some(35),
+            supported_os: "iOS+Android",
+        },
+    ]
+}
+
+/// One representative instance of every operator kind in the MNN-rs IR, used to
+/// probe what a backend supports.
+pub fn representative_ops() -> Vec<Op> {
+    vec![
+        Op::Conv2d(Conv2dAttrs::same_3x3(8, 8)),
+        Op::Conv2dFused {
+            attrs: Conv2dAttrs::pointwise(8, 8),
+            activation: ActivationKind::Relu,
+        },
+        Op::Pool(PoolAttrs::max(2, 2)),
+        Op::Activation(ActivationKind::Relu),
+        Op::Binary(BinaryKind::Add),
+        Op::Concat,
+        Op::BatchNorm { epsilon: 1e-5 },
+        Op::Scale,
+        Op::FullyConnected {
+            in_features: 8,
+            out_features: 8,
+            has_bias: true,
+        },
+        Op::Softmax(SoftmaxAttrs::default()),
+        Op::Flatten(FlattenAttrs::default()),
+        Op::Reshape { shape: vec![1, 8] },
+    ]
+}
+
+/// Count how many of the representative operators a backend supports.
+pub fn supported_op_count(backend: &dyn Backend) -> u32 {
+    representative_ops()
+        .iter()
+        .filter(|op| backend.supports(op))
+        .count() as u32
+}
+
+/// Capability row computed for this reproduction's own backends.
+pub fn mnn_rs_capability() -> EngineCapability {
+    let cpu = CpuBackend::new(1);
+    let gpu = |ft| SimGpuBackend::new(ft, GpuProfile::GENERIC);
+    EngineCapability {
+        engine: "MNN-rs (this repo)",
+        cpu_ops: Some(supported_op_count(&cpu)),
+        metal_ops: Some(supported_op_count(&gpu(ForwardType::Metal))),
+        opengl_ops: Some(supported_op_count(&gpu(ForwardType::OpenGl))),
+        opencl_ops: Some(supported_op_count(&gpu(ForwardType::OpenCl))),
+        vulkan_ops: Some(supported_op_count(&gpu(ForwardType::Vulkan))),
+        supported_os: "any (Rust)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_table_matches_paper_headline_numbers() {
+        let rows = published_capabilities();
+        let mnn = rows.iter().find(|r| r.engine == "MNN (paper)").unwrap();
+        assert_eq!(mnn.cpu_ops, Some(94));
+        assert_eq!(mnn.vulkan_ops, Some(35));
+        let ncnn = rows.iter().find(|r| r.engine == "NCNN").unwrap();
+        assert_eq!(ncnn.vulkan_ops, Some(32));
+        assert_eq!(ncnn.opencl_ops, None);
+    }
+
+    #[test]
+    fn mnn_supports_most_backends_in_the_published_table() {
+        // The paper's headline claim: MNN covers more backend standards than the
+        // other engines.
+        let rows = published_capabilities();
+        let count_backends = |r: &EngineCapability| {
+            [r.metal_ops, r.opengl_ops, r.opencl_ops, r.vulkan_ops]
+                .iter()
+                .filter(|v| v.is_some())
+                .count()
+        };
+        let mnn = rows.iter().find(|r| r.engine == "MNN (paper)").unwrap();
+        for other in rows.iter().filter(|r| r.engine != "MNN (paper)") {
+            assert!(count_backends(mnn) >= count_backends(other));
+        }
+    }
+
+    #[test]
+    fn cpu_supports_every_representative_op() {
+        let cpu = CpuBackend::new(1);
+        assert_eq!(
+            supported_op_count(&cpu),
+            representative_ops().len() as u32
+        );
+    }
+
+    #[test]
+    fn gpu_supports_a_strict_subset() {
+        let cpu_count = supported_op_count(&CpuBackend::new(1));
+        let vulkan = SimGpuBackend::new(ForwardType::Vulkan, GpuProfile::GENERIC);
+        let vulkan_count = supported_op_count(&vulkan);
+        assert!(vulkan_count > 0);
+        assert!(vulkan_count < cpu_count);
+    }
+
+    #[test]
+    fn computed_capability_row_is_consistent() {
+        let row = mnn_rs_capability();
+        assert_eq!(row.cpu_ops, Some(representative_ops().len() as u32));
+        assert_eq!(row.metal_ops, row.vulkan_ops);
+    }
+}

@@ -1,0 +1,673 @@
+//! The CPU backend: real multi-threaded execution of `mnn-kernels`.
+
+use crate::traits::{
+    Backend, BackendDescriptor, BufferHandle, BufferTable, ConvScheme, Execution, ForwardType,
+    SchemeHint, StorageType,
+};
+use crate::BackendError;
+use mnn_graph::{ActivationKind, Conv2dAttrs, Graph, Node, Op, TensorId};
+use mnn_kernels::activation::Activation;
+use mnn_kernels::conv::ConvParams;
+use mnn_kernels::{activation, conv, elementwise, fc, norm, pool, winograd};
+use mnn_tensor::{Shape, Tensor};
+
+/// Estimated sustained FLOPs per second per CPU thread used by the cost model when
+/// no device profile is supplied (the appendix's default of 2 GFLOPs).
+pub const DEFAULT_FLOPS_PER_THREAD: f64 = 2.0e9;
+
+/// The real CPU backend.
+///
+/// Executes every operator with the kernels from `mnn-kernels`, using up to
+/// `threads` worker threads for the heavy ones (convolution / GEMM).
+#[derive(Debug)]
+pub struct CpuBackend {
+    threads: usize,
+    flops: f64,
+    buffers: BufferTable,
+}
+
+impl CpuBackend {
+    /// Create a CPU backend with the given thread count.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        CpuBackend {
+            threads,
+            flops: DEFAULT_FLOPS_PER_THREAD * threads as f64,
+            buffers: BufferTable::default(),
+        }
+    }
+
+    /// Override the FLOPS estimate used by the cost model (e.g. from a device
+    /// profile).
+    pub fn with_flops(mut self, flops: f64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn constant<'g>(graph: &'g Graph, id: TensorId, what: &str) -> Result<&'g Tensor, BackendError> {
+        graph
+            .constant(id)
+            .ok_or_else(|| BackendError::MissingConstant(what.to_string()))
+    }
+
+    /// Pick a default convolution scheme when pre-inference did not provide one.
+    pub fn default_conv_scheme(params: &ConvParams) -> ConvScheme {
+        if params.is_depthwise() {
+            ConvScheme::Depthwise
+        } else if params.is_pointwise() {
+            ConvScheme::Strassen1x1
+        } else if params.kernel_h == params.kernel_w
+            && params.kernel_h >= 2
+            && params.stride_h == 1
+            && params.stride_w == 1
+            && params.dilation_h == 1
+            && params.dilation_w == 1
+            && params.groups == 1
+        {
+            let tile = winograd::optimal_tile_size(
+                params.kernel_h,
+                params.in_channels,
+                params.out_channels,
+                6,
+            );
+            if tile > 1 {
+                ConvScheme::Winograd { tile }
+            } else {
+                ConvScheme::SlidingWindow
+            }
+        } else if params.groups == 1 {
+            ConvScheme::Im2col
+        } else {
+            ConvScheme::SlidingWindow
+        }
+    }
+}
+
+impl Backend for CpuBackend {
+    fn forward_type(&self) -> ForwardType {
+        ForwardType::Cpu
+    }
+
+    fn descriptor(&self) -> BackendDescriptor {
+        BackendDescriptor {
+            forward_type: ForwardType::Cpu,
+            flops: self.flops,
+            t_schedule_ms: 0.0,
+            threads: self.threads,
+        }
+    }
+
+    fn supports(&self, _op: &Op) -> bool {
+        // The CPU backend implements the whole operator set — it is the universal
+        // fallback required by the hybrid-scheduling rule of Section 3.2.
+        true
+    }
+
+    fn on_create(
+        &self,
+        node: &Node,
+        graph: &Graph,
+        hint: &SchemeHint,
+    ) -> Result<Box<dyn Execution>, BackendError> {
+        let threads = hint.threads.unwrap_or(self.threads);
+        match &node.op {
+            Op::Conv2d(attrs) => {
+                create_conv(node, graph, attrs, ActivationKind::None, hint, threads)
+            }
+            Op::Conv2dFused { attrs, activation } => {
+                create_conv(node, graph, attrs, *activation, hint, threads)
+            }
+            Op::Pool(attrs) => Ok(Box::new(PoolExec {
+                params: attrs.to_pool_params(),
+            })),
+            Op::Activation(kind) => Ok(Box::new(ActivationExec {
+                activation: kind.to_kernel(),
+            })),
+            Op::Binary(kind) => Ok(Box::new(BinaryExec {
+                op: kind.to_kernel(),
+            })),
+            Op::Concat => Ok(Box::new(ConcatExec)),
+            Op::BatchNorm { epsilon } => {
+                let mean = Self::constant(graph, node.inputs[1], "batchnorm mean")?.clone();
+                let var = Self::constant(graph, node.inputs[2], "batchnorm variance")?.clone();
+                let gamma = Self::constant(graph, node.inputs[3], "batchnorm gamma")?.clone();
+                let beta = Self::constant(graph, node.inputs[4], "batchnorm beta")?.clone();
+                Ok(Box::new(BatchNormExec {
+                    mean,
+                    var,
+                    gamma,
+                    beta,
+                    epsilon: *epsilon,
+                }))
+            }
+            Op::Scale => {
+                let scale = Self::constant(graph, node.inputs[1], "scale factors")?.clone();
+                let shift = Self::constant(graph, node.inputs[2], "scale shifts")?.clone();
+                Ok(Box::new(ScaleExec { scale, shift }))
+            }
+            Op::FullyConnected {
+                in_features,
+                out_features,
+                has_bias,
+            } => {
+                let weight = Self::constant(graph, node.inputs[1], "fc weight")?.clone();
+                let bias = if *has_bias {
+                    Some(Self::constant(graph, node.inputs[2], "fc bias")?.clone())
+                } else {
+                    None
+                };
+                Ok(Box::new(FullyConnectedExec {
+                    weight,
+                    bias,
+                    in_features: *in_features,
+                    out_features: *out_features,
+                    threads,
+                }))
+            }
+            Op::Softmax(_) => Ok(Box::new(SoftmaxExec)),
+            Op::Flatten(attrs) => Ok(Box::new(ReshapeLikeExec {
+                kind: ReshapeKind::Flatten {
+                    start_axis: attrs.start_axis,
+                },
+            })),
+            Op::Reshape { shape } => Ok(Box::new(ReshapeLikeExec {
+                kind: ReshapeKind::Explicit {
+                    shape: Shape::new(shape.clone()),
+                },
+            })),
+        }
+    }
+
+    fn on_acquire_buffer(&mut self, len: usize, _storage: StorageType) -> BufferHandle {
+        self.buffers.acquire(len)
+    }
+
+    fn on_release_buffer(&mut self, handle: BufferHandle) -> Result<(), BackendError> {
+        self.buffers.release(handle)
+    }
+
+    fn on_clear_buffer(&mut self) {
+        self.buffers.clear();
+    }
+}
+
+fn create_conv(
+    node: &Node,
+    graph: &Graph,
+    attrs: &Conv2dAttrs,
+    fused: ActivationKind,
+    hint: &SchemeHint,
+    threads: usize,
+) -> Result<Box<dyn Execution>, BackendError> {
+    let weight = CpuBackend::constant(graph, node.inputs[1], "conv weight")?.clone();
+    let bias = if attrs.has_bias {
+        Some(CpuBackend::constant(graph, node.inputs[2], "conv bias")?.clone())
+    } else {
+        None
+    };
+    let params = attrs.to_conv_params();
+    let scheme = hint
+        .conv_scheme
+        .unwrap_or_else(|| CpuBackend::default_conv_scheme(&params));
+    Ok(Box::new(ConvExec {
+        params,
+        scheme,
+        weight,
+        bias,
+        activation: fused.to_kernel(),
+        threads,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Execution implementations
+// ---------------------------------------------------------------------------
+
+/// Convolution execution with a pre-selected scheme.
+struct ConvExec {
+    params: ConvParams,
+    scheme: ConvScheme,
+    weight: Tensor,
+    bias: Option<Tensor>,
+    activation: Activation,
+    threads: usize,
+}
+
+impl Execution for ConvExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let input = inputs
+            .first()
+            .ok_or_else(|| BackendError::ShapeMismatch("convolution needs one input".into()))?;
+        let shape = input.shape();
+        if !shape.is_4d() {
+            return Err(BackendError::InvalidTensor(format!(
+                "convolution input must be 4-D, got {shape}"
+            )));
+        }
+        let (batch, in_h, in_w) = (shape.batch(), shape.height(), shape.width());
+        let x = input.data_f32();
+        let w = self.weight.data_f32();
+        let empty: &[f32] = &[];
+        let b = self.bias.as_ref().map(|t| t.data_f32()).unwrap_or(empty);
+        let mut result = match self.scheme {
+            ConvScheme::SlidingWindow => {
+                conv::conv2d_sliding_window(&self.params, self.threads, batch, in_h, in_w, x, w, b)
+            }
+            ConvScheme::Im2col => {
+                conv::conv2d_im2col(&self.params, self.threads, batch, in_h, in_w, x, w, b)
+            }
+            ConvScheme::Winograd { tile } => winograd::conv2d_winograd(
+                &self.params,
+                tile,
+                self.threads,
+                batch,
+                in_h,
+                in_w,
+                x,
+                w,
+                b,
+            ),
+            ConvScheme::Strassen1x1 => {
+                conv::conv2d_1x1_strassen(&self.params, batch, in_h, in_w, x, w, b)
+            }
+            ConvScheme::Depthwise => {
+                conv::conv2d_depthwise(&self.params, self.threads, batch, in_h, in_w, x, w, b)
+            }
+        };
+        self.activation.apply(&mut result);
+        let (oh, ow) = self.params.output_size(in_h, in_w);
+        *output = Tensor::from_vec(
+            Shape::nchw(batch, self.params.out_channels, oh, ow),
+            result,
+        );
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv {}x{} via {}",
+            self.params.kernel_h, self.params.kernel_w, self.scheme
+        )
+    }
+}
+
+struct PoolExec {
+    params: pool::PoolParams,
+}
+
+impl Execution for PoolExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let input = inputs[0];
+        let s = input.shape();
+        let result = pool::pool2d(
+            &self.params,
+            s.batch(),
+            s.channels(),
+            s.height(),
+            s.width(),
+            input.data_f32(),
+        );
+        let (oh, ow) = self.params.output_size(s.height(), s.width());
+        *output = Tensor::from_vec(Shape::nchw(s.batch(), s.channels(), oh, ow), result);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "pool".to_string()
+    }
+}
+
+struct ActivationExec {
+    activation: Activation,
+}
+
+impl Execution for ActivationExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let mut data = inputs[0].data_f32().to_vec();
+        self.activation.apply(&mut data);
+        *output = Tensor::from_vec(inputs[0].shape().clone(), data);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "activation".to_string()
+    }
+}
+
+struct BinaryExec {
+    op: elementwise::BinaryOp,
+}
+
+impl Execution for BinaryExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        if inputs[0].shape() != inputs[1].shape() {
+            return Err(BackendError::ShapeMismatch(format!(
+                "binary operands {} vs {}",
+                inputs[0].shape(),
+                inputs[1].shape()
+            )));
+        }
+        let data = elementwise::binary(self.op, inputs[0].data_f32(), inputs[1].data_f32());
+        *output = Tensor::from_vec(inputs[0].shape().clone(), data);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "binary".to_string()
+    }
+}
+
+struct ConcatExec;
+
+impl Execution for ConcatExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let first = inputs[0].shape();
+        let plane = first.height() * first.width();
+        let batch = first.batch();
+        let parts: Vec<(&[f32], usize)> = inputs
+            .iter()
+            .map(|t| (t.data_f32(), t.shape().channels()))
+            .collect();
+        let (data, channels) = elementwise::concat_channels(&parts, batch, plane);
+        *output = Tensor::from_vec(
+            Shape::nchw(batch, channels, first.height(), first.width()),
+            data,
+        );
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "concat".to_string()
+    }
+}
+
+struct BatchNormExec {
+    mean: Tensor,
+    var: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    epsilon: f32,
+}
+
+impl Execution for BatchNormExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let s = inputs[0].shape();
+        let mut data = inputs[0].data_f32().to_vec();
+        norm::batch_norm_inplace(
+            &mut data,
+            s.batch(),
+            s.channels(),
+            s.height() * s.width(),
+            self.mean.data_f32(),
+            self.var.data_f32(),
+            self.gamma.data_f32(),
+            self.beta.data_f32(),
+            self.epsilon,
+        );
+        *output = Tensor::from_vec(s.clone(), data);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "batch-norm".to_string()
+    }
+}
+
+struct ScaleExec {
+    scale: Tensor,
+    shift: Tensor,
+}
+
+impl Execution for ScaleExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let s = inputs[0].shape();
+        let mut data = inputs[0].data_f32().to_vec();
+        norm::scale_inplace(
+            &mut data,
+            s.batch(),
+            s.channels(),
+            s.height() * s.width(),
+            self.scale.data_f32(),
+            self.shift.data_f32(),
+        );
+        *output = Tensor::from_vec(s.clone(), data);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "scale".to_string()
+    }
+}
+
+struct FullyConnectedExec {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+    threads: usize,
+}
+
+impl Execution for FullyConnectedExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let input = inputs[0];
+        let total = input.shape().num_elements();
+        if total % self.in_features != 0 {
+            return Err(BackendError::ShapeMismatch(format!(
+                "fully-connected input {} is not divisible by in_features {}",
+                input.shape(),
+                self.in_features
+            )));
+        }
+        let batch = total / self.in_features;
+        let empty: &[f32] = &[];
+        let bias = self.bias.as_ref().map(|t| t.data_f32()).unwrap_or(empty);
+        let data = fc::fully_connected(
+            self.threads,
+            batch,
+            self.in_features,
+            self.out_features,
+            input.data_f32(),
+            self.weight.data_f32(),
+            bias,
+        );
+        *output = Tensor::from_vec(Shape::matrix(batch, self.out_features), data);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "fully-connected".to_string()
+    }
+}
+
+struct SoftmaxExec;
+
+impl Execution for SoftmaxExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let s = inputs[0].shape();
+        let axis_len = *s.dims().last().unwrap_or(&1);
+        let mut data = inputs[0].data_f32().to_vec();
+        activation::softmax_inplace(&mut data, axis_len.max(1));
+        *output = Tensor::from_vec(s.clone(), data);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "softmax".to_string()
+    }
+}
+
+enum ReshapeKind {
+    Flatten { start_axis: usize },
+    Explicit { shape: Shape },
+}
+
+struct ReshapeLikeExec {
+    kind: ReshapeKind,
+}
+
+impl Execution for ReshapeLikeExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let input = inputs[0];
+        let target = match &self.kind {
+            ReshapeKind::Flatten { start_axis } => {
+                let dims = input.shape().dims();
+                let axis = (*start_axis).min(dims.len());
+                let mut out: Vec<usize> = dims[..axis].to_vec();
+                out.push(dims[axis..].iter().product());
+                Shape::new(out)
+            }
+            ReshapeKind::Explicit { shape } => shape.clone(),
+        };
+        if target.num_elements() != input.shape().num_elements() {
+            return Err(BackendError::ShapeMismatch(format!(
+                "reshape from {} to {} changes element count",
+                input.shape(),
+                target
+            )));
+        }
+        *output = Tensor::from_vec(target, input.data_f32().to_vec());
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "reshape".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_graph::{GraphBuilder, PoolAttrs};
+    use mnn_tensor::Shape;
+
+    fn run_single_node_graph(
+        graph: &Graph,
+        backend: &CpuBackend,
+        input: &Tensor,
+        hint: &SchemeHint,
+    ) -> Tensor {
+        let node = &graph.nodes()[0];
+        let mut exec = backend.on_create(node, graph, hint).unwrap();
+        let mut out = Tensor::zeros(Shape::vector(1));
+        exec.run(&[input], &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn conv_execution_matches_reference_for_every_scheme() {
+        let mut b = GraphBuilder::new("conv");
+        let x = b.input("x", Shape::nchw(1, 3, 12, 12));
+        let y = b.conv2d_auto("conv", x, Conv2dAttrs::same_3x3(3, 8), true);
+        let g = b.build(vec![y]);
+        let backend = CpuBackend::new(2);
+
+        let input = Tensor::from_vec(
+            Shape::nchw(1, 3, 12, 12),
+            (0..432).map(|v| (v % 17) as f32 * 0.1 - 0.8).collect(),
+        );
+        let reference = run_single_node_graph(
+            &g,
+            &backend,
+            &input,
+            &SchemeHint {
+                conv_scheme: Some(ConvScheme::SlidingWindow),
+                threads: Some(1),
+            },
+        );
+        for scheme in [
+            ConvScheme::Im2col,
+            ConvScheme::Winograd { tile: 2 },
+            ConvScheme::Winograd { tile: 4 },
+        ] {
+            let got = run_single_node_graph(
+                &g,
+                &backend,
+                &input,
+                &SchemeHint {
+                    conv_scheme: Some(scheme),
+                    threads: Some(2),
+                },
+            );
+            assert_eq!(got.shape(), reference.shape());
+            assert!(
+                reference.max_abs_diff(&got) < 1e-2,
+                "scheme {scheme} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn pointwise_conv_uses_strassen_by_default() {
+        let params = Conv2dAttrs::pointwise(16, 32).to_conv_params();
+        assert_eq!(
+            CpuBackend::default_conv_scheme(&params),
+            ConvScheme::Strassen1x1
+        );
+        let dw = Conv2dAttrs::depthwise_3x3(16, 1).to_conv_params();
+        assert_eq!(CpuBackend::default_conv_scheme(&dw), ConvScheme::Depthwise);
+    }
+
+    #[test]
+    fn pool_and_activation_executions() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.input("x", Shape::nchw(1, 2, 4, 4));
+        let y = b.pool("pool", x, PoolAttrs::max(2, 2));
+        let g = b.build(vec![y]);
+        let backend = CpuBackend::new(1);
+        let input = Tensor::from_vec(Shape::nchw(1, 2, 4, 4), (0..32).map(|v| v as f32).collect());
+        let out = run_single_node_graph(&g, &backend, &input, &SchemeHint::default());
+        assert_eq!(out.shape(), &Shape::nchw(1, 2, 2, 2));
+        assert_eq!(out.data_f32()[0], 5.0);
+    }
+
+    #[test]
+    fn unsupported_missing_weight_is_reported() {
+        let mut g = Graph::new("broken");
+        let x = g.add_tensor("x", Some(Shape::nchw(1, 3, 8, 8)));
+        g.mark_input(x);
+        // weight slot exists but holds no constant data
+        let w = g.add_tensor("w", Some(Shape::new(vec![8, 3, 3, 3])));
+        let (_, out) = g.add_node("conv", Op::Conv2d(Conv2dAttrs::same_3x3(3, 8)), vec![x, w]);
+        g.mark_output(out);
+        let backend = CpuBackend::new(1);
+        let err = backend
+            .on_create(&g.nodes()[0], &g, &SchemeHint::default())
+            .err()
+            .unwrap();
+        assert!(matches!(err, BackendError::MissingConstant(_)));
+    }
+
+    #[test]
+    fn cpu_backend_descriptor_scales_with_threads() {
+        let d1 = CpuBackend::new(1).descriptor();
+        let d4 = CpuBackend::new(4).descriptor();
+        assert!(d4.flops > d1.flops);
+        assert_eq!(d1.t_schedule_ms, 0.0);
+        assert!(!d1.forward_type.is_gpu());
+    }
+
+    #[test]
+    fn buffer_management_roundtrip() {
+        let mut backend = CpuBackend::new(1);
+        let h = backend.on_acquire_buffer(64, StorageType::Dynamic);
+        backend.on_release_buffer(h).unwrap();
+        assert!(backend.on_release_buffer(h).is_err());
+        backend.on_clear_buffer();
+    }
+
+    #[test]
+    fn copy_buffer_checks_shapes() {
+        let backend = CpuBackend::new(1);
+        let src = Tensor::full(Shape::vector(4), 2.0);
+        let mut dst = Tensor::zeros(Shape::vector(4));
+        backend.on_copy_buffer(&src, &mut dst).unwrap();
+        assert_eq!(dst.data_f32(), src.data_f32());
+        let mut wrong = Tensor::zeros(Shape::vector(5));
+        assert!(backend.on_copy_buffer(&src, &mut wrong).is_err());
+    }
+}

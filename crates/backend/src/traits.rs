@@ -1,0 +1,315 @@
+//! The `Backend` abstraction (paper Fig. 5) and supporting types.
+
+use crate::memory::BufferAllocator;
+use crate::BackendError;
+use mnn_graph::{Graph, Node};
+use mnn_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The hardware/software solution a backend targets.
+///
+/// Mirrors MNN's `MNNForwardType`: the CPU plus the four GPU standards discussed in
+/// the paper (Metal on iOS; OpenCL / OpenGL / Vulkan on Android).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ForwardType {
+    /// Multi-threaded CPU.
+    Cpu,
+    /// Apple Metal (iOS GPU).
+    Metal,
+    /// OpenCL (Android GPU).
+    OpenCl,
+    /// OpenGL compute (Android GPU).
+    OpenGl,
+    /// Vulkan (Android GPU).
+    Vulkan,
+}
+
+impl ForwardType {
+    /// Whether this is a GPU-style backend (i.e. pays a per-dispatch schedule cost).
+    pub const fn is_gpu(self) -> bool {
+        !matches!(self, ForwardType::Cpu)
+    }
+
+    /// Short lowercase name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ForwardType::Cpu => "cpu",
+            ForwardType::Metal => "metal",
+            ForwardType::OpenCl => "opencl",
+            ForwardType::OpenGl => "opengl",
+            ForwardType::Vulkan => "vulkan",
+        }
+    }
+}
+
+impl fmt::Display for ForwardType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a buffer should live (MNN's `StorageType`): statically planned for the
+/// whole session, or dynamically recycled between operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageType {
+    /// Buffer reused across operators within one inference (eligible for the memory
+    /// pool / arena reuse of Fig. 3).
+    #[default]
+    Dynamic,
+    /// Buffer that must persist for the lifetime of the session (e.g. pre-transformed
+    /// weights).
+    Static,
+}
+
+/// Handle to a buffer acquired from a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferHandle(pub usize);
+
+/// Performance characteristics of a backend, used by the pre-inference cost model
+/// (paper Eq. 5 and Appendix C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendDescriptor {
+    /// The targeted forward type.
+    pub forward_type: ForwardType,
+    /// Estimated attainable floating-point throughput, in FLOPs per second.
+    pub flops: f64,
+    /// Per-operator scheduling overhead in milliseconds (command-buffer setup for
+    /// GPU-style backends; 0 for the CPU).
+    pub t_schedule_ms: f64,
+    /// Number of worker threads (CPU only; 1 for GPU-style backends).
+    pub threads: usize,
+}
+
+impl BackendDescriptor {
+    /// Estimated time in milliseconds to run an operator with `muls` scalar
+    /// multiplications on this backend (paper Eq. 5).
+    pub fn op_cost_ms(&self, muls: u64) -> f64 {
+        let compute = muls as f64 / self.flops * 1000.0;
+        if self.forward_type.is_gpu() {
+            compute + self.t_schedule_ms
+        } else {
+            compute
+        }
+    }
+}
+
+/// The convolution algorithm chosen by pre-inference for one layer
+/// (the *scheme pool* of paper Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvScheme {
+    /// Direct sliding-window convolution.
+    SlidingWindow,
+    /// im2col + GEMM.
+    Im2col,
+    /// Winograd `F(n×n, k×k)` with the given output tile size.
+    Winograd {
+        /// Output tile size `n̂` selected by the cost model (Eq. 2).
+        tile: usize,
+    },
+    /// 1×1 convolution lowered to a Strassen-accelerated GEMM.
+    Strassen1x1,
+    /// Channel-wise (depthwise) direct convolution.
+    Depthwise,
+}
+
+impl fmt::Display for ConvScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvScheme::SlidingWindow => write!(f, "sliding-window"),
+            ConvScheme::Im2col => write!(f, "im2col"),
+            ConvScheme::Winograd { tile } => write!(f, "winograd-F({tile}x{tile})"),
+            ConvScheme::Strassen1x1 => write!(f, "strassen-1x1"),
+            ConvScheme::Depthwise => write!(f, "depthwise"),
+        }
+    }
+}
+
+/// Per-node hints passed from pre-inference to [`Backend::on_create`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SchemeHint {
+    /// Convolution scheme chosen by the cost model; `None` lets the backend pick a
+    /// reasonable default.
+    pub conv_scheme: Option<ConvScheme>,
+    /// Thread-count override.
+    pub threads: Option<usize>,
+}
+
+/// A ready-to-run operator instance (MNN's `Execution`).
+///
+/// Constant inputs (weights, biases, statistics) are captured at creation time so
+/// they can be pre-processed once (e.g. Winograd-transformed); `run` receives only
+/// the activation inputs, in graph order.
+pub trait Execution: Send {
+    /// Execute the operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if the tensors are inconsistent with the graph
+    /// metadata captured at creation time.
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError>;
+
+    /// Human-readable description (op + chosen scheme) for logs and debugging.
+    fn describe(&self) -> String {
+        "execution".to_string()
+    }
+}
+
+/// The backend abstraction of paper Fig. 5.
+///
+/// A backend owns resource management (buffers), knows its performance envelope
+/// ([`BackendDescriptor`]) and creates [`Execution`] instances for graph nodes.
+pub trait Backend: Send {
+    /// The forward type this backend implements.
+    fn forward_type(&self) -> ForwardType;
+
+    /// Performance characteristics used by the pre-inference cost model.
+    fn descriptor(&self) -> BackendDescriptor;
+
+    /// Whether the backend has an implementation for the operator.
+    fn supports(&self, op: &mnn_graph::Op) -> bool;
+
+    /// Create an execution instance for `node` (MNN's `onCreate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::UnsupportedOp`] when the operator is not supported and
+    /// [`BackendError::MissingConstant`] when a weight input has no constant data.
+    fn on_create(
+        &self,
+        node: &Node,
+        graph: &Graph,
+        hint: &SchemeHint,
+    ) -> Result<Box<dyn Execution>, BackendError>;
+
+    /// Hook called before a sequence of executions (MNN's `onExecuteBegin`).
+    fn on_execute_begin(&mut self) {}
+
+    /// Hook called after a sequence of executions (MNN's `onExecuteEnd`).
+    fn on_execute_end(&mut self) {}
+
+    /// Allocate a buffer of `len` f32 elements (MNN's `onAcquireBuffer`).
+    fn on_acquire_buffer(&mut self, len: usize, storage: StorageType) -> BufferHandle;
+
+    /// Release a buffer (MNN's `onReleaseBuffer`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::InvalidBuffer`] for unknown handles.
+    fn on_release_buffer(&mut self, handle: BufferHandle) -> Result<(), BackendError>;
+
+    /// Drop all cached buffers (MNN's `onClearBuffer`).
+    fn on_clear_buffer(&mut self);
+
+    /// Copy tensor contents between backends / layouts (MNN's `onCopyBuffer`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::ShapeMismatch`] when the logical shapes differ.
+    fn on_copy_buffer(&self, src: &Tensor, dst: &mut Tensor) -> Result<(), BackendError> {
+        if src.shape() != dst.shape() {
+            return Err(BackendError::ShapeMismatch(format!(
+                "copy between {} and {}",
+                src.shape(),
+                dst.shape()
+            )));
+        }
+        *dst = src.clone();
+        Ok(())
+    }
+
+    /// Accumulated virtual time, in milliseconds, for simulated backends.
+    ///
+    /// The CPU backend reports 0 (callers measure wall-clock time instead).
+    fn virtual_elapsed_ms(&self) -> f64 {
+        0.0
+    }
+
+    /// Reset the virtual clock of a simulated backend.
+    fn reset_virtual_clock(&mut self) {}
+}
+
+/// Shared buffer bookkeeping used by both the CPU and the simulated GPU backends.
+#[derive(Debug, Default)]
+pub(crate) struct BufferTable {
+    pool: BufferAllocator,
+    buffers: HashMap<usize, Vec<f32>>,
+    next: usize,
+}
+
+impl BufferTable {
+    pub(crate) fn acquire(&mut self, len: usize) -> BufferHandle {
+        let buf = self.pool.acquire(len);
+        let id = self.next;
+        self.next += 1;
+        self.buffers.insert(id, buf);
+        BufferHandle(id)
+    }
+
+    pub(crate) fn release(&mut self, handle: BufferHandle) -> Result<(), BackendError> {
+        match self.buffers.remove(&handle.0) {
+            Some(buf) => {
+                self.pool.release(buf);
+                Ok(())
+            }
+            None => Err(BackendError::InvalidBuffer(handle.0)),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.buffers.clear();
+        self.pool.clear();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn live_count(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_type_gpu_flag() {
+        assert!(!ForwardType::Cpu.is_gpu());
+        assert!(ForwardType::Vulkan.is_gpu());
+        assert_eq!(ForwardType::Metal.to_string(), "metal");
+    }
+
+    #[test]
+    fn descriptor_cost_follows_eq5() {
+        let cpu = BackendDescriptor {
+            forward_type: ForwardType::Cpu,
+            flops: 2e9,
+            t_schedule_ms: 0.0,
+            threads: 4,
+        };
+        let gpu = BackendDescriptor {
+            forward_type: ForwardType::Vulkan,
+            flops: 4e9,
+            t_schedule_ms: 0.01,
+            threads: 1,
+        };
+        // 2e6 muls: CPU = 1 ms, GPU = 0.5 ms + 0.01 ms
+        assert!((cpu.op_cost_ms(2_000_000) - 1.0).abs() < 1e-9);
+        assert!((gpu.op_cost_ms(2_000_000) - 0.51).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conv_scheme_display() {
+        assert_eq!(ConvScheme::Winograd { tile: 4 }.to_string(), "winograd-F(4x4)");
+        assert_eq!(ConvScheme::SlidingWindow.to_string(), "sliding-window");
+    }
+
+    #[test]
+    fn buffer_table_acquire_release_cycle() {
+        let mut table = BufferTable::default();
+        let h = table.acquire(32);
+        assert_eq!(table.live_count(), 1);
+        table.release(h).unwrap();
+        assert_eq!(table.live_count(), 0);
+        assert!(table.release(h).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion bench behind Table 1: convolution schemes on the paper's settings.
+//!
+//! Spatial sizes are reduced relative to the paper's Table 1 so a full
+//! `cargo bench --workspace` stays fast; the table binary
+//! (`table1_scheme_selection`) measures the original settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnn_bench::deterministic_buffer;
+use mnn_core::scheme::{select_conv_scheme, MAX_WINOGRAD_TILE};
+use mnn_backend::ConvScheme;
+use mnn_kernels::conv::{conv2d_sliding_window, ConvParams};
+use mnn_kernels::winograd::conv2d_winograd;
+use std::time::Duration;
+
+/// Reduced versions of the Table 1 settings: (k, ic, oc, spatial size).
+const SETTINGS: [(usize, usize, usize, usize); 3] =
+    [(2, 3, 16, 112), (2, 128, 128, 16), (3, 32, 32, 56)];
+
+fn bench_conv_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_conv_schemes");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let threads = 4;
+
+    for setting in SETTINGS {
+        let (k, ic, oc, size) = setting;
+        let params = ConvParams::square(ic, oc, k, 0);
+        let input = deterministic_buffer(ic * size * size, 1);
+        let weight = deterministic_buffer(params.weight_len(), 2);
+        let label = format!("k{k}_ic{ic}_oc{oc}_s{size}");
+
+        group.bench_with_input(BenchmarkId::new("sliding", &label), &setting, |b, _| {
+            b.iter(|| conv2d_sliding_window(&params, threads, 1, size, size, &input, &weight, &[]))
+        });
+        group.bench_with_input(BenchmarkId::new("winograd_min", &label), &setting, |b, _| {
+            b.iter(|| conv2d_winograd(&params, 2, threads, 1, size, size, &input, &weight, &[]))
+        });
+        group.bench_with_input(BenchmarkId::new("winograd_max", &label), &setting, |b, _| {
+            b.iter(|| {
+                conv2d_winograd(&params, MAX_WINOGRAD_TILE, threads, 1, size, size, &input, &weight, &[])
+            })
+        });
+        let decision = select_conv_scheme(&params, size, size, MAX_WINOGRAD_TILE);
+        group.bench_with_input(BenchmarkId::new("ours_selected", &label), &setting, |b, _| {
+            b.iter(|| match decision.selected {
+                ConvScheme::Winograd { tile } => {
+                    conv2d_winograd(&params, tile, threads, 1, size, size, &input, &weight, &[])
+                }
+                _ => conv2d_sliding_window(&params, threads, 1, size, size, &input, &weight, &[]),
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_schemes);
+criterion_main!(benches);

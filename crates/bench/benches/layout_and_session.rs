@@ -1,0 +1,52 @@
+//! Benches for the NC4HW4 layout conversion and end-to-end session execution
+//! (including the preparation–execution decoupling ablation of Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnn_bench::deterministic_input;
+use mnn_core::{Interpreter, SessionConfig};
+use mnn_models::{build, ModelKind};
+use mnn_tensor::{DataLayout, Shape, Tensor};
+use std::time::Duration;
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nc4hw4_layout");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for channels in [3usize, 32, 128] {
+        let t = Tensor::from_vec(
+            Shape::nchw(1, channels, 56, 56),
+            (0..channels * 56 * 56).map(|v| v as f32).collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("pack", channels), &channels, |b, _| {
+            b.iter(|| t.to_layout(DataLayout::Nc4hw4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_tiny_cnn");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    let graph = build(ModelKind::TinyCnn, 1, 32);
+    let interpreter = Interpreter::from_graph(graph).expect("valid model");
+    let input = deterministic_input(Shape::nchw(1, 3, 32, 32), 5);
+
+    for (label, decouple) in [("decoupled", true), ("coupled", false)] {
+        let mut session = interpreter
+            .create_session(SessionConfig {
+                decouple_preparation: decouple,
+                ..SessionConfig::cpu(2)
+            })
+            .expect("session");
+        group.bench_function(BenchmarkId::new("run", label), |b| {
+            b.iter(|| session.run(std::slice::from_ref(&input)).expect("inference"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout, bench_session);
+criterion_main!(benches);

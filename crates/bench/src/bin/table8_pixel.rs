@@ -1,0 +1,38 @@
+//! Table 8 — Inception-v3 CPU latency on Pixel phones, TF-Lite vs MNN.
+//!
+//! Run with: `cargo run --release -p mnn-bench --bin table8_pixel`
+
+use mnn_bench::{ms, print_row, print_table_header};
+use mnn_device_sim::{estimate_cpu_latency_ms, DeviceProfile, Engine};
+use mnn_models::{build, ModelKind};
+
+fn main() {
+    let mut graph = build(ModelKind::InceptionV3, 1, 299);
+    graph.infer_shapes().expect("shape inference");
+
+    print_table_header(
+        "Table 8: Inception-v3 float CPU inference time (ms)",
+        &["phone", "#threads", "TF-Lite (sim)", "MNN (sim)", "speed-up", "paper TF-Lite", "paper MNN"],
+    );
+    let paper = [
+        ("Pixel2", 1usize, 974.0, 664.0),
+        ("Pixel2", 4, 310.0, 214.0),
+        ("Pixel3", 1, 873.0, 593.0),
+        ("Pixel3", 4, 239.0, 160.0),
+    ];
+    for (device_name, threads, paper_tflite, paper_mnn) in paper {
+        let device = DeviceProfile::by_name(device_name).expect("known device");
+        let tflite = estimate_cpu_latency_ms(&graph, &device, Engine::TfLite, threads);
+        let mnn = estimate_cpu_latency_ms(&graph, &device, Engine::Mnn, threads);
+        print_row(&[
+            device_name.to_string(),
+            threads.to_string(),
+            ms(tflite),
+            ms(mnn),
+            format!("{:.2}x", tflite / mnn),
+            ms(paper_tflite),
+            ms(paper_mnn),
+        ]);
+    }
+    println!("\nShape to check: MNN is consistently faster than TF-Lite at both thread counts.");
+}

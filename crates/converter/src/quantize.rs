@@ -1,0 +1,159 @@
+//! Post-training weight quantization (the "model compressor" of paper Fig. 2).
+//!
+//! Weights of convolution and fully-connected layers are quantized to symmetric
+//! int8. The runtime compute path of this reproduction stays in `f32`, so the
+//! quantizer performs *simulated quantization*: weights are replaced by their
+//! quantize→dequantize images (so accuracy impact is observable end to end) and the
+//! report states the storage size the int8 encoding would need.
+
+use mnn_graph::{Graph, Op};
+use mnn_kernels::quant::{dequantize, quantize, QuantParams};
+
+/// Result of quantizing a model's weights.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QuantizationReport {
+    /// Number of weight tensors that were quantized.
+    pub quantized_tensors: usize,
+    /// Total number of quantized weight elements.
+    pub quantized_elements: usize,
+    /// Weight bytes before quantization (f32 storage).
+    pub float_bytes: usize,
+    /// Weight bytes after quantization (int8 storage + one f32 scale per tensor).
+    pub quantized_bytes: usize,
+    /// Largest absolute difference introduced by quantization over all weights.
+    pub max_abs_error: f32,
+}
+
+impl QuantizationReport {
+    /// Compression ratio (float bytes / quantized bytes); ≈4 for int8.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.quantized_bytes == 0 {
+            return 1.0;
+        }
+        self.float_bytes as f64 / self.quantized_bytes as f64
+    }
+}
+
+/// Quantize the weights of every convolution and fully-connected layer in place.
+///
+/// Only the weight tensors (input index 1) are quantized; biases stay in `f32`, as
+/// is standard for int8 inference.
+pub fn quantize_weights(graph: &mut Graph) -> QuantizationReport {
+    let mut report = QuantizationReport::default();
+    let weight_slots: Vec<_> = graph
+        .nodes()
+        .iter()
+        .filter(|node| {
+            matches!(
+                node.op,
+                Op::Conv2d(_) | Op::Conv2dFused { .. } | Op::FullyConnected { .. }
+            )
+        })
+        .filter_map(|node| node.inputs.get(1).copied())
+        .collect();
+
+    for slot in weight_slots {
+        let Some(weight) = graph.constant(slot) else {
+            continue;
+        };
+        let Ok(data) = weight.try_data_f32() else {
+            continue;
+        };
+        let params = QuantParams::from_data(data);
+        let q = quantize(data, params);
+        let back = dequantize(&q, params);
+        let err = data
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        report.max_abs_error = report.max_abs_error.max(err);
+        report.quantized_tensors += 1;
+        report.quantized_elements += data.len();
+        report.float_bytes += data.len() * 4;
+        report.quantized_bytes += data.len() + 4; // int8 payload + f32 scale
+        let shape = weight.shape().clone();
+        graph.replace_constant(slot, mnn_tensor::Tensor::from_vec(shape, back));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_graph::{Conv2dAttrs, GraphBuilder};
+    use mnn_tensor::Shape;
+
+    fn model() -> Graph {
+        let mut b = GraphBuilder::new("q");
+        let x = b.input("x", Shape::nchw(1, 3, 8, 8));
+        let y = b.conv2d_auto("conv1", x, Conv2dAttrs::same_3x3(3, 8), true);
+        let y = b.conv2d_auto("conv2", y, Conv2dAttrs::pointwise(8, 16), false);
+        let y = b.flatten("flat", y, mnn_graph::FlattenAttrs { start_axis: 1 });
+        let y = b.fully_connected_auto("fc", y, 16 * 8 * 8, 10);
+        b.build(vec![y])
+    }
+
+    #[test]
+    fn quantizes_conv_and_fc_weights() {
+        let mut g = model();
+        let report = quantize_weights(&mut g);
+        assert_eq!(report.quantized_tensors, 3);
+        assert!(report.quantized_elements > 0);
+        assert!(report.compression_ratio() > 3.5);
+        assert!(report.max_abs_error > 0.0);
+    }
+
+    #[test]
+    fn quantization_error_is_small_relative_to_weight_magnitude() {
+        let mut g = model();
+        // The largest weight magnitude in the generated model.
+        let max_weight = g
+            .nodes()
+            .iter()
+            .filter_map(|n| n.inputs.get(1))
+            .filter_map(|id| g.constant(*id))
+            .flat_map(|t| t.data_f32().iter().copied())
+            .fold(0.0f32, |m, v| m.max(v.abs()));
+        let report = quantize_weights(&mut g);
+        // Symmetric int8: worst-case error is half a step = max/254.
+        assert!(report.max_abs_error <= max_weight / 127.0);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let mut g = model();
+        quantize_weights(&mut g);
+        let snapshot: Vec<Vec<f32>> = g
+            .nodes()
+            .iter()
+            .filter_map(|n| n.inputs.get(1))
+            .filter_map(|id| g.constant(*id))
+            .map(|t| t.data_f32().to_vec())
+            .collect();
+        quantize_weights(&mut g);
+        let again: Vec<Vec<f32>> = g
+            .nodes()
+            .iter()
+            .filter_map(|n| n.inputs.get(1))
+            .filter_map(|id| g.constant(*id))
+            .map(|t| t.data_f32().to_vec())
+            .collect();
+        for (a, b) in snapshot.iter().zip(&again) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn graphs_without_weights_report_nothing() {
+        let mut b = GraphBuilder::new("empty");
+        let x = b.input("x", Shape::nchw(1, 1, 4, 4));
+        let y = b.activation("relu", x, mnn_graph::ActivationKind::Relu);
+        let mut g = b.build(vec![y]);
+        let report = quantize_weights(&mut g);
+        assert_eq!(report.quantized_tensors, 0);
+        assert_eq!(report.compression_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Static memory planning: the "virtual walk" of paper Fig. 3.
+//!
+//! Because input sizes are fixed, every intermediate tensor's size is known after
+//! shape inference, so the engine can simulate the whole inference — recording each
+//! allocation and release — once at session-creation time. The resulting plan
+//! assigns every intermediate tensor an offset in a single reusable arena; buffers
+//! whose live ranges do not overlap share memory.
+
+use crate::CoreError;
+use mnn_backend::memory::{MemoryPlanner, PlanId};
+use mnn_graph::{Graph, TensorId};
+use std::collections::HashMap;
+
+/// The memory plan produced by the virtual walk.
+#[derive(Debug)]
+pub struct MemoryPlan {
+    /// Assignment of each planned (non-constant, non-input) tensor to an arena slot.
+    assignments: HashMap<TensorId, PlanId>,
+    /// Arena size in `f32` elements with live-range reuse.
+    planned_elements: usize,
+    /// Total elements that would be needed without any reuse (sum of all
+    /// intermediate tensor sizes).
+    unplanned_elements: usize,
+    planner: MemoryPlanner,
+}
+
+impl MemoryPlan {
+    /// Build the plan for `graph` (shapes must already be inferred).
+    ///
+    /// The walk visits nodes in topological order; a node's output buffer is
+    /// acquired before it runs and each input buffer is released after its last
+    /// consumer has run — exactly the interleaving shown in Fig. 3, performed
+    /// entirely ahead of real execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Graph`] if the graph is cyclic or a shape is missing.
+    pub fn build(graph: &Graph) -> Result<Self, CoreError> {
+        let order = graph.topological_order()?;
+
+        // Count how many consumers each tensor has among graph nodes; graph outputs
+        // get an extra reference so they are never recycled.
+        let mut remaining_uses: HashMap<TensorId, usize> = HashMap::new();
+        for node in graph.nodes() {
+            for input in &node.inputs {
+                *remaining_uses.entry(*input).or_insert(0) += 1;
+            }
+        }
+        for output in graph.outputs() {
+            *remaining_uses.entry(*output).or_insert(0) += 1;
+        }
+
+        let mut planner = MemoryPlanner::new();
+        let mut assignments = HashMap::new();
+        let mut unplanned = 0usize;
+
+        let tensor_len = |id: TensorId| -> Result<usize, CoreError> {
+            let info = graph.tensor_info(id)?;
+            let shape = info.shape.as_ref().ok_or_else(|| {
+                CoreError::InvalidInput(format!("tensor {id} has no inferred shape"))
+            })?;
+            Ok(shape.num_elements())
+        };
+
+        for node_id in order {
+            let node = graph.node(node_id)?;
+            // Acquire the output buffer.
+            for output in &node.outputs {
+                let len = tensor_len(*output)?;
+                unplanned += len;
+                let plan = planner.plan_acquire(len);
+                assignments.insert(*output, plan);
+            }
+            // Release inputs whose last consumer has now run.
+            for input in &node.inputs {
+                let info = graph.tensor_info(*input)?;
+                if info.is_constant || graph.inputs().contains(input) {
+                    continue;
+                }
+                if let Some(uses) = remaining_uses.get_mut(input) {
+                    *uses -= 1;
+                    if *uses == 0 {
+                        if let Some(plan) = assignments.get(input) {
+                            planner.plan_release(*plan);
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(MemoryPlan {
+            assignments,
+            planned_elements: planner
+                .buffers()
+                .iter()
+                .map(|b| b.offset + b.len)
+                .max()
+                .unwrap_or(0),
+            unplanned_elements: unplanned,
+            planner,
+        })
+    }
+
+    /// Arena size (in `f32` elements) required with reuse.
+    pub fn planned_elements(&self) -> usize {
+        self.planned_elements
+    }
+
+    /// Total elements needed if every intermediate tensor had its own buffer.
+    pub fn unplanned_elements(&self) -> usize {
+        self.unplanned_elements
+    }
+
+    /// Memory saved by reuse, as a fraction of the unplanned total (0 when the graph
+    /// has no intermediates).
+    pub fn savings_ratio(&self) -> f64 {
+        if self.unplanned_elements == 0 {
+            return 0.0;
+        }
+        1.0 - self.planned_elements as f64 / self.unplanned_elements as f64
+    }
+
+    /// The arena slot assigned to a tensor, if it was planned.
+    pub fn assignment(&self, id: TensorId) -> Option<PlanId> {
+        self.assignments.get(&id).copied()
+    }
+
+    /// The underlying planner (offsets/lengths), for building an arena.
+    pub fn planner(&self) -> &MemoryPlanner {
+        &self.planner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_graph::{ActivationKind, Conv2dAttrs, GraphBuilder};
+    use mnn_tensor::Shape;
+
+    fn chain(depth: usize) -> Graph {
+        let mut b = GraphBuilder::new("chain");
+        let mut x = b.input("x", Shape::nchw(1, 8, 32, 32));
+        for i in 0..depth {
+            x = b.activation(&format!("relu{i}"), x, ActivationKind::Relu);
+        }
+        let mut g = b.build(vec![x]);
+        g.infer_shapes().unwrap();
+        g
+    }
+
+    #[test]
+    fn chain_of_equal_tensors_needs_two_slots() {
+        let g = chain(10);
+        let plan = MemoryPlan::build(&g).unwrap();
+        let one = 8 * 32 * 32;
+        assert_eq!(plan.unplanned_elements(), 10 * one);
+        assert!(plan.planned_elements() <= 2 * one);
+        assert!(plan.savings_ratio() > 0.5);
+    }
+
+    #[test]
+    fn residual_branches_keep_both_operands_live() {
+        let mut b = GraphBuilder::new("residual");
+        let x = b.input("x", Shape::nchw(1, 4, 16, 16));
+        let a = b.activation("branch_a", x, ActivationKind::Relu);
+        let c = b.activation("branch_b", x, ActivationKind::Sigmoid);
+        let sum = b.binary("sum", a, c, mnn_graph::BinaryKind::Add);
+        let mut g = b.build(vec![sum]);
+        g.infer_shapes().unwrap();
+        let plan = MemoryPlan::build(&g).unwrap();
+        let one = 4 * 16 * 16;
+        // Both branch outputs are simultaneously live, plus the sum output.
+        assert!(plan.planned_elements() >= 2 * one);
+        assert!(plan.planned_elements() <= 3 * one);
+    }
+
+    #[test]
+    fn graph_outputs_are_never_recycled() {
+        let g = chain(3);
+        let plan = MemoryPlan::build(&g).unwrap();
+        let out = g.outputs()[0];
+        assert!(plan.assignment(out).is_some());
+    }
+
+    #[test]
+    fn conv_network_plans_every_intermediate() {
+        let mut b = GraphBuilder::new("convnet");
+        let x = b.input("x", Shape::nchw(1, 3, 32, 32));
+        let y = b.conv2d_auto("c1", x, Conv2dAttrs::same_3x3(3, 16), false);
+        let y = b.conv2d_auto("c2", y, Conv2dAttrs::square(16, 32, 3, 2, 1), false);
+        let y = b.conv2d_auto("c3", y, Conv2dAttrs::pointwise(32, 64), false);
+        let mut g = b.build(vec![y]);
+        g.infer_shapes().unwrap();
+        let plan = MemoryPlan::build(&g).unwrap();
+        for node in g.nodes() {
+            assert!(plan.assignment(node.outputs[0]).is_some());
+        }
+        assert!(plan.planned_elements() < plan.unplanned_elements());
+    }
+
+    #[test]
+    fn missing_shapes_are_reported() {
+        let mut b = GraphBuilder::new("noshapes");
+        let x = b.input("x", Shape::nchw(1, 3, 8, 8));
+        let y = b.activation("relu", x, ActivationKind::Relu);
+        let g = b.build(vec![y]);
+        // infer_shapes() not called
+        assert!(MemoryPlan::build(&g).is_err());
+    }
+}

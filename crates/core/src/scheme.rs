@@ -1,0 +1,312 @@
+//! Computation scheme selection (paper Section 3.2, Eq. 2–3).
+//!
+//! For every convolution, pre-inference evaluates the *scheme pool*:
+//!
+//! * `k = 1` → the convolution is a plain matrix multiplication; the Strassen
+//!   algorithm is applied (Eq. 3, case 1 / Section 3.3.2).
+//! * `k > 1` → Winograd `F(n×n, k×k)` is evaluated for every candidate output tile
+//!   size using the arithmetic cost `C(n)` of Eq. 2; if the optimal tile size `n̂`
+//!   degenerates to 1 the sliding-window kernel is chosen, otherwise Winograd with
+//!   `n̂` (Eq. 3, cases 2–3).
+//!
+//! The cost is expressed in estimated scalar multiplications for the whole layer so
+//! it can be combined with the backend term of Eq. 1 (`C_total = C_algorithm +
+//! C_backend`).
+
+use mnn_backend::ConvScheme;
+use mnn_kernels::conv::ConvParams;
+use mnn_kernels::strassen;
+use mnn_kernels::winograd::winograd_tile_cost;
+
+/// Largest Winograd output tile size the scheme pool evaluates.
+pub const MAX_WINOGRAD_TILE: usize = 6;
+
+/// The cost of one candidate scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeChoice {
+    /// The candidate scheme.
+    pub scheme: ConvScheme,
+    /// Estimated arithmetic cost (scalar multiplications for the whole layer).
+    pub cost: f64,
+}
+
+/// The outcome of scheme selection for one convolution layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeDecision {
+    /// The selected scheme (minimum-cost entry of `pool`).
+    pub selected: ConvScheme,
+    /// Estimated cost of the selected scheme.
+    pub cost: f64,
+    /// Every candidate that was evaluated, for inspection / reporting.
+    pub pool: Vec<SchemeChoice>,
+}
+
+/// Estimated scalar multiplications of the sliding-window kernel for the layer.
+pub fn sliding_window_cost(params: &ConvParams, in_h: usize, in_w: usize) -> f64 {
+    params.mul_count(in_h, in_w) as f64
+}
+
+/// Effective extra "tiles" charged per transform position to account for streaming
+/// the transformed weights (`ic · oc · α²` values) through memory: when the tile
+/// count is small the per-position GEMM is bandwidth-bound rather than compute-bound,
+/// which is what makes very large tile sizes unattractive on small feature maps
+/// (the WinoMax column of Table 1).
+const WEIGHT_REUSE_TILES: f64 = 16.0;
+
+/// Estimated cost of Winograd `F(n×n, k×k)` for the layer.
+///
+/// The structure follows Eq. 2 (input transform + per-position GEMM + output
+/// transform, times the tile count of Eq. 7) with two practical refinements over the
+/// raw formula, documented in `DESIGN.md`: the output transform is charged per
+/// output channel, and the GEMM term carries a weight-streaming surcharge
+/// ([`WEIGHT_REUSE_TILES`]) so the model stays accurate when the tile count is small.
+pub fn winograd_cost(params: &ConvParams, in_h: usize, in_w: usize, tile: usize) -> f64 {
+    let (out_h, out_w) = params.output_size(in_h, in_w);
+    let tiles = (out_h.div_ceil(tile) * out_w.div_ceil(tile)) as f64;
+    let alpha = (tile + params.kernel_h - 1) as f64;
+    let (ic, oc, n) = (
+        params.in_channels as f64,
+        params.out_channels as f64,
+        tile as f64,
+    );
+    let input_transform = tiles * 2.0 * ic * alpha * alpha * alpha;
+    let gemm = (tiles + WEIGHT_REUSE_TILES) * ic * oc * alpha * alpha;
+    let output_transform = tiles * oc * n * alpha * (n + alpha);
+    // Keep the pure Eq. 2 term linked for reference / comparison in tests.
+    let _ = winograd_tile_cost;
+    input_transform + gemm + output_transform
+}
+
+/// Estimated scalar multiplications of the Strassen-backed 1×1 convolution
+/// (`[oc, ic] × [ic, h·w]` with the Eq. 9 recursion policy).
+pub fn strassen_cost(params: &ConvParams, in_h: usize, in_w: usize) -> f64 {
+    let spatial = in_h * in_w;
+    strassen::strassen_mul_count(params.out_channels, params.in_channels, spatial) as f64
+}
+
+/// Select the computation scheme for a convolution layer (Eq. 3).
+///
+/// `max_tile` bounds the Winograd tile-size search (use
+/// [`MAX_WINOGRAD_TILE`] for the paper's setting).
+pub fn select_conv_scheme(
+    params: &ConvParams,
+    in_h: usize,
+    in_w: usize,
+    max_tile: usize,
+) -> SchemeDecision {
+    let mut pool = Vec::new();
+
+    if params.is_depthwise() {
+        // Depthwise convolutions have one input channel per group: the Winograd /
+        // GEMM restructurings degenerate, so the direct kernel is used.
+        let cost = sliding_window_cost(params, in_h, in_w);
+        pool.push(SchemeChoice {
+            scheme: ConvScheme::Depthwise,
+            cost,
+        });
+        return SchemeDecision {
+            selected: ConvScheme::Depthwise,
+            cost,
+            pool,
+        };
+    }
+
+    if params.is_pointwise() {
+        // Eq. 3, case 1: k == 1 is a matrix multiplication; apply Strassen.
+        let strassen = SchemeChoice {
+            scheme: ConvScheme::Strassen1x1,
+            cost: strassen_cost(params, in_h, in_w),
+        };
+        let direct = SchemeChoice {
+            scheme: ConvScheme::SlidingWindow,
+            cost: sliding_window_cost(params, in_h, in_w),
+        };
+        pool.push(strassen);
+        pool.push(direct);
+        let selected = if strassen.cost <= direct.cost {
+            strassen
+        } else {
+            direct
+        };
+        return SchemeDecision {
+            selected: selected.scheme,
+            cost: selected.cost,
+            pool,
+        };
+    }
+
+    // General k > 1 case.
+    let sliding = SchemeChoice {
+        scheme: ConvScheme::SlidingWindow,
+        cost: sliding_window_cost(params, in_h, in_w),
+    };
+    pool.push(sliding);
+
+    let winograd_applicable = params.kernel_h == params.kernel_w
+        && params.stride_h == 1
+        && params.stride_w == 1
+        && params.dilation_h == 1
+        && params.dilation_w == 1
+        && params.groups == 1
+        && params.kernel_h >= 2;
+
+    if winograd_applicable {
+        for tile in 2..=max_tile.max(2) {
+            pool.push(SchemeChoice {
+                scheme: ConvScheme::Winograd { tile },
+                cost: winograd_cost(params, in_h, in_w, tile),
+            });
+        }
+    } else if params.groups == 1 {
+        // Strided / dilated / rectangular kernels go through im2col + GEMM; its
+        // multiplication count matches the direct method but with GEMM-grade reuse,
+        // so prefer it when the reduction dimension is large enough to amortize the
+        // unfold cost.
+        let cost = sliding_window_cost(params, in_h, in_w);
+        let k_dim = params.in_channels * params.kernel_h * params.kernel_w;
+        if k_dim >= 64 {
+            pool.push(SchemeChoice {
+                scheme: ConvScheme::Im2col,
+                cost: cost * 0.95,
+            });
+        }
+    }
+
+    let selected = pool
+        .iter()
+        .copied()
+        .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap())
+        .expect("scheme pool is never empty");
+    SchemeDecision {
+        selected: selected.scheme,
+        cost: selected.cost,
+        pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn conv(k: usize, ic: usize, oc: usize) -> ConvParams {
+        ConvParams::square(ic, oc, k, k / 2)
+    }
+
+    #[test]
+    fn pointwise_layers_choose_strassen_when_it_saves_multiplications() {
+        // Very large 1x1 conv: Strassen recursion pays off and the estimated cost
+        // drops below the direct multiplication count.
+        let p = conv(1, 1024, 1024);
+        let d = select_conv_scheme(&p, 40, 40, MAX_WINOGRAD_TILE);
+        assert_eq!(d.selected, ConvScheme::Strassen1x1);
+        assert!(d.cost < sliding_window_cost(&p, 40, 40));
+
+        // Moderate 1x1 conv: below the recursion block threshold the costs tie, and
+        // the Strassen path (which falls back to plain GEMM internally) is kept.
+        let p = conv(1, 512, 512);
+        let d = select_conv_scheme(&p, 32, 32, MAX_WINOGRAD_TILE);
+        assert_eq!(d.selected, ConvScheme::Strassen1x1);
+        assert!(d.cost <= sliding_window_cost(&p, 32, 32));
+
+        // Tiny 1x1 conv: same story.
+        let p = conv(1, 8, 8);
+        let d = select_conv_scheme(&p, 4, 4, MAX_WINOGRAD_TILE);
+        assert_eq!(d.selected, ConvScheme::Strassen1x1);
+    }
+
+    #[test]
+    fn depthwise_layers_use_the_direct_kernel() {
+        let p = ConvParams::square(32, 32, 3, 1).depthwise();
+        let d = select_conv_scheme(&p, 56, 56, MAX_WINOGRAD_TILE);
+        assert_eq!(d.selected, ConvScheme::Depthwise);
+    }
+
+    #[test]
+    fn large_channel_3x3_layers_choose_winograd() {
+        // Table 1, third setting: (3, 64, 64, 112) — Winograd with a large tile wins.
+        let p = conv(3, 64, 64);
+        let d = select_conv_scheme(&p, 112, 112, MAX_WINOGRAD_TILE);
+        match d.selected {
+            ConvScheme::Winograd { tile } => assert!(tile >= 2),
+            other => panic!("expected Winograd, got {other}"),
+        }
+        assert!(d.cost < sliding_window_cost(&p, 112, 112));
+    }
+
+    #[test]
+    fn strided_convolutions_never_pick_winograd() {
+        let p = ConvParams::square(32, 64, 3, 1).with_stride(2);
+        let d = select_conv_scheme(&p, 56, 56, MAX_WINOGRAD_TILE);
+        assert!(!matches!(d.selected, ConvScheme::Winograd { .. }));
+    }
+
+    #[test]
+    fn rectangular_kernels_use_im2col_or_sliding() {
+        // Inception-v3's 1x7 convolution.
+        let p = ConvParams {
+            in_channels: 128,
+            out_channels: 128,
+            kernel_h: 1,
+            kernel_w: 7,
+            pad_h: 0,
+            pad_w: 3,
+            ..ConvParams::default()
+        };
+        let d = select_conv_scheme(&p, 17, 17, MAX_WINOGRAD_TILE);
+        assert!(matches!(
+            d.selected,
+            ConvScheme::Im2col | ConvScheme::SlidingWindow
+        ));
+    }
+
+    #[test]
+    fn scheme_pool_contains_all_winograd_candidates() {
+        let p = conv(3, 64, 64);
+        let d = select_conv_scheme(&p, 56, 56, 6);
+        let tiles: Vec<usize> = d
+            .pool
+            .iter()
+            .filter_map(|c| match c.scheme {
+                ConvScheme::Winograd { tile } => Some(tile),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tiles, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn table1_settings_prefer_winograd_for_heavy_channels() {
+        // (2, 512, 512, 16): Winograd should beat sliding window by a wide margin in
+        // multiplication count, as in Table 1 where sliding takes 895 ms vs ~287 ms.
+        let p = conv(2, 512, 512);
+        let d = select_conv_scheme(&p, 16, 16, MAX_WINOGRAD_TILE);
+        assert!(matches!(d.selected, ConvScheme::Winograd { .. }));
+        let sliding = sliding_window_cost(&p, 16, 16);
+        assert!(d.cost < sliding * 0.8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_selected_scheme_has_minimum_cost(
+            k in 1usize..6, ic in 1usize..128, oc in 1usize..128, size in 4usize..64
+        ) {
+            let p = conv(k, ic, oc);
+            let d = select_conv_scheme(&p, size, size, MAX_WINOGRAD_TILE);
+            for candidate in &d.pool {
+                prop_assert!(d.cost <= candidate.cost + 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_selected_cost_is_finite_and_positive(
+            k in 1usize..8, ic in 1usize..64, oc in 1usize..64, size in 2usize..64
+        ) {
+            let p = conv(k, ic, oc);
+            let size = size.max(k);
+            let d = select_conv_scheme(&p, size, size, MAX_WINOGRAD_TILE);
+            prop_assert!(d.cost.is_finite());
+            prop_assert!(d.cost > 0.0);
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! The Interpreter / Session API and the pre-inference pipeline.
+//!
+//! Mirroring MNN's user-facing flow (paper Fig. 2, "on-device inference"):
+//!
+//! 1. An [`Interpreter`] is created from an (optimized) graph; it validates the graph
+//!    and runs shape inference.
+//! 2. [`Interpreter::create_session`] runs **pre-inference**: computation scheme
+//!    selection for every convolution (Eq. 2–3), backend cost evaluation and hybrid
+//!    scheduling (Eq. 4–5), the static memory plan (Fig. 3), and — when
+//!    preparation–execution decoupling is enabled — creation of every execution
+//!    instance (including Winograd weight transforms and simulated GPU command
+//!    encoding).
+//! 3. [`Session::run`] then performs pure computation against the pre-selected
+//!    schemes, placements and memory.
+
+use crate::cost::{hybrid_schedule, placement_cost_ms, Placement};
+use crate::memory_plan::MemoryPlan;
+use crate::scheme::{select_conv_scheme, SchemeDecision};
+use crate::CoreError;
+use mnn_backend::{
+    Backend, ConvScheme, CpuBackend, Execution, ForwardType, GpuProfile, SchemeHint, SimGpuBackend,
+};
+use mnn_graph::{Graph, NodeId, Op, TensorId};
+use mnn_tensor::Tensor;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Configuration of a session, chosen by the application developer.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Backend preference list. The CPU is always available as the universal
+    /// fallback even if it is not listed.
+    pub forward_types: Vec<ForwardType>,
+    /// CPU thread count (the paper evaluates 2 and 4 threads).
+    pub threads: usize,
+    /// Whether preparation (execution creation, weight transforms, GPU command
+    /// encoding) is decoupled from execution. Disabling this reproduces the "w/o"
+    /// rows of Table 2.
+    pub decouple_preparation: bool,
+    /// Largest Winograd output tile size considered by scheme selection.
+    pub max_winograd_tile: usize,
+    /// GPU profile used by simulated GPU backends.
+    pub gpu_profile: GpuProfile,
+    /// CPU FLOPS estimate override for the cost model (e.g. from a device profile).
+    pub cpu_flops: Option<f64>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            forward_types: vec![ForwardType::Cpu],
+            threads: mnn_kernels::parallel::default_threads(),
+            decouple_preparation: true,
+            max_winograd_tile: crate::scheme::MAX_WINOGRAD_TILE,
+            gpu_profile: GpuProfile::GENERIC,
+            cpu_flops: None,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// CPU-only configuration with an explicit thread count.
+    pub fn cpu(threads: usize) -> Self {
+        SessionConfig {
+            threads,
+            ..SessionConfig::default()
+        }
+    }
+
+    /// Configuration preferring a (simulated) GPU backend with the given profile.
+    pub fn gpu(standard: ForwardType, profile: GpuProfile) -> Self {
+        SessionConfig {
+            forward_types: vec![standard, ForwardType::Cpu],
+            gpu_profile: profile,
+            ..SessionConfig::default()
+        }
+    }
+}
+
+/// The per-node outcome of pre-inference.
+#[derive(Debug, Clone)]
+pub struct NodePlacement {
+    /// The node.
+    pub node: NodeId,
+    /// Node name (for reporting).
+    pub name: String,
+    /// Operator name.
+    pub op: &'static str,
+    /// Backend chosen by hybrid scheduling.
+    pub forward_type: ForwardType,
+    /// Convolution scheme chosen by the cost model, when the node is a convolution.
+    pub scheme: Option<ConvScheme>,
+    /// Estimated cost on the chosen backend, in milliseconds.
+    pub estimated_cost_ms: f64,
+}
+
+/// Summary of everything pre-inference decided, for inspection and experiments.
+#[derive(Debug)]
+pub struct PreInferenceReport {
+    /// Per-node backend/scheme decisions.
+    pub placements: Vec<NodePlacement>,
+    /// Estimated total cost of the placement, in milliseconds (Eq. 4).
+    pub estimated_total_ms: f64,
+    /// Arena elements required with live-range reuse.
+    pub planned_memory_elements: usize,
+    /// Elements required without reuse.
+    pub unplanned_memory_elements: usize,
+    /// Milliseconds spent in pre-inference (scheme search + execution creation).
+    pub pre_inference_ms: f64,
+}
+
+impl PreInferenceReport {
+    /// Fraction of intermediate memory saved by the plan.
+    pub fn memory_savings_ratio(&self) -> f64 {
+        if self.unplanned_memory_elements == 0 {
+            return 0.0;
+        }
+        1.0 - self.planned_memory_elements as f64 / self.unplanned_memory_elements as f64
+    }
+}
+
+/// Timing of one inference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Wall-clock milliseconds spent in `run` (CPU work measured for real).
+    pub wall_ms: f64,
+    /// Virtual milliseconds accumulated by simulated GPU backends during the run.
+    pub gpu_virtual_ms: f64,
+}
+
+/// The model holder: owns the validated, shape-inferred graph.
+#[derive(Debug)]
+pub struct Interpreter {
+    graph: Graph,
+}
+
+impl Interpreter {
+    /// Create an interpreter, validating the graph and inferring every shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Graph`] when the graph is structurally invalid or shapes
+    /// cannot be inferred.
+    pub fn from_graph(mut graph: Graph) -> Result<Self, CoreError> {
+        graph.validate()?;
+        graph.infer_shapes()?;
+        Ok(Interpreter { graph })
+    }
+
+    /// The underlying graph (shapes inferred).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Run pre-inference and build a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for inconsistent configurations and
+    /// propagates backend errors from execution creation.
+    pub fn create_session(&self, config: SessionConfig) -> Result<Session<'_>, CoreError> {
+        Session::create(&self.graph, config)
+    }
+}
+
+/// One node scheduled for execution inside a session.
+struct ScheduledNode {
+    node: NodeId,
+    backend_index: usize,
+    hint: SchemeHint,
+    /// Pre-created execution when preparation is decoupled from execution.
+    execution: Option<Box<dyn Execution>>,
+}
+
+/// An inference session: pre-inference results plus runtime state.
+pub struct Session<'g> {
+    graph: &'g Graph,
+    config: SessionConfig,
+    backends: Vec<Box<dyn Backend>>,
+    cpu_index: usize,
+    order: Vec<NodeId>,
+    scheduled: Vec<ScheduledNode>,
+    report: PreInferenceReport,
+    memory_plan: MemoryPlan,
+    last_stats: RunStats,
+}
+
+impl<'g> Session<'g> {
+    fn create(graph: &'g Graph, config: SessionConfig) -> Result<Self, CoreError> {
+        if config.threads == 0 {
+            return Err(CoreError::InvalidConfig("thread count must be >= 1".into()));
+        }
+        let start = Instant::now();
+
+        // --- Backends -------------------------------------------------------
+        let mut backends: Vec<Box<dyn Backend>> = Vec::new();
+        let mut cpu_index = None;
+        let mut forward_types = config.forward_types.clone();
+        if !forward_types.contains(&ForwardType::Cpu) {
+            forward_types.push(ForwardType::Cpu);
+        }
+        for ft in &forward_types {
+            match ft {
+                ForwardType::Cpu => {
+                    let mut cpu = CpuBackend::new(config.threads);
+                    if let Some(flops) = config.cpu_flops {
+                        cpu = cpu.with_flops(flops);
+                    }
+                    cpu_index = Some(backends.len());
+                    backends.push(Box::new(cpu));
+                }
+                gpu => {
+                    let mut sim = SimGpuBackend::new(*gpu, config.gpu_profile);
+                    sim.set_decoupled(config.decouple_preparation);
+                    backends.push(Box::new(sim));
+                }
+            }
+        }
+        let cpu_index = cpu_index.expect("CPU backend is always present");
+
+        // --- Hybrid scheduling (Eq. 4–5) -------------------------------------
+        let backend_refs: Vec<&dyn Backend> = backends.iter().map(|b| b.as_ref()).collect();
+        let placements: Vec<Placement> = hybrid_schedule(graph, &backend_refs, cpu_index);
+        let estimated_total_ms = placement_cost_ms(&placements);
+
+        // --- Scheme selection (Eq. 2–3) --------------------------------------
+        let order = graph.topological_order()?;
+        let mut scheduled = Vec::with_capacity(order.len());
+        let mut report_placements = Vec::with_capacity(order.len());
+        for node_id in &order {
+            let node = graph.node(*node_id)?;
+            let placement = placements
+                .iter()
+                .find(|p| p.node == *node_id)
+                .expect("placement exists for every node");
+            let scheme_decision: Option<SchemeDecision> = match &node.op {
+                Op::Conv2d(attrs) | Op::Conv2dFused { attrs, .. } => {
+                    let input_shape = graph
+                        .tensor_info(node.inputs[0])?
+                        .shape
+                        .clone()
+                        .ok_or_else(|| {
+                            CoreError::InvalidInput(format!("no shape for input of {}", node.name))
+                        })?;
+                    Some(select_conv_scheme(
+                        &attrs.to_conv_params(),
+                        input_shape.height(),
+                        input_shape.width(),
+                        config.max_winograd_tile,
+                    ))
+                }
+                _ => None,
+            };
+            let hint = SchemeHint {
+                conv_scheme: scheme_decision.as_ref().map(|d| d.selected),
+                threads: Some(config.threads),
+            };
+            report_placements.push(NodePlacement {
+                node: *node_id,
+                name: node.name.clone(),
+                op: node.op.name(),
+                forward_type: backends[placement.backend_index].forward_type(),
+                scheme: hint.conv_scheme,
+                estimated_cost_ms: placement.cost_ms,
+            });
+            scheduled.push(ScheduledNode {
+                node: *node_id,
+                backend_index: placement.backend_index,
+                hint,
+                execution: None,
+            });
+        }
+
+        // --- Memory plan (Fig. 3) --------------------------------------------
+        let memory_plan = MemoryPlan::build(graph)?;
+
+        // --- Preparation–execution decoupling ---------------------------------
+        if config.decouple_preparation {
+            for entry in &mut scheduled {
+                let node = graph.node(entry.node)?;
+                let execution =
+                    backends[entry.backend_index].on_create(node, graph, &entry.hint)?;
+                entry.execution = Some(execution);
+            }
+        }
+
+        let report = PreInferenceReport {
+            placements: report_placements,
+            estimated_total_ms,
+            planned_memory_elements: memory_plan.planned_elements(),
+            unplanned_memory_elements: memory_plan.unplanned_elements(),
+            pre_inference_ms: start.elapsed().as_secs_f64() * 1000.0,
+        };
+
+        Ok(Session {
+            graph,
+            config,
+            backends,
+            cpu_index,
+            order,
+            scheduled,
+            report,
+            memory_plan,
+            last_stats: RunStats::default(),
+        })
+    }
+
+    /// The pre-inference report (schemes, placements, memory, estimated cost).
+    pub fn report(&self) -> &PreInferenceReport {
+        &self.report
+    }
+
+    /// The static memory plan computed at session creation.
+    pub fn memory_plan(&self) -> &MemoryPlan {
+        &self.memory_plan
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Timing of the most recent [`Session::run`].
+    pub fn last_stats(&self) -> RunStats {
+        self.last_stats
+    }
+
+    /// Run one inference. `inputs` must match the graph's declared inputs in order
+    /// and shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on input-count/shape mismatch and
+    /// propagates backend errors.
+    pub fn run(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, CoreError> {
+        let graph_inputs = self.graph.inputs();
+        if inputs.len() != graph_inputs.len() {
+            return Err(CoreError::InvalidInput(format!(
+                "expected {} inputs, got {}",
+                graph_inputs.len(),
+                inputs.len()
+            )));
+        }
+        for (tensor, id) in inputs.iter().zip(graph_inputs) {
+            let expected = self.graph.tensor_info(*id)?.shape.clone();
+            if let Some(expected) = expected {
+                if &expected != tensor.shape() {
+                    return Err(CoreError::InvalidInput(format!(
+                        "input {id} expects shape {expected}, got {}",
+                        tensor.shape()
+                    )));
+                }
+            }
+        }
+
+        // reset GPU virtual clocks so per-run stats are meaningful
+        for backend in &mut self.backends {
+            backend.reset_virtual_clock();
+        }
+        for backend in &mut self.backends {
+            backend.on_execute_begin();
+        }
+        let start = Instant::now();
+
+        // Remaining-use counts drive early release of intermediate tensors, the
+        // runtime counterpart of the static plan.
+        let mut remaining_uses: HashMap<TensorId, usize> = HashMap::new();
+        for node in self.graph.nodes() {
+            for input in &node.inputs {
+                *remaining_uses.entry(*input).or_insert(0) += 1;
+            }
+        }
+        for output in self.graph.outputs() {
+            *remaining_uses.entry(*output).or_insert(0) += 1;
+        }
+
+        let mut storage: HashMap<TensorId, Tensor> = HashMap::new();
+        for (tensor, id) in inputs.iter().zip(graph_inputs) {
+            storage.insert(*id, tensor.clone());
+        }
+
+        for entry in &mut self.scheduled {
+            let node = self.graph.node(entry.node)?;
+            // Gather activation inputs (constants were captured at creation time).
+            let mut activation_inputs: Vec<&Tensor> = Vec::new();
+            for input in &node.inputs {
+                let info = self.graph.tensor_info(*input)?;
+                if info.is_constant {
+                    continue;
+                }
+                let tensor = storage.get(input).ok_or_else(|| {
+                    CoreError::InvalidInput(format!(
+                        "tensor {input} required by node '{}' is not available",
+                        node.name
+                    ))
+                })?;
+                activation_inputs.push(tensor);
+            }
+            let mut output = Tensor::zeros(mnn_tensor::Shape::vector(1));
+            if self.config.decouple_preparation {
+                let execution = entry
+                    .execution
+                    .as_mut()
+                    .expect("executions are pre-created when decoupled");
+                execution.run(&activation_inputs, &mut output)?;
+            } else {
+                // Pay the preparation cost inside the inference loop (Table 2 "w/o").
+                let mut execution =
+                    self.backends[entry.backend_index].on_create(node, self.graph, &entry.hint)?;
+                execution.run(&activation_inputs, &mut output)?;
+            }
+            drop(activation_inputs);
+            storage.insert(node.outputs[0], output);
+
+            // Release inputs whose last consumer has run (memory reuse at runtime).
+            for input in &node.inputs {
+                let info = self.graph.tensor_info(*input)?;
+                if info.is_constant || self.graph.inputs().contains(input) {
+                    continue;
+                }
+                if let Some(uses) = remaining_uses.get_mut(input) {
+                    *uses = uses.saturating_sub(1);
+                    if *uses == 0 {
+                        storage.remove(input);
+                    }
+                }
+            }
+        }
+
+        for backend in &mut self.backends {
+            backend.on_execute_end();
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let gpu_virtual_ms: f64 = self.backends.iter().map(|b| b.virtual_elapsed_ms()).sum();
+        self.last_stats = RunStats {
+            wall_ms,
+            gpu_virtual_ms,
+        };
+
+        let mut outputs = Vec::with_capacity(self.graph.outputs().len());
+        for id in self.graph.outputs() {
+            let tensor = storage.remove(id).ok_or_else(|| {
+                CoreError::InvalidInput(format!("graph output {id} was never produced"))
+            })?;
+            outputs.push(tensor);
+        }
+        Ok(outputs)
+    }
+
+    /// Run `runs` timed inferences after `warmup` untimed ones and return the mean
+    /// wall-clock and virtual-GPU milliseconds per inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`Session::run`].
+    pub fn benchmark(
+        &mut self,
+        inputs: &[Tensor],
+        warmup: usize,
+        runs: usize,
+    ) -> Result<RunStats, CoreError> {
+        for _ in 0..warmup {
+            self.run(inputs)?;
+        }
+        let mut total = RunStats::default();
+        for _ in 0..runs.max(1) {
+            self.run(inputs)?;
+            let stats = self.last_stats();
+            total.wall_ms += stats.wall_ms;
+            total.gpu_virtual_ms += stats.gpu_virtual_ms;
+        }
+        let n = runs.max(1) as f64;
+        Ok(RunStats {
+            wall_ms: total.wall_ms / n,
+            gpu_virtual_ms: total.gpu_virtual_ms / n,
+        })
+    }
+
+    /// Index of the CPU fallback backend in this session's backend list.
+    pub fn cpu_backend_index(&self) -> usize {
+        self.cpu_index
+    }
+
+    /// Execution order used by the session (topological).
+    pub fn execution_order(&self) -> &[NodeId] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_graph::{ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, GraphBuilder, PoolAttrs};
+    use mnn_tensor::Shape;
+
+    fn small_cnn() -> Graph {
+        let mut b = GraphBuilder::new("small-cnn");
+        let x = b.input("x", Shape::nchw(1, 3, 16, 16));
+        let y = b.conv2d_auto("conv1", x, Conv2dAttrs::same_3x3(3, 8), true);
+        let y = b.activation("relu1", y, ActivationKind::Relu);
+        let skip = b.conv2d_auto("proj", y, Conv2dAttrs::pointwise(8, 8), false);
+        let y2 = b.conv2d_auto("conv2", y, Conv2dAttrs::same_3x3(8, 8), false);
+        let y = b.binary("residual", y2, skip, BinaryKind::Add);
+        let y = b.pool("pool", y, PoolAttrs::global_avg());
+        let y = b.flatten("flat", y, FlattenAttrs { start_axis: 1 });
+        let y = b.fully_connected_auto("fc", y, 8, 4);
+        let y = b.softmax("prob", y);
+        b.build(vec![y])
+    }
+
+    fn input_tensor() -> Tensor {
+        Tensor::from_vec(
+            Shape::nchw(1, 3, 16, 16),
+            (0..768).map(|v| ((v % 23) as f32 - 11.0) * 0.05).collect(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_cpu_inference_produces_probabilities() {
+        let interpreter = Interpreter::from_graph(small_cnn()).unwrap();
+        let mut session = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+        let outputs = session.run(&[input_tensor()]).unwrap();
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].shape().dims(), &[1, 4]);
+        let sum: f32 = outputs[0].data_f32().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "softmax outputs must sum to 1");
+    }
+
+    #[test]
+    fn decoupled_and_coupled_modes_agree_numerically() {
+        let interpreter = Interpreter::from_graph(small_cnn()).unwrap();
+        let mut with = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+        let mut without = interpreter
+            .create_session(SessionConfig {
+                decouple_preparation: false,
+                ..SessionConfig::cpu(2)
+            })
+            .unwrap();
+        let input = input_tensor();
+        let a = with.run(std::slice::from_ref(&input)).unwrap();
+        let b = without.run(std::slice::from_ref(&input)).unwrap();
+        assert!(a[0].max_abs_diff(&b[0]) < 1e-5);
+    }
+
+    #[test]
+    fn gpu_session_matches_cpu_session_outputs() {
+        let interpreter = Interpreter::from_graph(small_cnn()).unwrap();
+        let mut cpu = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+        let mut gpu = interpreter
+            .create_session(SessionConfig::gpu(
+                ForwardType::Vulkan,
+                GpuProfile::by_name("Mali-G72"),
+            ))
+            .unwrap();
+        let input = input_tensor();
+        let a = cpu.run(std::slice::from_ref(&input)).unwrap();
+        let b = gpu.run(std::slice::from_ref(&input)).unwrap();
+        assert!(a[0].max_abs_diff(&b[0]) < 1e-4);
+        // The GPU session must actually have used the simulated GPU for heavy ops.
+        assert!(gpu.last_stats().gpu_virtual_ms > 0.0);
+        let report = gpu.report();
+        assert!(report
+            .placements
+            .iter()
+            .any(|p| p.forward_type == ForwardType::Vulkan));
+        // The fully-connected head is not GPU-supported: hybrid scheduling keeps it
+        // on the CPU within the same session.
+        assert!(report
+            .placements
+            .iter()
+            .any(|p| p.op == "FullyConnected" && p.forward_type == ForwardType::Cpu));
+    }
+
+    #[test]
+    fn report_contains_schemes_for_convolutions() {
+        let interpreter = Interpreter::from_graph(small_cnn()).unwrap();
+        let session = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+        let report = session.report();
+        let conv_placements: Vec<_> = report
+            .placements
+            .iter()
+            .filter(|p| p.op == "Conv2d")
+            .collect();
+        assert_eq!(conv_placements.len(), 3);
+        assert!(conv_placements.iter().all(|p| p.scheme.is_some()));
+        assert!(report.estimated_total_ms > 0.0);
+        assert!(report.planned_memory_elements > 0);
+        assert!(report.planned_memory_elements <= report.unplanned_memory_elements);
+    }
+
+    #[test]
+    fn input_validation_rejects_wrong_shapes_and_counts() {
+        let interpreter = Interpreter::from_graph(small_cnn()).unwrap();
+        let mut session = interpreter.create_session(SessionConfig::cpu(1)).unwrap();
+        assert!(session.run(&[]).is_err());
+        let wrong = Tensor::zeros(Shape::nchw(1, 3, 8, 8));
+        assert!(session.run(&[wrong]).is_err());
+    }
+
+    #[test]
+    fn benchmark_returns_positive_averages() {
+        let interpreter = Interpreter::from_graph(small_cnn()).unwrap();
+        let mut session = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+        let stats = session.benchmark(&[input_tensor()], 1, 3).unwrap();
+        assert!(stats.wall_ms > 0.0);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let interpreter = Interpreter::from_graph(small_cnn()).unwrap();
+        let mut session = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+        let input = input_tensor();
+        let a = session.run(std::slice::from_ref(&input)).unwrap();
+        let b = session.run(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(a[0].data_f32(), b[0].data_f32());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let interpreter = Interpreter::from_graph(small_cnn()).unwrap();
+        let err = interpreter
+            .create_session(SessionConfig {
+                threads: 0,
+                ..SessionConfig::default()
+            })
+            .err()
+            .unwrap();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+}

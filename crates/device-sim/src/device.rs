@@ -1,0 +1,243 @@
+//! Device profiles for the phones used throughout the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU description: marketing name plus the effective FLOPS from the paper's
+/// Appendix C list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuInfo {
+    /// GPU name, e.g. `"Adreno 540"`.
+    pub name: &'static str,
+    /// Effective FLOPs per second (Appendix C).
+    pub flops: f64,
+    /// Whether the device exposes Metal (iOS) rather than the Android GPU standards.
+    pub is_metal: bool,
+}
+
+/// A phone profile: the effective CPU throughput at 1/2/4 threads (calibrated from
+/// the paper's MNN CPU latencies) and the GPU description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Device marketing name (e.g. `"Mate20"`).
+    pub name: &'static str,
+    /// SoC name (e.g. `"Kirin 980"`).
+    pub soc: &'static str,
+    /// CPU description.
+    pub cpu: &'static str,
+    /// Effective single-thread CPU FLOPs per second.
+    pub cpu_flops_1t: f64,
+    /// Effective 2-thread CPU FLOPs per second.
+    pub cpu_flops_2t: f64,
+    /// Effective 4-thread CPU FLOPs per second.
+    pub cpu_flops_4t: f64,
+    /// GPU description.
+    pub gpu: GpuInfo,
+}
+
+impl DeviceProfile {
+    /// Effective CPU FLOPS for a given thread count (1, 2 or 4; other values are
+    /// interpolated from the nearest configuration).
+    pub fn cpu_flops(&self, threads: usize) -> f64 {
+        match threads {
+            0 | 1 => self.cpu_flops_1t,
+            2 | 3 => self.cpu_flops_2t,
+            _ => self.cpu_flops_4t,
+        }
+    }
+
+    /// Look up a profile by (case-insensitive) device name.
+    pub fn by_name(name: &str) -> Option<DeviceProfile> {
+        ALL_DEVICES
+            .iter()
+            .find(|d| d.name.eq_ignore_ascii_case(name))
+            .copied()
+    }
+}
+
+const fn gpu(name: &'static str, flops: f64, is_metal: bool) -> GpuInfo {
+    GpuInfo {
+        name,
+        flops,
+        is_metal,
+    }
+}
+
+/// The benchmark phones of Section 4.1 (Fig. 7), the ablation phones of Table 2,
+/// the Fig. 8/9 phone (P20 / Kirin 970), the Pixel phones of Table 8 and the top-5
+/// production devices of Table 6.
+///
+/// CPU throughputs are calibrated so that the simulator's MNN latency on
+/// MobileNet-v1 (or Inception-v3 for the Pixel phones) reproduces the paper's own
+/// MNN measurements; GPU FLOPS come from the Appendix C table.
+pub const ALL_DEVICES: &[DeviceProfile] = &[
+    DeviceProfile {
+        name: "iPhoneX",
+        soc: "Apple A11",
+        cpu: "A11 Bionic (2 big + 4 little)",
+        cpu_flops_1t: 11.5e9,
+        cpu_flops_2t: 21.1e9,
+        cpu_flops_4t: 37.9e9,
+        gpu: gpu("Apple A11 GPU", 42.0e9, true),
+    },
+    DeviceProfile {
+        name: "iPhone8",
+        soc: "Apple A11",
+        cpu: "A11 Bionic (2 big + 4 little)",
+        cpu_flops_1t: 11.5e9,
+        cpu_flops_2t: 21.1e9,
+        cpu_flops_4t: 40.6e9,
+        gpu: gpu("Apple A11 GPU", 42.0e9, true),
+    },
+    DeviceProfile {
+        name: "Mate20",
+        soc: "Kirin 980",
+        cpu: "2x A76 + 2x A76 + 4x A55",
+        cpu_flops_1t: 8.5e9,
+        cpu_flops_2t: 15.4e9,
+        cpu_flops_4t: 27.1e9,
+        gpu: gpu("Mali-G76", 31.61e9, false),
+    },
+    DeviceProfile {
+        name: "MI6",
+        soc: "Snapdragon 835",
+        cpu: "Kryo 280",
+        cpu_flops_1t: 3.1e9,
+        cpu_flops_2t: 5.6e9,
+        cpu_flops_4t: 9.8e9,
+        gpu: gpu("Adreno 540", 42.74e9, false),
+    },
+    DeviceProfile {
+        name: "P10",
+        soc: "Kirin 960",
+        cpu: "Cortex-A73",
+        cpu_flops_1t: 6.2e9,
+        cpu_flops_2t: 11.6e9,
+        cpu_flops_4t: 21.2e9,
+        gpu: gpu("Mali-G71", 31.61e9, false),
+    },
+    DeviceProfile {
+        name: "P20",
+        soc: "Kirin 970",
+        cpu: "Cortex-A73",
+        cpu_flops_1t: 5.6e9,
+        cpu_flops_2t: 10.5e9,
+        cpu_flops_4t: 19.2e9,
+        gpu: gpu("Mali-G72 MP12", 31.61e9, false),
+    },
+    DeviceProfile {
+        name: "Pixel2",
+        soc: "Snapdragon 835",
+        cpu: "Kryo 280",
+        cpu_flops_1t: 8.6e9,
+        cpu_flops_2t: 15.5e9,
+        cpu_flops_4t: 26.6e9,
+        gpu: gpu("Adreno 540", 42.74e9, false),
+    },
+    DeviceProfile {
+        name: "Pixel3",
+        soc: "Snapdragon 845",
+        cpu: "Kryo 385",
+        cpu_flops_1t: 9.6e9,
+        cpu_flops_2t: 18.0e9,
+        cpu_flops_4t: 35.6e9,
+        gpu: gpu("Adreno 630", 42.74e9, false),
+    },
+    DeviceProfile {
+        name: "GalaxyS8",
+        soc: "Snapdragon 835",
+        cpu: "Kryo 280",
+        cpu_flops_1t: 8.0e9,
+        cpu_flops_2t: 14.5e9,
+        cpu_flops_4t: 25.0e9,
+        gpu: gpu("Adreno 540", 42.74e9, false),
+    },
+    // ---- Table 6: top-5 devices of the production object-detection service ----
+    DeviceProfile {
+        name: "EML-AL00",
+        soc: "Kirin 970",
+        cpu: "Cortex-A73",
+        cpu_flops_1t: 3.5e9,
+        cpu_flops_2t: 6.6e9,
+        cpu_flops_4t: 11.7e9,
+        gpu: gpu("Mali-G72 MP12", 31.61e9, false),
+    },
+    DeviceProfile {
+        name: "PBEM00",
+        soc: "SDM670",
+        cpu: "Kryo 360",
+        cpu_flops_1t: 3.7e9,
+        cpu_flops_2t: 6.9e9,
+        cpu_flops_4t: 12.2e9,
+        gpu: gpu("Adreno 615", 16.77e9, false),
+    },
+    DeviceProfile {
+        name: "PACM00",
+        soc: "MT6771",
+        cpu: "Cortex-A73",
+        cpu_flops_1t: 3.3e9,
+        cpu_flops_2t: 6.3e9,
+        cpu_flops_4t: 11.2e9,
+        gpu: gpu("Mali-G72 MP3", 6.83e9, false),
+    },
+    DeviceProfile {
+        name: "COL-AL10",
+        soc: "Kirin 970",
+        cpu: "Cortex-A73",
+        cpu_flops_1t: 3.2e9,
+        cpu_flops_2t: 6.1e9,
+        cpu_flops_4t: 10.8e9,
+        gpu: gpu("Mali-G72 MP12", 31.61e9, false),
+    },
+    DeviceProfile {
+        name: "OPPO R11",
+        soc: "Snapdragon 660",
+        cpu: "Kryo 260",
+        cpu_flops_1t: 3.4e9,
+        cpu_flops_2t: 6.4e9,
+        cpu_flops_4t: 11.3e9,
+        gpu: gpu("Adreno 512", 14.23e9, false),
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(DeviceProfile::by_name("mate20").is_some());
+        assert!(DeviceProfile::by_name("MATE20").is_some());
+        assert!(DeviceProfile::by_name("NoSuchPhone").is_none());
+    }
+
+    #[test]
+    fn thread_scaling_is_monotonic() {
+        for device in ALL_DEVICES {
+            assert!(device.cpu_flops(2) > device.cpu_flops(1), "{}", device.name);
+            assert!(device.cpu_flops(4) > device.cpu_flops(2), "{}", device.name);
+            assert!(device.gpu.flops > 0.0);
+        }
+    }
+
+    #[test]
+    fn high_end_devices_outrun_low_end_devices() {
+        let iphone = DeviceProfile::by_name("iPhoneX").unwrap();
+        let mi6 = DeviceProfile::by_name("MI6").unwrap();
+        assert!(iphone.cpu_flops(4) > 2.0 * mi6.cpu_flops(4));
+    }
+
+    #[test]
+    fn appendix_gpu_flops_are_used() {
+        let mi6 = DeviceProfile::by_name("MI6").unwrap();
+        assert_eq!(mi6.gpu.flops, 42.74e9);
+        let p20 = DeviceProfile::by_name("P20").unwrap();
+        assert_eq!(p20.gpu.flops, 31.61e9);
+    }
+
+    #[test]
+    fn table6_devices_are_present() {
+        for name in ["EML-AL00", "PBEM00", "PACM00", "COL-AL10", "OPPO R11"] {
+            assert!(DeviceProfile::by_name(name).is_some(), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Competitor-engine cost models and the analytic latency estimator.
+
+use crate::DeviceProfile;
+use mnn_graph::{Conv2dAttrs, Graph, Op};
+
+/// Android GPU standards (plus Metal for iOS) used in the cross-engine figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuStandard {
+    /// Apple Metal (iOS only).
+    Metal,
+    /// OpenCL.
+    OpenCl,
+    /// OpenGL compute shaders.
+    OpenGl,
+    /// Vulkan.
+    Vulkan,
+}
+
+impl GpuStandard {
+    /// Per-operator scheduling overhead in milliseconds (paper Appendix C).
+    pub fn t_schedule_ms(self) -> f64 {
+        match self {
+            GpuStandard::OpenCl | GpuStandard::OpenGl => 0.05,
+            GpuStandard::Vulkan | GpuStandard::Metal => 0.01,
+        }
+    }
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            GpuStandard::Metal => "Metal",
+            GpuStandard::OpenCl => "OpenCL",
+            GpuStandard::OpenGl => "OpenGL",
+            GpuStandard::Vulkan => "Vulkan",
+        }
+    }
+}
+
+/// The mobile inference engines compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// MNN (the paper's engine / this reproduction).
+    Mnn,
+    /// Tencent NCNN — manual case-by-case optimization.
+    Ncnn,
+    /// Xiaomi MACE — manual optimization, OpenCL GPU.
+    Mace,
+    /// Google TensorFlow Lite.
+    TfLite,
+    /// Apple CoreML (iOS only).
+    CoreMl,
+    /// TVM — ahead-of-time compiled, auto-tuned code.
+    Tvm,
+}
+
+impl Engine {
+    /// All engines, in the order used by the figures.
+    pub const ALL: [Engine; 6] = [
+        Engine::Ncnn,
+        Engine::Mace,
+        Engine::TfLite,
+        Engine::CoreMl,
+        Engine::Tvm,
+        Engine::Mnn,
+    ];
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Engine::Mnn => "MNN",
+            Engine::Ncnn => "NCNN",
+            Engine::Mace => "MACE",
+            Engine::TfLite => "TF-Lite",
+            Engine::CoreMl => "CoreML",
+            Engine::Tvm => "TVM",
+        }
+    }
+
+    /// The cost-model parameters for this engine.
+    pub const fn spec(self) -> EngineSpec {
+        match self {
+            // MNN is the calibration baseline: device throughputs were fitted against
+            // the paper's MNN latencies, so its factors are 1.
+            Engine::Mnn => EngineSpec {
+                cpu_factor: 1.0,
+                uncommon_conv_factor: 1.0,
+                per_op_overhead_ms: 0.0,
+                metal_factor: Some(1.1),
+                opencl_factor: Some(1.0),
+                opengl_factor: Some(1.35),
+                vulkan_factor: Some(1.0),
+                ios_only: false,
+                android_only: false,
+            },
+            // NCNN: hand-written kernels for the common cases, but operators outside
+            // that set (e.g. 1x7 / 7x1) fall back to a slow generic path — the
+            // bottleneck of Fig. 8. Vulkan support exists but is not uniformly fast.
+            Engine::Ncnn => EngineSpec {
+                cpu_factor: 1.25,
+                uncommon_conv_factor: 36.0,
+                per_op_overhead_ms: 0.005,
+                metal_factor: None,
+                opencl_factor: None,
+                opengl_factor: None,
+                vulkan_factor: Some(1.7),
+                ios_only: false,
+                android_only: false,
+            },
+            // MACE: similar manual philosophy, OpenCL only on the GPU side.
+            Engine::Mace => EngineSpec {
+                cpu_factor: 1.3,
+                uncommon_conv_factor: 5.0,
+                per_op_overhead_ms: 0.01,
+                metal_factor: None,
+                opencl_factor: Some(1.25),
+                opengl_factor: None,
+                vulkan_factor: None,
+                ios_only: false,
+                android_only: true,
+            },
+            // TF-Lite: library-backed (Eigen/OpenBLAS) floating point with extra
+            // framework overhead; the OpenGL delegate has clear blind spots.
+            Engine::TfLite => EngineSpec {
+                cpu_factor: 1.35,
+                uncommon_conv_factor: 4.0,
+                per_op_overhead_ms: 0.01,
+                metal_factor: Some(1.8),
+                opencl_factor: None,
+                opengl_factor: Some(2.6),
+                vulkan_factor: None,
+                ios_only: false,
+                android_only: false,
+            },
+            // CoreML: Apple's vendor-tuned engine — slightly ahead of MNN on Metal,
+            // competitive on CPU, iOS only.
+            Engine::CoreMl => EngineSpec {
+                cpu_factor: 1.05,
+                uncommon_conv_factor: 1.2,
+                per_op_overhead_ms: 0.0,
+                metal_factor: Some(0.85),
+                opencl_factor: None,
+                opengl_factor: None,
+                vulkan_factor: None,
+                ios_only: true,
+                android_only: false,
+            },
+            // TVM: compiled, auto-tuned code — uniformly good coverage, slightly
+            // behind MNN's hand-tuned kernels on ARM CPUs (Fig. 9), with the offline
+            // tuning/compilation cost modeled separately (Table 5).
+            Engine::Tvm => EngineSpec {
+                cpu_factor: 1.28,
+                uncommon_conv_factor: 1.28,
+                per_op_overhead_ms: 0.0,
+                metal_factor: None,
+                opencl_factor: Some(1.2),
+                opengl_factor: None,
+                vulkan_factor: None,
+                ios_only: false,
+                android_only: false,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cost-model parameters of one engine.
+///
+/// Factors are multipliers on the MNN-calibrated compute time; `None` GPU factors
+/// mean the engine does not support that standard (its bar is absent from Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineSpec {
+    /// CPU time multiplier for well-supported operators.
+    pub cpu_factor: f64,
+    /// CPU time multiplier for convolutions the engine does not hand-optimize
+    /// (asymmetric ≥7-tap kernels, dilated convolutions).
+    pub uncommon_conv_factor: f64,
+    /// Fixed per-operator framework overhead, in milliseconds.
+    pub per_op_overhead_ms: f64,
+    /// Metal time multiplier (`None` = unsupported).
+    pub metal_factor: Option<f64>,
+    /// OpenCL time multiplier.
+    pub opencl_factor: Option<f64>,
+    /// OpenGL time multiplier.
+    pub opengl_factor: Option<f64>,
+    /// Vulkan time multiplier.
+    pub vulkan_factor: Option<f64>,
+    /// Engine only runs on iOS.
+    pub ios_only: bool,
+    /// Engine only runs on Android.
+    pub android_only: bool,
+}
+
+impl EngineSpec {
+    /// GPU factor for a standard, if supported.
+    pub fn gpu_factor(&self, standard: GpuStandard) -> Option<f64> {
+        match standard {
+            GpuStandard::Metal => self.metal_factor,
+            GpuStandard::OpenCl => self.opencl_factor,
+            GpuStandard::OpenGl => self.opengl_factor,
+            GpuStandard::Vulkan => self.vulkan_factor,
+        }
+    }
+}
+
+/// Whether a convolution falls outside the set that case-by-case engines optimize:
+/// asymmetric kernels with a 7-tap side (Inception-v3's 1×7 / 7×1) or dilated
+/// convolutions (paper Section 4.2, "bottleneck of case-by-case optimization").
+pub fn is_uncommon_conv(attrs: &Conv2dAttrs) -> bool {
+    let (kh, kw) = attrs.kernel;
+    let asymmetric_large = kh != kw && (kh >= 7 || kw >= 7);
+    let dilated = attrs.dilation != (1, 1);
+    asymmetric_large || dilated
+}
+
+/// Per-node multiplication count split into common / uncommon convolution work.
+fn node_muls(graph: &Graph, node: &mnn_graph::Node) -> (f64, bool) {
+    let muls = graph.node_mul_count(node).unwrap_or(0) as f64;
+    let uncommon = match &node.op {
+        Op::Conv2d(attrs) | Op::Conv2dFused { attrs, .. } => is_uncommon_conv(attrs),
+        _ => false,
+    };
+    (muls, uncommon)
+}
+
+/// Estimated CPU latency (milliseconds) of running `graph` with `engine` on
+/// `device` using `threads` CPU threads.
+///
+/// Shapes must already be inferred on `graph`.
+pub fn estimate_cpu_latency_ms(
+    graph: &Graph,
+    device: &DeviceProfile,
+    engine: Engine,
+    threads: usize,
+) -> f64 {
+    let spec = engine.spec();
+    let flops = device.cpu_flops(threads);
+    let mut total = 0.0f64;
+    for node in graph.nodes() {
+        let (muls, uncommon) = node_muls(graph, node);
+        let factor = if uncommon {
+            spec.uncommon_conv_factor
+        } else {
+            spec.cpu_factor
+        };
+        total += muls / flops * 1000.0 * factor + spec.per_op_overhead_ms;
+    }
+    total
+}
+
+/// Estimated GPU latency (milliseconds) of running `graph` with `engine` on
+/// `device` through the given GPU `standard`. Returns `None` when the engine does
+/// not support that standard or the device does not expose it (Metal vs Android).
+pub fn estimate_gpu_latency_ms(
+    graph: &Graph,
+    device: &DeviceProfile,
+    engine: Engine,
+    standard: GpuStandard,
+) -> Option<f64> {
+    let spec = engine.spec();
+    let factor = spec.gpu_factor(standard)?;
+    // Metal exists only on iOS devices; the Android standards only on Android ones.
+    if (standard == GpuStandard::Metal) != device.gpu.is_metal {
+        return None;
+    }
+    if spec.ios_only && !device.gpu.is_metal {
+        return None;
+    }
+    if spec.android_only && device.gpu.is_metal {
+        return None;
+    }
+    let mut total = 0.0f64;
+    for node in graph.nodes() {
+        let (muls, uncommon) = node_muls(graph, node);
+        let uncommon_penalty = if uncommon {
+            spec.uncommon_conv_factor / spec.cpu_factor
+        } else {
+            1.0
+        };
+        total += muls / device.gpu.flops * 1000.0 * factor * uncommon_penalty
+            + standard.t_schedule_ms();
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_models::{build, ModelKind};
+
+    fn graph(kind: ModelKind) -> Graph {
+        let mut g = build(kind, 1, kind.default_input_size());
+        g.infer_shapes().unwrap();
+        g
+    }
+
+    #[test]
+    fn mnn_cpu_latency_matches_calibration_targets() {
+        // The device profiles were calibrated against the paper's MNN 4-thread
+        // MobileNet-v1 latencies (Fig. 7, row 2): iPhoneX ≈ 15 ms, Mate20 ≈ 21 ms,
+        // MI6 ≈ 58 ms. Allow ±30% for the synthetic model's small structural
+        // differences.
+        let g = graph(ModelKind::MobileNetV1);
+        let expectations = [("iPhoneX", 15.0), ("Mate20", 21.0), ("MI6", 58.0)];
+        for (device, expected) in expectations {
+            let d = DeviceProfile::by_name(device).unwrap();
+            let got = estimate_cpu_latency_ms(&g, &d, Engine::Mnn, 4);
+            assert!(
+                (got - expected).abs() / expected < 0.3,
+                "{device}: got {got:.1} ms, expected ≈{expected} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn mnn_is_fastest_or_tied_on_cpu_across_engines() {
+        let g = graph(ModelKind::MobileNetV1);
+        let device = DeviceProfile::by_name("Mate20").unwrap();
+        let mnn = estimate_cpu_latency_ms(&g, &device, Engine::Mnn, 4);
+        for engine in [Engine::Ncnn, Engine::Mace, Engine::TfLite, Engine::Tvm] {
+            let other = estimate_cpu_latency_ms(&g, &device, engine, 4);
+            assert!(other >= mnn, "{engine} should not beat MNN on CPU");
+        }
+        // and the 20–40% headline gap holds against the manual-search engines
+        let ncnn = estimate_cpu_latency_ms(&g, &device, Engine::Ncnn, 4);
+        assert!(ncnn / mnn > 1.15 && ncnn / mnn < 1.6);
+    }
+
+    #[test]
+    fn ncnn_collapses_on_inception_v3() {
+        // Fig. 8: NCNN's unoptimized 1x7 / 7x1 convolutions make Inception-v3
+        // abnormally slow, while MNN / MACE / TF-Lite stay within a few ×.
+        let g = graph(ModelKind::InceptionV3);
+        let p20 = DeviceProfile::by_name("P20").unwrap();
+        let mnn = estimate_cpu_latency_ms(&g, &p20, Engine::Mnn, 4);
+        let ncnn = estimate_cpu_latency_ms(&g, &p20, Engine::Ncnn, 4);
+        let mace = estimate_cpu_latency_ms(&g, &p20, Engine::Mace, 4);
+        assert!(ncnn / mnn > 5.0, "NCNN should be >5x slower (got {:.1}x)", ncnn / mnn);
+        assert!(mace / mnn < 5.0, "MACE should stay within 5x");
+        // MNN itself should land near the paper's 297 ms.
+        assert!((mnn - 297.0).abs() / 297.0 < 0.4, "MNN Inception-v3 on P20: {mnn:.0} ms");
+    }
+
+    #[test]
+    fn tvm_is_slightly_slower_than_mnn_on_cpu() {
+        // Fig. 9 shape: TVM within 1.1–1.6x of MNN on every network.
+        let p20 = DeviceProfile::by_name("P20").unwrap();
+        for kind in [
+            ModelKind::MobileNetV1,
+            ModelKind::SqueezeNetV1_1,
+            ModelKind::ResNet50,
+        ] {
+            let g = graph(kind);
+            let mnn = estimate_cpu_latency_ms(&g, &p20, Engine::Mnn, 4);
+            let tvm = estimate_cpu_latency_ms(&g, &p20, Engine::Tvm, 4);
+            let ratio = tvm / mnn;
+            assert!((1.05..1.7).contains(&ratio), "{kind}: ratio {ratio:.2}");
+        }
+    }
+
+    #[test]
+    fn gpu_support_matrix_matches_the_engines() {
+        let g = graph(ModelKind::MobileNetV1);
+        let mi6 = DeviceProfile::by_name("MI6").unwrap();
+        let iphone = DeviceProfile::by_name("iPhoneX").unwrap();
+        // NCNN has Vulkan but no OpenCL.
+        assert!(estimate_gpu_latency_ms(&g, &mi6, Engine::Ncnn, GpuStandard::Vulkan).is_some());
+        assert!(estimate_gpu_latency_ms(&g, &mi6, Engine::Ncnn, GpuStandard::OpenCl).is_none());
+        // CoreML only exists on iOS / Metal.
+        assert!(estimate_gpu_latency_ms(&g, &iphone, Engine::CoreMl, GpuStandard::Metal).is_some());
+        assert!(estimate_gpu_latency_ms(&g, &mi6, Engine::CoreMl, GpuStandard::Vulkan).is_none());
+        // Metal never exists on Android devices.
+        assert!(estimate_gpu_latency_ms(&g, &mi6, Engine::Mnn, GpuStandard::Metal).is_none());
+        // MNN covers all three Android standards.
+        for standard in [GpuStandard::OpenCl, GpuStandard::OpenGl, GpuStandard::Vulkan] {
+            assert!(estimate_gpu_latency_ms(&g, &mi6, Engine::Mnn, standard).is_some());
+        }
+    }
+
+    #[test]
+    fn coreml_beats_mnn_on_metal_but_not_by_much() {
+        let g = graph(ModelKind::MobileNetV1);
+        let iphone = DeviceProfile::by_name("iPhoneX").unwrap();
+        let mnn = estimate_gpu_latency_ms(&g, &iphone, Engine::Mnn, GpuStandard::Metal).unwrap();
+        let coreml =
+            estimate_gpu_latency_ms(&g, &iphone, Engine::CoreMl, GpuStandard::Metal).unwrap();
+        assert!(coreml < mnn);
+        assert!(mnn / coreml < 1.6);
+    }
+
+    #[test]
+    fn uncommon_conv_detection() {
+        assert!(is_uncommon_conv(&Conv2dAttrs::rect(64, 64, (1, 7), (0, 3))));
+        assert!(is_uncommon_conv(&Conv2dAttrs::rect(64, 64, (7, 1), (3, 0))));
+        assert!(!is_uncommon_conv(&Conv2dAttrs::same_3x3(64, 64)));
+        assert!(!is_uncommon_conv(&Conv2dAttrs::rect(64, 64, (1, 3), (0, 1))));
+        let mut dilated = Conv2dAttrs::same_3x3(64, 64);
+        dilated.dilation = (2, 2);
+        assert!(is_uncommon_conv(&dilated));
+    }
+
+    #[test]
+    fn more_threads_reduce_estimated_latency() {
+        let g = graph(ModelKind::SqueezeNetV1_1);
+        let device = DeviceProfile::by_name("Mate20").unwrap();
+        let t2 = estimate_cpu_latency_ms(&g, &device, Engine::Mnn, 2);
+        let t4 = estimate_cpu_latency_ms(&g, &device, Engine::Mnn, 4);
+        assert!(t4 < t2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Device profiles, competitor-engine cost models and the analytic latency
+//! simulator used by the cross-engine / cross-device experiments.
+//!
+//! The paper's Figures 7–9 and Tables 5, 6 and 8 compare MNN against CoreML,
+//! TF-Lite, MACE, NCNN and TVM on physical phones. Neither the phones nor the
+//! other engines are available here, so this crate substitutes an analytic model
+//! (see `DESIGN.md`, substitution table):
+//!
+//! * [`DeviceProfile`] — effective CPU throughput per thread count (calibrated from
+//!   the paper's own MNN measurements) and the GPU FLOPS / `t_schedule` constants
+//!   from the paper's Appendix C.
+//! * [`Engine`] / [`EngineSpec`] — per-engine efficiency factors encoding each
+//!   engine's documented design: case-by-case kernels with unoptimized fallbacks
+//!   (NCNN / MACE), library-backed execution with extra overhead (TF-Lite),
+//!   vendor-tuned Metal (CoreML), compiled model-specific code with offline
+//!   auto-tuning cost (TVM), and MNN's semi-automated search as the baseline.
+//! * [`estimate_cpu_latency_ms`] / [`estimate_gpu_latency_ms`] — the Eq. 5-style
+//!   latency estimator that walks a graph and prices every operator.
+//!
+//! The absolute numbers are calibrated; the *relative* behaviour (who wins, where
+//! the blind spots are) is what the experiments reproduce.
+
+#![deny(missing_docs)]
+
+mod device;
+mod engine;
+pub mod tvm;
+
+pub use device::{DeviceProfile, GpuInfo};
+pub use engine::{
+    estimate_cpu_latency_ms, estimate_gpu_latency_ms, is_uncommon_conv, Engine, EngineSpec,
+    GpuStandard,
+};

@@ -1,0 +1,279 @@
+//! Ergonomic graph construction.
+
+use crate::ops::{
+    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Op, PoolAttrs, SoftmaxAttrs,
+};
+use crate::{Graph, TensorId};
+use mnn_tensor::{Shape, Tensor};
+
+/// Builder for [`Graph`]s, used by the model zoo and by tests.
+///
+/// The builder tracks value slots by [`TensorId`]; each layer method appends a node
+/// and returns the id of its output slot. Constant slots (weights) are created with
+/// [`GraphBuilder::constant`] / [`GraphBuilder::constant_random`].
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+    /// Deterministic pseudo-random state for `constant_random` (xorshift).
+    rng_state: u64,
+}
+
+impl GraphBuilder {
+    /// Start building a graph with the given model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            graph: Graph::new(name),
+            rng_state: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Declare a graph input with a fixed shape (the common mobile-inference case the
+    /// paper's pre-inference mechanism exploits).
+    pub fn input(&mut self, name: &str, shape: Shape) -> TensorId {
+        let id = self.graph.add_tensor(name, Some(shape));
+        self.graph.mark_input(id);
+        id
+    }
+
+    /// Add a constant slot holding `data`.
+    pub fn constant(&mut self, name: &str, data: Tensor) -> TensorId {
+        self.graph.add_constant(name, data)
+    }
+
+    /// Add a constant filled with small deterministic pseudo-random values in
+    /// `[-magnitude, magnitude]` — used to give zoo models synthetic weights.
+    pub fn constant_random(&mut self, name: &str, shape: Shape, magnitude: f32) -> TensorId {
+        let n = shape.num_elements();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            // xorshift64*
+            self.rng_state ^= self.rng_state >> 12;
+            self.rng_state ^= self.rng_state << 25;
+            self.rng_state ^= self.rng_state >> 27;
+            let r = (self.rng_state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32
+                / (1u64 << 24) as f32;
+            data.push((r * 2.0 - 1.0) * magnitude);
+        }
+        self.constant(name, Tensor::from_vec(shape, data))
+    }
+
+    /// Add a constant filled with `value`.
+    pub fn constant_filled(&mut self, name: &str, shape: Shape, value: f32) -> TensorId {
+        self.constant(name, Tensor::full(shape, value))
+    }
+
+    /// Append a 2-D convolution node.
+    pub fn conv2d(
+        &mut self,
+        name: &str,
+        input: TensorId,
+        weight: TensorId,
+        bias: Option<TensorId>,
+        mut attrs: Conv2dAttrs,
+    ) -> TensorId {
+        attrs.has_bias = bias.is_some();
+        let mut inputs = vec![input, weight];
+        if let Some(b) = bias {
+            inputs.push(b);
+        }
+        self.graph.add_node(name, Op::Conv2d(attrs), inputs).1
+    }
+
+    /// Convenience: convolution with weights (and optional bias) generated on the fly.
+    pub fn conv2d_auto(
+        &mut self,
+        name: &str,
+        input: TensorId,
+        attrs: Conv2dAttrs,
+        with_bias: bool,
+    ) -> TensorId {
+        let weight_shape = Shape::new(vec![
+            attrs.out_channels,
+            attrs.in_channels / attrs.groups,
+            attrs.kernel.0,
+            attrs.kernel.1,
+        ]);
+        let fan_in = (attrs.in_channels / attrs.groups) * attrs.kernel.0 * attrs.kernel.1;
+        let magnitude = (2.0 / fan_in as f32).sqrt();
+        let weight = self.constant_random(&format!("{name}.weight"), weight_shape, magnitude);
+        let bias = if with_bias {
+            Some(self.constant_filled(&format!("{name}.bias"), Shape::vector(attrs.out_channels), 0.01))
+        } else {
+            None
+        };
+        self.conv2d(name, input, weight, bias, attrs)
+    }
+
+    /// Append a pooling node.
+    pub fn pool(&mut self, name: &str, input: TensorId, attrs: PoolAttrs) -> TensorId {
+        self.graph.add_node(name, Op::Pool(attrs), vec![input]).1
+    }
+
+    /// Append a stand-alone activation node.
+    pub fn activation(&mut self, name: &str, input: TensorId, kind: ActivationKind) -> TensorId {
+        self.graph.add_node(name, Op::Activation(kind), vec![input]).1
+    }
+
+    /// Append a binary element-wise node.
+    pub fn binary(&mut self, name: &str, a: TensorId, b: TensorId, kind: BinaryKind) -> TensorId {
+        self.graph.add_node(name, Op::Binary(kind), vec![a, b]).1
+    }
+
+    /// Append a channel-concatenation node.
+    pub fn concat(&mut self, name: &str, inputs: Vec<TensorId>) -> TensorId {
+        self.graph.add_node(name, Op::Concat, inputs).1
+    }
+
+    /// Append an inference-mode batch-normalization node with synthetic statistics.
+    pub fn batch_norm_auto(&mut self, name: &str, input: TensorId, channels: usize) -> TensorId {
+        let mean = self.constant_random(&format!("{name}.mean"), Shape::vector(channels), 0.1);
+        let var = self.constant_filled(&format!("{name}.var"), Shape::vector(channels), 1.0);
+        let gamma = self.constant_filled(&format!("{name}.gamma"), Shape::vector(channels), 1.0);
+        let beta = self.constant_random(&format!("{name}.beta"), Shape::vector(channels), 0.05);
+        self.graph
+            .add_node(
+                name,
+                Op::BatchNorm { epsilon: 1e-5 },
+                vec![input, mean, var, gamma, beta],
+            )
+            .1
+    }
+
+    /// Append a fully-connected node.
+    pub fn fully_connected(
+        &mut self,
+        name: &str,
+        input: TensorId,
+        weight: TensorId,
+        bias: Option<TensorId>,
+        in_features: usize,
+        out_features: usize,
+    ) -> TensorId {
+        let mut inputs = vec![input, weight];
+        if let Some(b) = bias {
+            inputs.push(b);
+        }
+        self.graph
+            .add_node(
+                name,
+                Op::FullyConnected {
+                    in_features,
+                    out_features,
+                    has_bias: bias.is_some(),
+                },
+                inputs,
+            )
+            .1
+    }
+
+    /// Convenience: fully-connected layer with generated weights.
+    pub fn fully_connected_auto(
+        &mut self,
+        name: &str,
+        input: TensorId,
+        in_features: usize,
+        out_features: usize,
+    ) -> TensorId {
+        let magnitude = (2.0 / in_features as f32).sqrt();
+        let weight = self.constant_random(
+            &format!("{name}.weight"),
+            Shape::matrix(out_features, in_features),
+            magnitude,
+        );
+        let bias = self.constant_filled(&format!("{name}.bias"), Shape::vector(out_features), 0.01);
+        self.fully_connected(name, input, weight, Some(bias), in_features, out_features)
+    }
+
+    /// Append a softmax node.
+    pub fn softmax(&mut self, name: &str, input: TensorId) -> TensorId {
+        self.graph
+            .add_node(name, Op::Softmax(SoftmaxAttrs { axis: 1 }), vec![input])
+            .1
+    }
+
+    /// Append a flatten node.
+    pub fn flatten(&mut self, name: &str, input: TensorId, attrs: FlattenAttrs) -> TensorId {
+        self.graph.add_node(name, Op::Flatten(attrs), vec![input]).1
+    }
+
+    /// Append a reshape node.
+    pub fn reshape(&mut self, name: &str, input: TensorId, shape: Vec<usize>) -> TensorId {
+        self.graph.add_node(name, Op::Reshape { shape }, vec![input]).1
+    }
+
+    /// Finish the graph, marking `outputs` as its outputs.
+    pub fn build(mut self, outputs: Vec<TensorId>) -> Graph {
+        for out in outputs {
+            self.graph.mark_output(out);
+        }
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_graph() {
+        let mut b = GraphBuilder::new("demo");
+        let x = b.input("x", Shape::nchw(1, 3, 16, 16));
+        let y = b.conv2d_auto("conv1", x, Conv2dAttrs::same_3x3(3, 8), true);
+        let y = b.activation("relu1", y, ActivationKind::Relu);
+        let y = b.pool("pool1", y, PoolAttrs::max(2, 2));
+        let y = b.flatten("flat", y, FlattenAttrs { start_axis: 1 });
+        let y = b.fully_connected_auto("fc", y, 8 * 8 * 8, 10);
+        let y = b.softmax("prob", y);
+        let mut g = b.build(vec![y]);
+        g.validate().unwrap();
+        g.infer_shapes().unwrap();
+        assert_eq!(g.outputs().len(), 1);
+        assert!(g.parameter_count() > 0);
+    }
+
+    #[test]
+    fn constant_random_is_deterministic_per_builder() {
+        let mut b1 = GraphBuilder::new("a");
+        let mut b2 = GraphBuilder::new("b");
+        let t1 = b1.constant_random("w", Shape::vector(16), 1.0);
+        let t2 = b2.constant_random("w", Shape::vector(16), 1.0);
+        let g1 = b1.build(vec![]);
+        let g2 = b2.build(vec![]);
+        assert_eq!(
+            g1.constant(t1).unwrap().data_f32(),
+            g2.constant(t2).unwrap().data_f32()
+        );
+    }
+
+    #[test]
+    fn constant_random_values_bounded_by_magnitude() {
+        let mut b = GraphBuilder::new("a");
+        let t = b.constant_random("w", Shape::vector(256), 0.5);
+        let g = b.build(vec![]);
+        assert!(g.constant(t).unwrap().data_f32().iter().all(|v| v.abs() <= 0.5));
+        // and not all identical
+        let data = g.constant(t).unwrap().data_f32();
+        assert!(data.iter().any(|&v| (v - data[0]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn conv2d_auto_creates_weight_with_group_aware_shape() {
+        let mut b = GraphBuilder::new("a");
+        let x = b.input("x", Shape::nchw(1, 8, 8, 8));
+        let y = b.conv2d_auto("dw", x, Conv2dAttrs::depthwise_3x3(8, 1), false);
+        let g = b.build(vec![y]);
+        let conv = &g.nodes()[0];
+        let w = g.constant(conv.inputs[1]).unwrap();
+        assert_eq!(w.shape().dims(), &[8, 1, 3, 3]);
+    }
+
+    #[test]
+    fn batch_norm_auto_wires_five_inputs() {
+        let mut b = GraphBuilder::new("a");
+        let x = b.input("x", Shape::nchw(1, 4, 4, 4));
+        let y = b.batch_norm_auto("bn", x, 4);
+        let g = b.build(vec![y]);
+        assert_eq!(g.nodes()[0].inputs.len(), 5);
+        g.validate().unwrap();
+    }
+}

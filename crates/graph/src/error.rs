@@ -1,0 +1,80 @@
+//! Error type for graph construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph validation, shape inference and lookup operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node references a tensor id that does not exist in the graph.
+    UnknownTensor(usize),
+    /// A node id lookup failed.
+    UnknownNode(usize),
+    /// The graph contains a cycle and cannot be topologically ordered.
+    Cycle,
+    /// A node received the wrong number of inputs.
+    ArityMismatch {
+        /// Name of the offending node.
+        node: String,
+        /// Expected input count.
+        expected: usize,
+        /// Actual input count.
+        actual: usize,
+    },
+    /// Shape inference failed for a node.
+    ShapeInference {
+        /// Name of the offending node.
+        node: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A required constant (weight) tensor is missing.
+    MissingWeight(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTensor(id) => write!(f, "unknown tensor id {id}"),
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::ArityMismatch {
+                node,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "node '{node}' expects {expected} inputs, received {actual}"
+            ),
+            GraphError::ShapeInference { node, reason } => {
+                write!(f, "shape inference failed at node '{node}': {reason}")
+            }
+            GraphError::MissingWeight(name) => write!(f, "missing weight tensor '{name}'"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_identifiers() {
+        assert!(GraphError::UnknownTensor(7).to_string().contains('7'));
+        assert!(GraphError::MissingWeight("w0".into()).to_string().contains("w0"));
+        let e = GraphError::ArityMismatch {
+            node: "conv1".into(),
+            expected: 2,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("conv1"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Error + Send + Sync>() {}
+        assert_traits::<GraphError>();
+    }
+}

@@ -1,0 +1,523 @@
+//! The computational graph data structure.
+
+use crate::{GraphError, Op};
+use mnn_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// Identifier of a value slot (activation or constant) in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorId(pub usize);
+
+/// Identifier of a node (operator instance) in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Metadata describing a value slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorInfo {
+    /// Human-readable name.
+    pub name: String,
+    /// Logical shape, when known (graph inputs and constants always know theirs;
+    /// intermediate slots are filled in by [`Graph::infer_shapes`]).
+    pub shape: Option<Shape>,
+    /// Whether the slot holds constant data (weights, biases, BN statistics).
+    pub is_constant: bool,
+}
+
+/// One operator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node identifier (index into the graph's node list).
+    pub id: NodeId,
+    /// Human-readable name.
+    pub name: String,
+    /// The operator and its hyper-parameters.
+    pub op: Op,
+    /// Consumed value slots, in operator-defined order.
+    pub inputs: Vec<TensorId>,
+    /// Produced value slots (always exactly one for the current operator set).
+    pub outputs: Vec<TensorId>,
+}
+
+/// A dataflow graph of operators over value slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    nodes: Vec<Node>,
+    tensors: Vec<TensorInfo>,
+    /// Constant data, keyed by the slot index (BTreeMap keeps serialization stable).
+    constants: BTreeMap<usize, Tensor>,
+    inputs: Vec<TensorId>,
+    outputs: Vec<TensorId>,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph {
+            name: name.into(),
+            nodes: Vec::new(),
+            tensors: Vec::new(),
+            constants: BTreeMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes in insertion order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All value-slot descriptors.
+    pub fn tensors(&self) -> &[TensorInfo] {
+        &self.tensors
+    }
+
+    /// Graph input slots (activations fed by the caller).
+    pub fn inputs(&self) -> &[TensorId] {
+        &self.inputs
+    }
+
+    /// Graph output slots.
+    pub fn outputs(&self) -> &[TensorId] {
+        &self.outputs
+    }
+
+    /// Declare a non-constant value slot and return its id.
+    pub fn add_tensor(&mut self, name: impl Into<String>, shape: Option<Shape>) -> TensorId {
+        let id = TensorId(self.tensors.len());
+        self.tensors.push(TensorInfo {
+            name: name.into(),
+            shape,
+            is_constant: false,
+        });
+        id
+    }
+
+    /// Declare a constant value slot holding `data` and return its id.
+    pub fn add_constant(&mut self, name: impl Into<String>, data: Tensor) -> TensorId {
+        let id = TensorId(self.tensors.len());
+        self.tensors.push(TensorInfo {
+            name: name.into(),
+            shape: Some(data.shape().clone()),
+            is_constant: true,
+        });
+        self.constants.insert(id.0, data);
+        id
+    }
+
+    /// Append a node consuming `inputs` and producing one fresh output slot.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        op: Op,
+        inputs: Vec<TensorId>,
+    ) -> (NodeId, TensorId) {
+        let name = name.into();
+        let output = self.add_tensor(format!("{name}:out"), None);
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            name,
+            op,
+            inputs,
+            outputs: vec![output],
+        });
+        (id, output)
+    }
+
+    /// Mark a slot as a graph input.
+    pub fn mark_input(&mut self, id: TensorId) {
+        if !self.inputs.contains(&id) {
+            self.inputs.push(id);
+        }
+    }
+
+    /// Mark a slot as a graph output.
+    pub fn mark_output(&mut self, id: TensorId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Replace the node list (used by the graph optimizer when rewriting).
+    ///
+    /// Node ids are renumbered to match their position in the new list so that
+    /// [`NodeId`]s handed out afterwards stay consistent with [`Graph::node`] and
+    /// [`Graph::topological_order`].
+    pub fn set_nodes(&mut self, nodes: Vec<Node>) {
+        self.nodes = nodes;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.id = NodeId(i);
+        }
+    }
+
+    /// Replace the graph outputs (used by the optimizer when rewiring).
+    pub fn set_outputs(&mut self, outputs: Vec<TensorId>) {
+        self.outputs = outputs;
+    }
+
+    /// Look up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for an out-of-range id.
+    pub fn node(&self, id: NodeId) -> Result<&Node, GraphError> {
+        self.nodes.get(id.0).ok_or(GraphError::UnknownNode(id.0))
+    }
+
+    /// Look up a value-slot descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownTensor`] for an out-of-range id.
+    pub fn tensor_info(&self, id: TensorId) -> Result<&TensorInfo, GraphError> {
+        self.tensors
+            .get(id.0)
+            .ok_or(GraphError::UnknownTensor(id.0))
+    }
+
+    /// Mutable access to a value-slot descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownTensor`] for an out-of-range id.
+    pub fn tensor_info_mut(&mut self, id: TensorId) -> Result<&mut TensorInfo, GraphError> {
+        self.tensors
+            .get_mut(id.0)
+            .ok_or(GraphError::UnknownTensor(id.0))
+    }
+
+    /// Constant data stored in a slot, if any.
+    pub fn constant(&self, id: TensorId) -> Option<&Tensor> {
+        self.constants.get(&id.0)
+    }
+
+    /// Replace the constant stored in a slot (used by optimizer passes that fold
+    /// weights) and update the recorded shape.
+    pub fn replace_constant(&mut self, id: TensorId, data: Tensor) {
+        if let Some(info) = self.tensors.get_mut(id.0) {
+            info.shape = Some(data.shape().clone());
+            info.is_constant = true;
+        }
+        self.constants.insert(id.0, data);
+    }
+
+    /// The node that produces `id`, if any (constants and graph inputs have none).
+    pub fn producer(&self, id: TensorId) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.outputs.contains(&id))
+    }
+
+    /// All nodes that consume `id`.
+    pub fn consumers(&self, id: TensorId) -> Vec<&Node> {
+        self.nodes.iter().filter(|n| n.inputs.contains(&id)).collect()
+    }
+
+    /// Topological order of the nodes (Kahn's algorithm over tensor dependencies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the graph is cyclic and
+    /// [`GraphError::UnknownTensor`] if a node references a missing slot.
+    pub fn topological_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        // producer map: tensor -> node index
+        let mut producer: HashMap<usize, usize> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for out in &node.outputs {
+                if out.0 >= self.tensors.len() {
+                    return Err(GraphError::UnknownTensor(out.0));
+                }
+                producer.insert(out.0, i);
+            }
+        }
+        let mut indegree = vec![0usize; self.nodes.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for input in &node.inputs {
+                if input.0 >= self.tensors.len() {
+                    return Err(GraphError::UnknownTensor(input.0));
+                }
+                if let Some(&p) = producer.get(&input.0) {
+                    indegree[i] += 1;
+                    dependents[p].push(i);
+                }
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..self.nodes.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(i) = queue.pop_front() {
+            order.push(NodeId(i));
+            for &d in &dependents[i] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push_back(d);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(GraphError::Cycle);
+        }
+        Ok(order)
+    }
+
+    /// Structural validation: every referenced slot exists, every non-constant,
+    /// non-input slot has a producer, arity constraints hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for node in &self.nodes {
+            let expected = match &node.op {
+                Op::Conv2d(a) | Op::Conv2dFused { attrs: a, .. } => {
+                    if a.has_bias {
+                        3
+                    } else {
+                        2
+                    }
+                }
+                Op::Pool(_) | Op::Activation(_) | Op::Softmax(_) | Op::Flatten(_) | Op::Reshape { .. } => 1,
+                Op::Binary(_) => 2,
+                Op::Concat => node.inputs.len().max(1),
+                Op::BatchNorm { .. } => 5,
+                Op::Scale => 3,
+                Op::FullyConnected { has_bias, .. } => {
+                    if *has_bias {
+                        3
+                    } else {
+                        2
+                    }
+                }
+            };
+            if node.inputs.len() != expected {
+                return Err(GraphError::ArityMismatch {
+                    node: node.name.clone(),
+                    expected,
+                    actual: node.inputs.len(),
+                });
+            }
+            for id in node.inputs.iter().chain(&node.outputs) {
+                if id.0 >= self.tensors.len() {
+                    return Err(GraphError::UnknownTensor(id.0));
+                }
+            }
+        }
+        // every consumed, non-constant slot must be a graph input or produced by a node
+        let produced: Vec<bool> = {
+            let mut v = vec![false; self.tensors.len()];
+            for node in &self.nodes {
+                for out in &node.outputs {
+                    v[out.0] = true;
+                }
+            }
+            v
+        };
+        for node in &self.nodes {
+            for input in &node.inputs {
+                let info = self.tensor_info(*input)?;
+                if !info.is_constant && !self.inputs.contains(input) && !produced[input.0] {
+                    return Err(GraphError::ShapeInference {
+                        node: node.name.clone(),
+                        reason: format!("input slot {input} has no producer"),
+                    });
+                }
+            }
+        }
+        self.topological_order().map(|_| ())
+    }
+
+    /// Number of nodes per operator name (used for the Table 4 style statistics).
+    pub fn op_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut histogram = BTreeMap::new();
+        for node in &self.nodes {
+            *histogram.entry(node.op.name()).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Total number of stored constant elements (≈ parameter count).
+    pub fn parameter_count(&self) -> usize {
+        self.constants.values().map(|t| t.shape().num_elements()).sum()
+    }
+
+    /// Number of scalar multiplications the node performs, using inferred shapes.
+    ///
+    /// This is the `MUL` term of the paper's backend cost model (Eq. 5). Returns 0
+    /// for shape-only / negligible operators and `None` when shapes are missing.
+    pub fn node_mul_count(&self, node: &Node) -> Option<u64> {
+        let in_shape = |idx: usize| -> Option<&Shape> {
+            node.inputs
+                .get(idx)
+                .and_then(|id| self.tensors.get(id.0))
+                .and_then(|t| t.shape.as_ref())
+        };
+        let out_shape = node
+            .outputs
+            .first()
+            .and_then(|id| self.tensors.get(id.0))
+            .and_then(|t| t.shape.as_ref());
+        let muls = match &node.op {
+            Op::Conv2d(attrs) | Op::Conv2dFused { attrs, .. } => {
+                let input = in_shape(0)?;
+                attrs.to_conv_params().mul_count(input.height(), input.width()) as u64
+                    * input.batch() as u64
+            }
+            Op::FullyConnected {
+                in_features,
+                out_features,
+                ..
+            } => {
+                let input = in_shape(0)?;
+                (input.dims()[0] * in_features * out_features) as u64
+            }
+            Op::Pool(_) | Op::Activation(_) | Op::Softmax(_) => {
+                out_shape.map(|s| s.num_elements() as u64).unwrap_or(0)
+            }
+            Op::Binary(_) | Op::Scale | Op::BatchNorm { .. } => {
+                in_shape(0).map(|s| s.num_elements() as u64).unwrap_or(0)
+            }
+            Op::Concat | Op::Flatten(_) | Op::Reshape { .. } => 0,
+        };
+        Some(muls)
+    }
+
+    /// Total multiplication count over all nodes (requires inferred shapes).
+    pub fn total_mul_count(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| self.node_mul_count(n))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{ActivationKind, Conv2dAttrs};
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new("tiny");
+        let x = g.add_tensor("x", Some(Shape::nchw(1, 3, 8, 8)));
+        g.mark_input(x);
+        let w = g.add_constant("w", Tensor::zeros(Shape::new(vec![8, 3, 3, 3])));
+        let (_, conv_out) = g.add_node("conv", Op::Conv2d(Conv2dAttrs::same_3x3(3, 8)), vec![x, w]);
+        let (_, relu_out) = g.add_node("relu", Op::Activation(ActivationKind::Relu), vec![conv_out]);
+        g.mark_output(relu_out);
+        g
+    }
+
+    #[test]
+    fn build_and_validate_tiny_graph() {
+        let g = tiny_graph();
+        assert_eq!(g.nodes().len(), 2);
+        assert_eq!(g.inputs().len(), 1);
+        assert_eq!(g.outputs().len(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let g = tiny_graph();
+        let order = g.topological_order().unwrap();
+        assert_eq!(order, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn producer_and_consumers() {
+        let g = tiny_graph();
+        let conv_out = g.nodes()[0].outputs[0];
+        assert_eq!(g.producer(conv_out).unwrap().name, "conv");
+        assert_eq!(g.consumers(conv_out).len(), 1);
+        let input = g.inputs()[0];
+        assert!(g.producer(input).is_none());
+    }
+
+    #[test]
+    fn validate_catches_arity_mismatch() {
+        let mut g = Graph::new("bad");
+        let x = g.add_tensor("x", None);
+        g.mark_input(x);
+        // Conv without weight input
+        let (_, out) = g.add_node("conv", Op::Conv2d(Conv2dAttrs::same_3x3(3, 8)), vec![x]);
+        g.mark_output(out);
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_missing_producer() {
+        let mut g = Graph::new("bad");
+        let x = g.add_tensor("x", None);
+        let ghost = g.add_tensor("ghost", None);
+        g.mark_input(x);
+        let (_, out) = g.add_node("add", Op::Binary(crate::BinaryKind::Add), vec![x, ghost]);
+        g.mark_output(out);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = Graph::new("cyclic");
+        let x = g.add_tensor("x", None);
+        g.mark_input(x);
+        let (_, a_out) = g.add_node("a", Op::Activation(ActivationKind::Relu), vec![x]);
+        let (_, b_out) = g.add_node("b", Op::Activation(ActivationKind::Relu), vec![a_out]);
+        // manually create a cycle: rewire node a to also consume b's output
+        let mut nodes = g.nodes().to_vec();
+        nodes[0].inputs = vec![b_out];
+        g.set_nodes(nodes);
+        assert_eq!(g.topological_order(), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn op_histogram_counts_kinds() {
+        let g = tiny_graph();
+        let h = g.op_histogram();
+        assert_eq!(h.get("Conv2d"), Some(&1));
+        assert_eq!(h.get("Activation"), Some(&1));
+    }
+
+    #[test]
+    fn parameter_count_sums_constant_elements() {
+        let g = tiny_graph();
+        assert_eq!(g.parameter_count(), 8 * 3 * 3 * 3);
+    }
+
+    #[test]
+    fn mul_count_for_conv_uses_input_shape() {
+        let g = tiny_graph();
+        let conv = &g.nodes()[0];
+        // 8x8 output (pad 1), 8 oc, 3 ic, 3x3 kernel
+        assert_eq!(g.node_mul_count(conv), Some(8 * 8 * 8 * 3 * 3 * 3));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_structure() {
+        let g = tiny_graph();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

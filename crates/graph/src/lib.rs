@@ -1,0 +1,41 @@
+//! Computational-graph intermediate representation for the MNN-rs inference engine.
+//!
+//! Models imported by the converter and executed by `mnn-core` are expressed as a
+//! [`Graph`]: a set of value slots ([`TensorId`]) produced/consumed by [`Node`]s, each
+//! carrying an operator description ([`Op`]). The crate also provides:
+//!
+//! * [`GraphBuilder`] — an ergonomic way to construct graphs (used by the model zoo),
+//! * shape inference ([`Graph::infer_shapes`]) — required by pre-inference, which
+//!   needs every intermediate extent before the first real inference runs,
+//! * topological ordering and structural validation.
+//!
+//! # Example
+//!
+//! ```
+//! use mnn_graph::{GraphBuilder, Conv2dAttrs, ActivationKind};
+//! use mnn_tensor::Shape;
+//!
+//! let mut b = GraphBuilder::new("tiny");
+//! let x = b.input("data", Shape::nchw(1, 3, 32, 32));
+//! let w = b.constant_random("conv_w", Shape::new(vec![8, 3, 3, 3]), 0.1);
+//! let conv = b.conv2d("conv", x, w, None, Conv2dAttrs::same_3x3(3, 8));
+//! let out = b.activation("relu", conv, ActivationKind::Relu);
+//! let graph = b.build(vec![out]);
+//! assert_eq!(graph.nodes().len(), 2); // constants are not nodes
+//! ```
+
+#![deny(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod ops;
+mod shape_infer;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Graph, Node, NodeId, TensorId, TensorInfo};
+pub use ops::{
+    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Op, PadKind, PoolAttrs, PoolKind,
+    SoftmaxAttrs,
+};

@@ -1,0 +1,445 @@
+//! Operator descriptions carried by graph nodes.
+
+use mnn_kernels::conv::{ConvParams, PadMode};
+use mnn_kernels::pool::{PoolMode, PoolParams};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Padding policy (serializable mirror of [`mnn_kernels::conv::PadMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PadKind {
+    /// Explicit symmetric padding.
+    #[default]
+    Explicit,
+    /// TensorFlow-style `SAME` padding.
+    Same,
+    /// No padding.
+    Valid,
+}
+
+impl From<PadKind> for PadMode {
+    fn from(value: PadKind) -> Self {
+        match value {
+            PadKind::Explicit => PadMode::Explicit,
+            PadKind::Same => PadMode::Same,
+            PadKind::Valid => PadMode::Valid,
+        }
+    }
+}
+
+/// Activation functions available as graph operators (and as fused epilogues).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ActivationKind {
+    /// Identity (no activation).
+    #[default]
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clipped at 6.
+    Relu6,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl ActivationKind {
+    /// Convert to the kernel-level activation descriptor.
+    pub fn to_kernel(self) -> mnn_kernels::activation::Activation {
+        use mnn_kernels::activation::Activation;
+        match self {
+            ActivationKind::None => Activation::None,
+            ActivationKind::Relu => Activation::Relu,
+            ActivationKind::Relu6 => Activation::Relu6,
+            ActivationKind::Sigmoid => Activation::Sigmoid,
+            ActivationKind::Tanh => Activation::Tanh,
+        }
+    }
+}
+
+/// Binary element-wise operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryKind {
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise multiplication.
+    Mul,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl BinaryKind {
+    /// Convert to the kernel-level binary operator.
+    pub fn to_kernel(self) -> mnn_kernels::elementwise::BinaryOp {
+        use mnn_kernels::elementwise::BinaryOp;
+        match self {
+            BinaryKind::Add => BinaryOp::Add,
+            BinaryKind::Sub => BinaryOp::Sub,
+            BinaryKind::Mul => BinaryOp::Mul,
+            BinaryKind::Max => BinaryOp::Max,
+        }
+    }
+}
+
+/// 2-D convolution attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dAttrs {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Kernel size `(kh, kw)`.
+    pub kernel: (usize, usize),
+    /// Stride `(sh, sw)`.
+    pub stride: (usize, usize),
+    /// Explicit padding `(ph, pw)`.
+    pub pad: (usize, usize),
+    /// Dilation `(dh, dw)`.
+    pub dilation: (usize, usize),
+    /// Group count (`in_channels` for a depthwise convolution).
+    pub groups: usize,
+    /// Padding policy.
+    pub pad_kind: PadKind,
+    /// Whether the node consumes a bias tensor.
+    pub has_bias: bool,
+}
+
+impl Conv2dAttrs {
+    /// A 3×3, stride-1 convolution with `SAME`-style explicit padding of 1.
+    pub fn same_3x3(in_channels: usize, out_channels: usize) -> Self {
+        Conv2dAttrs {
+            in_channels,
+            out_channels,
+            kernel: (3, 3),
+            stride: (1, 1),
+            pad: (1, 1),
+            dilation: (1, 1),
+            groups: 1,
+            pad_kind: PadKind::Explicit,
+            has_bias: false,
+        }
+    }
+
+    /// A 1×1 pointwise convolution.
+    pub fn pointwise(in_channels: usize, out_channels: usize) -> Self {
+        Conv2dAttrs {
+            kernel: (1, 1),
+            pad: (0, 0),
+            ..Conv2dAttrs::same_3x3(in_channels, out_channels)
+        }
+    }
+
+    /// A general square-kernel convolution.
+    pub fn square(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        Conv2dAttrs {
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            pad: (pad, pad),
+            ..Conv2dAttrs::same_3x3(in_channels, out_channels)
+        }
+    }
+
+    /// Depthwise 3×3 convolution with the given stride.
+    pub fn depthwise_3x3(channels: usize, stride: usize) -> Self {
+        Conv2dAttrs {
+            groups: channels,
+            stride: (stride, stride),
+            ..Conv2dAttrs::same_3x3(channels, channels)
+        }
+    }
+
+    /// Rectangular kernel (e.g. Inception-v3's 1×7 / 7×1 convolutions).
+    pub fn rect(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: (usize, usize),
+        pad: (usize, usize),
+    ) -> Self {
+        Conv2dAttrs {
+            kernel,
+            pad,
+            ..Conv2dAttrs::same_3x3(in_channels, out_channels)
+        }
+    }
+
+    /// Mark the convolution as consuming a bias input (builder style).
+    pub fn with_bias(mut self) -> Self {
+        self.has_bias = true;
+        self
+    }
+
+    /// Convert to the kernel-level parameter struct.
+    pub fn to_conv_params(&self) -> ConvParams {
+        ConvParams {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel_h: self.kernel.0,
+            kernel_w: self.kernel.1,
+            stride_h: self.stride.0,
+            stride_w: self.stride.1,
+            pad_h: self.pad.0,
+            pad_w: self.pad.1,
+            dilation_h: self.dilation.0,
+            dilation_w: self.dilation.1,
+            groups: self.groups,
+            pad_mode: self.pad_kind.into(),
+            has_bias: self.has_bias,
+        }
+    }
+}
+
+/// Pooling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Pooling attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolAttrs {
+    /// Pooling mode.
+    pub kind: PoolKind,
+    /// Window size `(kh, kw)`; ignored when `global` is set.
+    pub kernel: (usize, usize),
+    /// Stride `(sh, sw)`.
+    pub stride: (usize, usize),
+    /// Padding `(ph, pw)`.
+    pub pad: (usize, usize),
+    /// Global pooling over the whole spatial extent.
+    pub global: bool,
+}
+
+impl PoolAttrs {
+    /// Max pooling with a square window and stride equal to the window size.
+    pub fn max(kernel: usize, stride: usize) -> Self {
+        PoolAttrs {
+            kind: PoolKind::Max,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            pad: (0, 0),
+            global: false,
+        }
+    }
+
+    /// Average pooling with a square window.
+    pub fn avg(kernel: usize, stride: usize) -> Self {
+        PoolAttrs {
+            kind: PoolKind::Avg,
+            ..PoolAttrs::max(kernel, stride)
+        }
+    }
+
+    /// Global average pooling.
+    pub fn global_avg() -> Self {
+        PoolAttrs {
+            kind: PoolKind::Avg,
+            global: true,
+            ..PoolAttrs::max(1, 1)
+        }
+    }
+
+    /// Builder-style padding override.
+    pub fn with_pad(mut self, pad: usize) -> Self {
+        self.pad = (pad, pad);
+        self
+    }
+
+    /// Convert to the kernel-level parameter struct.
+    pub fn to_pool_params(&self) -> PoolParams {
+        PoolParams {
+            mode: match self.kind {
+                PoolKind::Max => PoolMode::Max,
+                PoolKind::Avg => PoolMode::Avg,
+            },
+            kernel_h: self.kernel.0,
+            kernel_w: self.kernel.1,
+            stride_h: self.stride.0,
+            stride_w: self.stride.1,
+            pad_h: self.pad.0,
+            pad_w: self.pad.1,
+            global: self.global,
+        }
+    }
+}
+
+/// Softmax attributes (axis length is resolved during shape inference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct SoftmaxAttrs {
+    /// Axis to normalize over; only the last axis (`-1`, stored as `usize::MAX`) and
+    /// the channel axis (1) are used by the zoo models.
+    pub axis: usize,
+}
+
+/// Flatten attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct FlattenAttrs {
+    /// First axis that gets flattened into the trailing dimension (1 keeps batch).
+    pub start_axis: usize,
+}
+
+/// A graph operator.
+///
+/// Tensor operands (weights, biases) are separate graph inputs referenced by the
+/// node's `inputs` list, so the enum only stores hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// 2-D convolution; inputs: `[data, weight]` or `[data, weight, bias]`.
+    Conv2d(Conv2dAttrs),
+    /// Convolution with a fused activation epilogue (produced by the graph optimizer).
+    Conv2dFused {
+        /// Convolution attributes.
+        attrs: Conv2dAttrs,
+        /// Fused activation applied to the convolution output.
+        activation: ActivationKind,
+    },
+    /// Spatial pooling; inputs: `[data]`.
+    Pool(PoolAttrs),
+    /// Stand-alone activation; inputs: `[data]`.
+    Activation(ActivationKind),
+    /// Binary element-wise operator; inputs: `[a, b]`.
+    Binary(BinaryKind),
+    /// Channel concatenation; inputs: `[a, b, ...]`.
+    Concat,
+    /// Inference-mode batch normalization; inputs: `[data, mean, var, gamma, beta]`.
+    BatchNorm {
+        /// Stabilizing epsilon.
+        epsilon: f32,
+    },
+    /// Per-channel affine transform; inputs: `[data, scale, shift]`.
+    Scale,
+    /// Fully-connected layer; inputs: `[data, weight]` or `[data, weight, bias]`.
+    FullyConnected {
+        /// Input feature count.
+        in_features: usize,
+        /// Output feature count.
+        out_features: usize,
+        /// Whether a bias input is present.
+        has_bias: bool,
+    },
+    /// Softmax; inputs: `[data]`.
+    Softmax(SoftmaxAttrs),
+    /// Flatten trailing axes; inputs: `[data]`.
+    Flatten(FlattenAttrs),
+    /// Reshape to an explicit shape; inputs: `[data]`.
+    Reshape {
+        /// Target dimensions (must preserve the element count).
+        shape: Vec<usize>,
+    },
+}
+
+impl Op {
+    /// Short operator name used in debug output and statistics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Conv2d(_) => "Conv2d",
+            Op::Conv2dFused { .. } => "Conv2dFused",
+            Op::Pool(_) => "Pool",
+            Op::Activation(_) => "Activation",
+            Op::Binary(_) => "Binary",
+            Op::Concat => "Concat",
+            Op::BatchNorm { .. } => "BatchNorm",
+            Op::Scale => "Scale",
+            Op::FullyConnected { .. } => "FullyConnected",
+            Op::Softmax(_) => "Softmax",
+            Op::Flatten(_) => "Flatten",
+            Op::Reshape { .. } => "Reshape",
+        }
+    }
+
+    /// Whether this operator is a (possibly fused) convolution.
+    pub fn is_conv(&self) -> bool {
+        matches!(self, Op::Conv2d(_) | Op::Conv2dFused { .. })
+    }
+
+    /// Convolution attributes, when this is a convolution.
+    pub fn conv_attrs(&self) -> Option<&Conv2dAttrs> {
+        match self {
+            Op::Conv2d(attrs) => Some(attrs),
+            Op::Conv2dFused { attrs, .. } => Some(attrs),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_attrs_convert_to_kernel_params() {
+        let attrs = Conv2dAttrs::square(16, 32, 3, 2, 1).with_bias();
+        let p = attrs.to_conv_params();
+        assert_eq!(p.in_channels, 16);
+        assert_eq!(p.out_channels, 32);
+        assert_eq!((p.kernel_h, p.kernel_w), (3, 3));
+        assert_eq!((p.stride_h, p.stride_w), (2, 2));
+        assert!(p.has_bias);
+    }
+
+    #[test]
+    fn depthwise_attrs_set_groups() {
+        let attrs = Conv2dAttrs::depthwise_3x3(64, 2);
+        assert_eq!(attrs.groups, 64);
+        assert!(attrs.to_conv_params().is_depthwise());
+    }
+
+    #[test]
+    fn rect_kernel_for_inception_factorized_conv() {
+        let attrs = Conv2dAttrs::rect(128, 128, (1, 7), (0, 3));
+        let p = attrs.to_conv_params();
+        assert_eq!((p.kernel_h, p.kernel_w), (1, 7));
+        assert_eq!((p.pad_h, p.pad_w), (0, 3));
+    }
+
+    #[test]
+    fn pool_attrs_convert() {
+        let p = PoolAttrs::max(3, 2).with_pad(1).to_pool_params();
+        assert_eq!(p.kernel_h, 3);
+        assert_eq!(p.stride_w, 2);
+        assert_eq!(p.pad_h, 1);
+        let g = PoolAttrs::global_avg().to_pool_params();
+        assert!(g.global);
+    }
+
+    #[test]
+    fn op_names_and_predicates() {
+        let conv = Op::Conv2d(Conv2dAttrs::same_3x3(3, 8));
+        assert_eq!(conv.name(), "Conv2d");
+        assert!(conv.is_conv());
+        assert!(conv.conv_attrs().is_some());
+        assert!(!Op::Concat.is_conv());
+        assert_eq!(Op::Concat.to_string(), "Concat");
+    }
+
+    #[test]
+    fn ops_serialize_roundtrip() {
+        let ops = vec![
+            Op::Conv2d(Conv2dAttrs::pointwise(8, 16)),
+            Op::Pool(PoolAttrs::global_avg()),
+            Op::Activation(ActivationKind::Relu6),
+            Op::Binary(BinaryKind::Add),
+            Op::Softmax(SoftmaxAttrs { axis: 1 }),
+        ];
+        let json = serde_json::to_string(&ops).unwrap();
+        let back: Vec<Op> = serde_json::from_str(&json).unwrap();
+        assert_eq!(ops, back);
+    }
+
+    #[test]
+    fn activation_kind_maps_to_kernel() {
+        use mnn_kernels::activation::Activation;
+        assert_eq!(ActivationKind::Relu.to_kernel(), Activation::Relu);
+        assert_eq!(ActivationKind::None.to_kernel(), Activation::None);
+    }
+}

@@ -1,0 +1,220 @@
+//! Static shape inference.
+//!
+//! Pre-inference (paper Section 3.2) relies on the fact that input sizes are fixed:
+//! once the graph input shapes are known, every intermediate extent — and therefore
+//! every buffer size and every operator's arithmetic cost — can be derived before the
+//! first real inference. This module performs that propagation.
+
+use crate::{Graph, GraphError, Op};
+use mnn_tensor::Shape;
+
+impl Graph {
+    /// Infer and record the shape of every value slot, walking nodes in topological
+    /// order. Graph inputs and constants must already carry shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ShapeInference`] when an input shape is missing or an
+    /// operator receives an incompatible shape, and propagates ordering errors.
+    pub fn infer_shapes(&mut self) -> Result<(), GraphError> {
+        let order = self.topological_order()?;
+        for node_id in order {
+            let node = self.node(node_id)?.clone();
+            let out_shape = self.infer_node_shape(&node)?;
+            let out_id = node.outputs[0];
+            self.tensor_info_mut(out_id)?.shape = Some(out_shape);
+        }
+        Ok(())
+    }
+
+    fn input_shape(&self, node_name: &str, id: crate::TensorId) -> Result<Shape, GraphError> {
+        self.tensor_info(id)?
+            .shape
+            .clone()
+            .ok_or_else(|| GraphError::ShapeInference {
+                node: node_name.to_string(),
+                reason: format!("input slot {id} has no shape"),
+            })
+    }
+
+    fn infer_node_shape(&self, node: &crate::Node) -> Result<Shape, GraphError> {
+        let err = |reason: String| GraphError::ShapeInference {
+            node: node.name.clone(),
+            reason,
+        };
+        match &node.op {
+            Op::Conv2d(attrs) | Op::Conv2dFused { attrs, .. } => {
+                let input = self.input_shape(&node.name, node.inputs[0])?;
+                if !input.is_4d() {
+                    return Err(err(format!("convolution input must be 4-D, got {input}")));
+                }
+                if input.channels() != attrs.in_channels {
+                    return Err(err(format!(
+                        "expected {} input channels, got {}",
+                        attrs.in_channels,
+                        input.channels()
+                    )));
+                }
+                let params = attrs.to_conv_params();
+                let (oh, ow) = params.output_size(input.height(), input.width());
+                Ok(Shape::nchw(input.batch(), attrs.out_channels, oh, ow))
+            }
+            Op::Pool(attrs) => {
+                let input = self.input_shape(&node.name, node.inputs[0])?;
+                if !input.is_4d() {
+                    return Err(err(format!("pool input must be 4-D, got {input}")));
+                }
+                let params = attrs.to_pool_params();
+                let (oh, ow) = params.output_size(input.height(), input.width());
+                Ok(Shape::nchw(input.batch(), input.channels(), oh, ow))
+            }
+            Op::Activation(_) | Op::Softmax(_) => self.input_shape(&node.name, node.inputs[0]),
+            Op::BatchNorm { .. } | Op::Scale => self.input_shape(&node.name, node.inputs[0]),
+            Op::Binary(_) => {
+                let a = self.input_shape(&node.name, node.inputs[0])?;
+                let b = self.input_shape(&node.name, node.inputs[1])?;
+                if a != b {
+                    return Err(err(format!("binary operands differ: {a} vs {b}")));
+                }
+                Ok(a)
+            }
+            Op::Concat => {
+                let first = self.input_shape(&node.name, node.inputs[0])?;
+                if !first.is_4d() {
+                    return Err(err("concat inputs must be 4-D".into()));
+                }
+                let mut channels = 0usize;
+                for id in &node.inputs {
+                    let s = self.input_shape(&node.name, *id)?;
+                    if s.batch() != first.batch()
+                        || s.height() != first.height()
+                        || s.width() != first.width()
+                    {
+                        return Err(err(format!("concat input {s} incompatible with {first}")));
+                    }
+                    channels += s.channels();
+                }
+                Ok(Shape::nchw(first.batch(), channels, first.height(), first.width()))
+            }
+            Op::FullyConnected {
+                in_features,
+                out_features,
+                ..
+            } => {
+                let input = self.input_shape(&node.name, node.inputs[0])?;
+                let batch = input.dims()[0];
+                let flat: usize = input.dims()[1..].iter().product();
+                if flat != *in_features {
+                    return Err(err(format!(
+                        "fully-connected expects {in_features} input features, got {flat}"
+                    )));
+                }
+                Ok(Shape::matrix(batch, *out_features))
+            }
+            Op::Flatten(attrs) => {
+                let input = self.input_shape(&node.name, node.inputs[0])?;
+                let axis = attrs.start_axis.min(input.rank());
+                let kept: Vec<usize> = input.dims()[..axis].to_vec();
+                let flattened: usize = input.dims()[axis..].iter().product();
+                let mut dims = kept;
+                dims.push(flattened);
+                Ok(Shape::new(dims))
+            }
+            Op::Reshape { shape } => {
+                let input = self.input_shape(&node.name, node.inputs[0])?;
+                let target = Shape::new(shape.clone());
+                if target.num_elements() != input.num_elements() {
+                    return Err(err(format!(
+                        "reshape from {input} to {target} changes element count"
+                    )));
+                }
+                Ok(target)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{ActivationKind, Conv2dAttrs, FlattenAttrs, PoolAttrs};
+    use crate::GraphBuilder;
+    use mnn_tensor::Shape;
+
+    #[test]
+    fn infers_shapes_through_conv_pool_fc() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.input("x", Shape::nchw(1, 3, 32, 32));
+        let w = b.constant_random("w", Shape::new(vec![8, 3, 3, 3]), 0.1);
+        let c = b.conv2d("conv", x, w, None, Conv2dAttrs::square(3, 8, 3, 2, 1));
+        let p = b.pool("pool", c, PoolAttrs::max(2, 2));
+        let f = b.flatten("flat", p, FlattenAttrs { start_axis: 1 });
+        let fcw = b.constant_random("fcw", Shape::matrix(10, 8 * 8 * 8), 0.1);
+        let y = b.fully_connected("fc", f, fcw, None, 8 * 8 * 8, 10);
+        let mut g = b.build(vec![y]);
+        g.infer_shapes().unwrap();
+
+        let conv_shape = g.tensor_info(c).unwrap().shape.clone().unwrap();
+        assert_eq!(conv_shape, Shape::nchw(1, 8, 16, 16));
+        let pool_shape = g.tensor_info(p).unwrap().shape.clone().unwrap();
+        assert_eq!(pool_shape, Shape::nchw(1, 8, 8, 8));
+        let out_shape = g.tensor_info(y).unwrap().shape.clone().unwrap();
+        assert_eq!(out_shape, Shape::matrix(1, 10));
+    }
+
+    #[test]
+    fn concat_adds_channels() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.input("x", Shape::nchw(1, 4, 8, 8));
+        let a = b.activation("a", x, ActivationKind::Relu);
+        let c = b.activation("b", x, ActivationKind::Sigmoid);
+        let cat = b.concat("cat", vec![a, c]);
+        let mut g = b.build(vec![cat]);
+        g.infer_shapes().unwrap();
+        assert_eq!(
+            g.tensor_info(cat).unwrap().shape.clone().unwrap(),
+            Shape::nchw(1, 8, 8, 8)
+        );
+    }
+
+    #[test]
+    fn channel_mismatch_is_reported() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.input("x", Shape::nchw(1, 3, 8, 8));
+        let w = b.constant_random("w", Shape::new(vec![8, 16, 3, 3]), 0.1);
+        // attrs claim 16 input channels but the data has 3
+        let y = b.conv2d("conv", x, w, None, Conv2dAttrs::same_3x3(16, 8));
+        let mut g = b.build(vec![y]);
+        let result = g.infer_shapes();
+        assert!(matches!(result, Err(GraphError::ShapeInference { .. })));
+    }
+
+    #[test]
+    fn binary_requires_matching_shapes() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.input("x", Shape::nchw(1, 3, 8, 8));
+        let y = b.input("y", Shape::nchw(1, 3, 4, 4));
+        let z = b.binary("add", x, y, crate::BinaryKind::Add);
+        let mut g = b.build(vec![z]);
+        assert!(g.infer_shapes().is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_element_count() {
+        let mut b = GraphBuilder::new("net");
+        let x = b.input("x", Shape::nchw(1, 3, 4, 4));
+        let r = b.reshape("reshape", x, vec![1, 48]);
+        let mut g = b.build(vec![r]);
+        g.infer_shapes().unwrap();
+        assert_eq!(
+            g.tensor_info(r).unwrap().shape.clone().unwrap(),
+            Shape::new(vec![1, 48])
+        );
+
+        let mut b = GraphBuilder::new("bad");
+        let x = b.input("x", Shape::nchw(1, 3, 4, 4));
+        let r = b.reshape("reshape", x, vec![1, 49]);
+        let mut g = b.build(vec![r]);
+        assert!(g.infer_shapes().is_err());
+    }
+}

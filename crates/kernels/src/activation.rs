@@ -1,0 +1,193 @@
+//! Element-wise activation kernels and softmax.
+
+/// Rectified linear unit, in place: `x = max(x, 0)`.
+pub fn relu_inplace(data: &mut [f32]) {
+    for v in data {
+        *v = v.max(0.0);
+    }
+}
+
+/// ReLU6, in place: `x = min(max(x, 0), 6)` — used by MobileNet-v2.
+pub fn relu6_inplace(data: &mut [f32]) {
+    for v in data {
+        *v = v.clamp(0.0, 6.0);
+    }
+}
+
+/// Leaky/parametric ReLU, in place: negative inputs are multiplied by `slope`.
+pub fn prelu_inplace(data: &mut [f32], slope: f32) {
+    for v in data {
+        if *v < 0.0 {
+            *v *= slope;
+        }
+    }
+}
+
+/// Logistic sigmoid, in place.
+pub fn sigmoid_inplace(data: &mut [f32]) {
+    for v in data {
+        *v = 1.0 / (1.0 + (-*v).exp());
+    }
+}
+
+/// Hyperbolic tangent, in place.
+pub fn tanh_inplace(data: &mut [f32]) {
+    for v in data {
+        *v = v.tanh();
+    }
+}
+
+/// Numerically-stable softmax over contiguous rows of length `axis_len`, in place.
+///
+/// The buffer is interpreted as `[rows, axis_len]` row-major.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `axis_len` or `axis_len == 0`.
+pub fn softmax_inplace(data: &mut [f32], axis_len: usize) {
+    assert!(axis_len > 0, "softmax axis length must be positive");
+    assert_eq!(
+        data.len() % axis_len,
+        0,
+        "buffer length must be a multiple of the softmax axis length"
+    );
+    for row in data.chunks_mut(axis_len) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// The activation applied (possibly fused) after an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Activation {
+    /// No activation.
+    #[default]
+    None,
+    /// `max(x, 0)`.
+    Relu,
+    /// `min(max(x, 0), 6)`.
+    Relu6,
+    /// Sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(f32),
+}
+
+impl Activation {
+    /// Apply this activation to `data` in place.
+    pub fn apply(self, data: &mut [f32]) {
+        match self {
+            Activation::None => {}
+            Activation::Relu => relu_inplace(data),
+            Activation::Relu6 => relu6_inplace(data),
+            Activation::Sigmoid => sigmoid_inplace(data),
+            Activation::Tanh => tanh_inplace(data),
+            Activation::LeakyRelu(slope) => prelu_inplace(data, slope),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut d = vec![-1.0, 0.0, 2.5];
+        relu_inplace(&mut d);
+        assert_eq!(d, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn relu6_clamps_both_sides() {
+        let mut d = vec![-1.0, 3.0, 9.0];
+        relu6_inplace(&mut d);
+        assert_eq!(d, vec![0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn prelu_scales_negatives_only() {
+        let mut d = vec![-2.0, 4.0];
+        prelu_inplace(&mut d, 0.5);
+        assert_eq!(d, vec![-1.0, 4.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotonic() {
+        let mut d = vec![-10.0, -1.0, 0.0, 1.0, 10.0];
+        sigmoid_inplace(&mut d);
+        assert!((d[2] - 0.5).abs() < 1e-6);
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+        assert!(d.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut d = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_inplace(&mut d, 3);
+        let s1: f32 = d[..3].iter().sum();
+        let s2: f32 = d[3..].iter().sum();
+        assert!((s1 - 1.0).abs() < 1e-5);
+        assert!((s2 - 1.0).abs() < 1e-5);
+        // larger logit -> larger probability
+        assert!(d[2] > d[1] && d[1] > d[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![101.0, 102.0, 103.0];
+        softmax_inplace(&mut a, 3);
+        softmax_inplace(&mut b, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn activation_enum_dispatch() {
+        let mut d = vec![-1.0f32, 1.0];
+        Activation::Relu.apply(&mut d);
+        assert_eq!(d, vec![0.0, 1.0]);
+        let mut d = vec![-1.0f32, 1.0];
+        Activation::None.apply(&mut d);
+        assert_eq!(d, vec![-1.0, 1.0]);
+        let mut d = vec![-2.0f32];
+        Activation::LeakyRelu(0.1).apply(&mut d);
+        assert!((d[0] + 0.2).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_softmax_outputs_are_probabilities(
+            values in proptest::collection::vec(-50.0f32..50.0, 1..64)
+        ) {
+            let len = values.len();
+            let mut data = values;
+            softmax_inplace(&mut data, len);
+            let sum: f32 = data.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        #[test]
+        fn prop_relu_idempotent(values in proptest::collection::vec(-10.0f32..10.0, 1..64)) {
+            let mut once = values.clone();
+            relu_inplace(&mut once);
+            let mut twice = once.clone();
+            relu_inplace(&mut twice);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Normalization kernels: batch normalization (inference mode) and channel scale.
+
+/// Inference-time batch normalization over an NCHW buffer, in place:
+///
+/// ```text
+/// y = gamma * (x - mean) / sqrt(var + eps) + beta
+/// ```
+///
+/// All per-channel parameter slices have `channels` entries.
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_norm_inplace(
+    data: &mut [f32],
+    batch: usize,
+    channels: usize,
+    plane: usize,
+    mean: &[f32],
+    variance: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    epsilon: f32,
+) {
+    assert_eq!(data.len(), batch * channels * plane, "data length mismatch");
+    assert_eq!(mean.len(), channels, "mean length mismatch");
+    assert_eq!(variance.len(), channels, "variance length mismatch");
+    assert_eq!(gamma.len(), channels, "gamma length mismatch");
+    assert_eq!(beta.len(), channels, "beta length mismatch");
+    for b in 0..batch {
+        for c in 0..channels {
+            let scale = gamma[c] / (variance[c] + epsilon).sqrt();
+            let shift = beta[c] - mean[c] * scale;
+            let start = (b * channels + c) * plane;
+            for v in &mut data[start..start + plane] {
+                *v = *v * scale + shift;
+            }
+        }
+    }
+}
+
+/// Fold batch-norm parameters into an equivalent per-channel `(scale, shift)` pair,
+/// the transformation used by the offline Conv+BN fusion pass.
+pub fn batch_norm_to_scale_shift(
+    mean: &[f32],
+    variance: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    epsilon: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    let scale: Vec<f32> = gamma
+        .iter()
+        .zip(variance)
+        .map(|(&g, &v)| g / (v + epsilon).sqrt())
+        .collect();
+    let shift: Vec<f32> = beta
+        .iter()
+        .zip(mean)
+        .zip(&scale)
+        .map(|((&b, &m), &s)| b - m * s)
+        .collect();
+    (scale, shift)
+}
+
+/// Per-channel affine transform over an NCHW buffer, in place: `y = x * scale + shift`.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent.
+pub fn scale_inplace(
+    data: &mut [f32],
+    batch: usize,
+    channels: usize,
+    plane: usize,
+    scale: &[f32],
+    shift: &[f32],
+) {
+    assert_eq!(data.len(), batch * channels * plane, "data length mismatch");
+    assert_eq!(scale.len(), channels, "scale length mismatch");
+    assert_eq!(shift.len(), channels, "shift length mismatch");
+    for b in 0..batch {
+        for c in 0..channels {
+            let (s, sh) = (scale[c], shift[c]);
+            let start = (b * channels + c) * plane;
+            for v in &mut data[start..start + plane] {
+                *v = *v * s + sh;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn batch_norm_normalizes_constant_channel() {
+        // channel filled with its mean -> output is beta
+        let mut data = vec![3.0; 4];
+        batch_norm_inplace(&mut data, 1, 1, 4, &[3.0], &[1.0], &[2.0], &[0.5], 1e-5);
+        assert!(data.iter().all(|&v| (v - 0.5).abs() < 1e-4));
+    }
+
+    #[test]
+    fn batch_norm_matches_direct_formula() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (c, plane) = (3usize, 5usize);
+        let data: Vec<f32> = (0..c * plane).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mean: Vec<f32> = (0..c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let var: Vec<f32> = (0..c).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let gamma: Vec<f32> = (0..c).map(|_| rng.gen_range(0.5..1.5)).collect();
+        let beta: Vec<f32> = (0..c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut got = data.clone();
+        batch_norm_inplace(&mut got, 1, c, plane, &mean, &var, &gamma, &beta, 1e-5);
+        for ci in 0..c {
+            for p in 0..plane {
+                let x = data[ci * plane + p];
+                let expected = gamma[ci] * (x - mean[ci]) / (var[ci] + 1e-5).sqrt() + beta[ci];
+                assert!((got[ci * plane + p] - expected).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_shift_fold_is_equivalent_to_batch_norm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (c, plane) = (4usize, 6usize);
+        let data: Vec<f32> = (0..c * plane).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mean: Vec<f32> = (0..c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let var: Vec<f32> = (0..c).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let gamma: Vec<f32> = (0..c).map(|_| rng.gen_range(0.5..1.5)).collect();
+        let beta: Vec<f32> = (0..c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+        let mut via_bn = data.clone();
+        batch_norm_inplace(&mut via_bn, 1, c, plane, &mean, &var, &gamma, &beta, 1e-5);
+
+        let (scale, shift) = batch_norm_to_scale_shift(&mean, &var, &gamma, &beta, 1e-5);
+        let mut via_scale = data;
+        scale_inplace(&mut via_scale, 1, c, plane, &scale, &shift);
+
+        for (a, b) in via_bn.iter().zip(&via_scale) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn identity_scale_is_noop() {
+        let mut data = vec![1.0, -2.0, 3.0, 4.0];
+        let orig = data.clone();
+        scale_inplace(&mut data, 1, 2, 2, &[1.0, 1.0], &[0.0, 0.0]);
+        assert_eq!(data, orig);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bn_then_inverse_is_identity(
+            plane in 1usize..16, seed in 0u64..200
+        ) {
+            // applying BN with gamma = sqrt(var), beta = mean recovers the input
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<f32> = (0..plane).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+            let mean = rng.gen_range(-2.0f32..2.0);
+            let var = rng.gen_range(0.5f32..2.0);
+            let mut out = data.clone();
+            batch_norm_inplace(&mut out, 1, 1, plane, &[mean], &[var], &[(var + 1e-9).sqrt()], &[mean], 1e-9);
+            for (a, b) in data.iter().zip(&out) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Minimal scoped-thread parallelism helpers.
+//!
+//! MNN's kernels use multi-threading as one of the "schedule" optimizations
+//! (Section 3.3). We deliberately avoid a heavyweight runtime: a scoped
+//! `std::thread` fan-out over contiguous index ranges is enough for the data-parallel
+//! loops in GEMM, Winograd tiling and convolution, and keeps the engine lightweight
+//! (one of the paper's stated goals).
+
+/// Split `count` items into at most `threads` contiguous chunks and run `body` on
+/// each chunk, in parallel when `threads > 1`.
+///
+/// `body` receives the half-open range `[start, end)` it is responsible for. The
+/// function blocks until all chunks complete. When `threads <= 1` or `count` is
+/// small the body is run inline on the calling thread, avoiding spawn overhead.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let total = AtomicUsize::new(0);
+/// mnn_kernels::parallel::parallel_for(4, 1000, |start, end| {
+///     total.fetch_add(end - start, Ordering::Relaxed);
+/// });
+/// assert_eq!(total.load(Ordering::Relaxed), 1000);
+/// ```
+pub fn parallel_for<F>(threads: usize, count: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if count == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(count);
+    if threads == 1 {
+        body(0, count);
+        return;
+    }
+    let chunk = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(count);
+            if start >= end {
+                break;
+            }
+            let body = &body;
+            scope.spawn(move || body(start, end));
+        }
+    });
+}
+
+/// Like [`parallel_for`], but hands each worker a disjoint mutable slice of `data`
+/// split along the first axis in chunks of `stride` elements.
+///
+/// This is the pattern used by kernels that write disjoint output rows/blocks
+/// concurrently (e.g. one output row of a GEMM per task).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `stride`.
+pub fn parallel_chunks_mut<T, F>(threads: usize, data: &mut [T], stride: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert_eq!(
+        data.len() % stride,
+        0,
+        "data length must be a multiple of stride"
+    );
+    let count = data.len() / stride;
+    if count == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(count);
+    if threads == 1 {
+        body(0, data);
+        return;
+    }
+    let per_thread_rows = count.div_ceil(threads);
+    let per_thread_elems = per_thread_rows * stride;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut row = 0usize;
+        while !rest.is_empty() {
+            let take = per_thread_elems.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let body = &body;
+            let start_row = row;
+            scope.spawn(move || body(start_row, head));
+            row += take / stride;
+            rest = tail;
+        }
+    });
+}
+
+/// Number of worker threads to use by default: the number of available CPUs, capped
+/// at 4 to mirror the mobile-CPU settings used throughout the paper's evaluation
+/// (2- and 4-thread configurations).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        for threads in [1, 2, 3, 7] {
+            for count in [0, 1, 5, 64, 1001] {
+                let hits = (0..count).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+                parallel_for(threads, count, |s, e| {
+                    for i in s..e {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint_rows() {
+        let mut data = vec![0usize; 12 * 3];
+        parallel_chunks_mut(4, &mut data, 3, |start_row, rows| {
+            for (i, chunk) in rows.chunks_mut(3).enumerate() {
+                for v in chunk.iter_mut() {
+                    *v = start_row + i;
+                }
+            }
+        });
+        for (row, chunk) in data.chunks(3).enumerate() {
+            assert!(chunk.iter().all(|&v| v == row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of stride")]
+    fn chunks_mut_rejects_misaligned_data() {
+        let mut data = vec![0u8; 10];
+        parallel_chunks_mut(2, &mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let t = default_threads();
+        assert!(t >= 1);
+        assert!(t <= 4);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let touched = AtomicUsize::new(0);
+        parallel_for(1, 10, |s, e| {
+            assert_eq!((s, e), (0, 10));
+            touched.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(touched.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Symmetric int8 quantization and quantized compute kernels.
+//!
+//! The offline converter (paper Fig. 2, "model compressor") can quantize weights to
+//! int8; these kernels provide the quantize/dequantize transforms and an int8 GEMM /
+//! convolution path that accumulates in `i32` and rescales back to `f32`.
+
+use crate::conv::ConvParams;
+
+/// Quantization parameters for a symmetric int8 scheme: `real = scale * quantized`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Scale factor mapping int8 values back to reals.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Derive the symmetric scale covering `[-max_abs, max_abs]` over the int8 range.
+    ///
+    /// A zero `max_abs` (all-zero tensor) yields scale 1.0 so dequantization is a
+    /// no-op.
+    pub fn from_max_abs(max_abs: f32) -> Self {
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        QuantParams { scale }
+    }
+
+    /// Derive quantization parameters from the data itself.
+    pub fn from_data(data: &[f32]) -> Self {
+        let max_abs = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        Self::from_max_abs(max_abs)
+    }
+}
+
+/// Quantize an `f32` buffer to int8 with the given parameters.
+pub fn quantize(data: &[f32], params: QuantParams) -> Vec<i8> {
+    data.iter()
+        .map(|&v| (v / params.scale).round().clamp(-127.0, 127.0) as i8)
+        .collect()
+}
+
+/// Dequantize an int8 buffer back to `f32`.
+pub fn dequantize(data: &[i8], params: QuantParams) -> Vec<f32> {
+    data.iter().map(|&v| v as f32 * params.scale).collect()
+}
+
+/// Worst-case absolute quantization error for the given parameters (half a step).
+pub fn quantization_error_bound(params: QuantParams) -> f32 {
+    params.scale * 0.5
+}
+
+/// Int8 GEMM with i32 accumulation: `c_f32 = (a_i8 × b_i8) * a_scale * b_scale`.
+///
+/// `a` is `[m, k]`, `b` is `[k, n]`, result is `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_i8(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    a_params: QuantParams,
+    b: &[i8],
+    b_params: QuantParams,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A length mismatch");
+    assert_eq!(b.len(), k * n, "B length mismatch");
+    let rescale = a_params.scale * b_params.scale;
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p] as i32;
+            if av == 0 {
+                continue;
+            }
+            for j in 0..n {
+                // accumulate in i32 per the standard int8 inference recipe
+                let prod = av * b[p * n + j] as i32;
+                c[i * n + j] += prod as f32 * rescale;
+            }
+        }
+    }
+    c
+}
+
+/// Quantized convolution: weights are int8 (per-tensor symmetric), activations are
+/// quantized on the fly, accumulation is exact in `i32`, output is rescaled to f32.
+///
+/// Layout conventions match [`crate::conv::conv2d_reference`].
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the parameters or `groups != 1`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_quantized(
+    params: &ConvParams,
+    batch: usize,
+    in_h: usize,
+    in_w: usize,
+    input: &[f32],
+    weight_q: &[i8],
+    weight_params: QuantParams,
+    bias: &[f32],
+) -> Vec<f32> {
+    assert_eq!(params.groups, 1, "quantized conv requires groups == 1");
+    assert_eq!(
+        input.len(),
+        batch * params.in_channels * in_h * in_w,
+        "input length mismatch"
+    );
+    assert_eq!(weight_q.len(), params.weight_len(), "weight length mismatch");
+    let input_params = QuantParams::from_data(input);
+    let input_q = quantize(input, input_params);
+    let (out_h, out_w) = params.output_size(in_h, in_w);
+    let (pad_h, pad_w) = params.resolve_padding(in_h, in_w);
+    let rescale = input_params.scale * weight_params.scale;
+    let mut output = vec![0.0f32; batch * params.out_channels * out_h * out_w];
+
+    for b in 0..batch {
+        for oc in 0..params.out_channels {
+            let bias_v = if params.has_bias { bias[oc] } else { 0.0 };
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut acc: i32 = 0;
+                    for ic in 0..params.in_channels {
+                        for ky in 0..params.kernel_h {
+                            let iy = (oy * params.stride_h + ky * params.dilation_h) as isize
+                                - pad_h as isize;
+                            if iy < 0 || iy >= in_h as isize {
+                                continue;
+                            }
+                            for kx in 0..params.kernel_w {
+                                let ix = (ox * params.stride_w + kx * params.dilation_w) as isize
+                                    - pad_w as isize;
+                                if ix < 0 || ix >= in_w as isize {
+                                    continue;
+                                }
+                                let in_idx = ((b * params.in_channels + ic) * in_h + iy as usize)
+                                    * in_w
+                                    + ix as usize;
+                                let w_idx = ((oc * params.in_channels + ic) * params.kernel_h
+                                    + ky)
+                                    * params.kernel_w
+                                    + kx;
+                                acc += input_q[in_idx] as i32 * weight_q[w_idx] as i32;
+                            }
+                        }
+                    }
+                    let out_idx = ((b * params.out_channels + oc) * out_h + oy) * out_w + ox;
+                    output[out_idx] = acc as f32 * rescale + bias_v;
+                }
+            }
+        }
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d_reference;
+    use crate::gemm::gemm_naive;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn quantize_dequantize_roundtrip_error_is_bounded() {
+        let data = vec![-1.0, -0.5, 0.0, 0.25, 0.9, 1.0];
+        let params = QuantParams::from_data(&data);
+        let q = quantize(&data, params);
+        let back = dequantize(&q, params);
+        let bound = quantization_error_bound(params);
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= bound + 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let data = vec![0.0; 8];
+        let params = QuantParams::from_data(&data);
+        assert_eq!(params.scale, 1.0);
+        assert!(quantize(&data, params).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn extreme_values_map_to_127() {
+        let data = vec![-2.0, 2.0];
+        let params = QuantParams::from_data(&data);
+        let q = quantize(&data, params);
+        assert_eq!(q, vec![-127, 127]);
+    }
+
+    #[test]
+    fn int8_gemm_approximates_float_gemm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (m, k, n) = (4usize, 8usize, 5usize);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ap = QuantParams::from_data(&a);
+        let bp = QuantParams::from_data(&b);
+        let aq = quantize(&a, ap);
+        let bq = quantize(&b, bp);
+        let got = gemm_i8(m, k, n, &aq, ap, &bq, bp);
+        let mut expected = vec![0.0f32; m * n];
+        gemm_naive(m, k, n, &a, &b, &mut expected);
+        // error grows with k; the bound below is loose but catches systematic bugs
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 0.1, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn quantized_conv_tracks_float_conv() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = ConvParams::square(3, 4, 3, 1);
+        p.has_bias = true;
+        let size = 8;
+        let input: Vec<f32> = (0..3 * size * size).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let weight: Vec<f32> = (0..p.weight_len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let bias: Vec<f32> = (0..4).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let expected = conv2d_reference(&p, 1, size, size, &input, &weight, &bias);
+        let wp = QuantParams::from_data(&weight);
+        let wq = quantize(&weight, wp);
+        let got = conv2d_quantized(&p, 1, size, size, &input, &wq, wp, &bias);
+        let mean_abs_err: f32 =
+            got.iter().zip(&expected).map(|(a, b)| (a - b).abs()).sum::<f32>() / got.len() as f32;
+        assert!(mean_abs_err < 0.05, "mean abs error {mean_abs_err}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_error_within_half_step(
+            values in proptest::collection::vec(-100.0f32..100.0, 1..64)
+        ) {
+            let params = QuantParams::from_data(&values);
+            let q = quantize(&values, params);
+            let back = dequantize(&q, params);
+            let bound = quantization_error_bound(params) + 1e-4;
+            for (a, b) in values.iter().zip(&back) {
+                prop_assert!((a - b).abs() <= bound);
+            }
+        }
+
+        #[test]
+        fn prop_quantized_values_in_range(
+            values in proptest::collection::vec(-1000.0f32..1000.0, 1..64)
+        ) {
+            let params = QuantParams::from_data(&values);
+            let q = quantize(&values, params);
+            prop_assert!(q.iter().all(|&v| (-127..=127).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Inception-v3 graph builder (Szegedy et al., 2015).
+//!
+//! Inception-v3 matters to the paper beyond being a benchmark network: its
+//! factorized 1×7 / 7×1 convolutions are exactly the operators NCNN's case-by-case
+//! optimization leaves uncovered, producing the bottleneck of Fig. 8. The builder
+//! below follows the standard v3 topology (stem, 3×A, reduction-A, 4×B with the
+//! factorized convolutions, reduction-B, 2×C, classifier).
+
+use crate::NUM_CLASSES;
+use mnn_graph::{
+    ActivationKind, Conv2dAttrs, FlattenAttrs, Graph, GraphBuilder, PoolAttrs, TensorId,
+};
+use mnn_tensor::Shape;
+
+/// Convolution + batch-norm + ReLU, the basic Inception unit.
+fn conv_bn_relu(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    attrs: Conv2dAttrs,
+) -> TensorId {
+    let out_channels = attrs.out_channels;
+    let y = b.conv2d_auto(name, input, attrs, false);
+    let y = b.batch_norm_auto(&format!("{name}_bn"), y, out_channels);
+    b.activation(&format!("{name}_relu"), y, ActivationKind::Relu)
+}
+
+/// Inception-A block: 1×1, 5×5, double-3×3 and pooled branches.
+fn inception_a(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    in_ch: usize,
+    pool_proj: usize,
+) -> (TensorId, usize) {
+    let b1 = conv_bn_relu(b, &format!("{name}_b1_1x1"), input, Conv2dAttrs::pointwise(in_ch, 64));
+
+    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, 48));
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_5x5"),
+        b2,
+        Conv2dAttrs::square(48, 64, 5, 1, 2),
+    );
+
+    let b3 = conv_bn_relu(b, &format!("{name}_b3_1x1"), input, Conv2dAttrs::pointwise(in_ch, 64));
+    let b3 = conv_bn_relu(b, &format!("{name}_b3_3x3a"), b3, Conv2dAttrs::same_3x3(64, 96));
+    let b3 = conv_bn_relu(b, &format!("{name}_b3_3x3b"), b3, Conv2dAttrs::same_3x3(96, 96));
+
+    let b4 = b.pool(&format!("{name}_b4_pool"), input, PoolAttrs::avg(3, 1).with_pad(1));
+    let b4 = conv_bn_relu(
+        b,
+        &format!("{name}_b4_proj"),
+        b4,
+        Conv2dAttrs::pointwise(in_ch, pool_proj),
+    );
+
+    let out = b.concat(&format!("{name}_concat"), vec![b1, b2, b3, b4]);
+    (out, 64 + 64 + 96 + pool_proj)
+}
+
+/// Reduction-A block: strided 3×3 branches plus max pooling.
+fn reduction_a(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    in_ch: usize,
+) -> (TensorId, usize) {
+    let b1 = conv_bn_relu(
+        b,
+        &format!("{name}_b1_3x3"),
+        input,
+        Conv2dAttrs::square(in_ch, 384, 3, 2, 0),
+    );
+    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, 64));
+    let b2 = conv_bn_relu(b, &format!("{name}_b2_3x3a"), b2, Conv2dAttrs::same_3x3(64, 96));
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_3x3b"),
+        b2,
+        Conv2dAttrs::square(96, 96, 3, 2, 0),
+    );
+    let b3 = b.pool(&format!("{name}_b3_pool"), input, PoolAttrs::max(3, 2));
+    let out = b.concat(&format!("{name}_concat"), vec![b1, b2, b3]);
+    (out, 384 + 96 + in_ch)
+}
+
+/// Inception-B block with the 1×7 / 7×1 factorized convolutions of Fig. 8.
+fn inception_b(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    in_ch: usize,
+    ch7: usize,
+) -> (TensorId, usize) {
+    let b1 = conv_bn_relu(b, &format!("{name}_b1_1x1"), input, Conv2dAttrs::pointwise(in_ch, 192));
+
+    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, ch7));
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_1x7"),
+        b2,
+        Conv2dAttrs::rect(ch7, ch7, (1, 7), (0, 3)),
+    );
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_7x1"),
+        b2,
+        Conv2dAttrs::rect(ch7, 192, (7, 1), (3, 0)),
+    );
+
+    let b3 = conv_bn_relu(b, &format!("{name}_b3_1x1"), input, Conv2dAttrs::pointwise(in_ch, ch7));
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_7x1a"),
+        b3,
+        Conv2dAttrs::rect(ch7, ch7, (7, 1), (3, 0)),
+    );
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_1x7a"),
+        b3,
+        Conv2dAttrs::rect(ch7, ch7, (1, 7), (0, 3)),
+    );
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_7x1b"),
+        b3,
+        Conv2dAttrs::rect(ch7, ch7, (7, 1), (3, 0)),
+    );
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_1x7b"),
+        b3,
+        Conv2dAttrs::rect(ch7, 192, (1, 7), (0, 3)),
+    );
+
+    let b4 = b.pool(&format!("{name}_b4_pool"), input, PoolAttrs::avg(3, 1).with_pad(1));
+    let b4 = conv_bn_relu(b, &format!("{name}_b4_proj"), b4, Conv2dAttrs::pointwise(in_ch, 192));
+
+    let out = b.concat(&format!("{name}_concat"), vec![b1, b2, b3, b4]);
+    (out, 192 * 4)
+}
+
+/// Reduction-B block.
+fn reduction_b(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    in_ch: usize,
+) -> (TensorId, usize) {
+    let b1 = conv_bn_relu(b, &format!("{name}_b1_1x1"), input, Conv2dAttrs::pointwise(in_ch, 192));
+    let b1 = conv_bn_relu(
+        b,
+        &format!("{name}_b1_3x3"),
+        b1,
+        Conv2dAttrs::square(192, 320, 3, 2, 0),
+    );
+
+    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, 192));
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_1x7"),
+        b2,
+        Conv2dAttrs::rect(192, 192, (1, 7), (0, 3)),
+    );
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_7x1"),
+        b2,
+        Conv2dAttrs::rect(192, 192, (7, 1), (3, 0)),
+    );
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_3x3"),
+        b2,
+        Conv2dAttrs::square(192, 192, 3, 2, 0),
+    );
+
+    let b3 = b.pool(&format!("{name}_b3_pool"), input, PoolAttrs::max(3, 2));
+    let out = b.concat(&format!("{name}_concat"), vec![b1, b2, b3]);
+    (out, 320 + 192 + in_ch)
+}
+
+/// Inception-C block (split 1×3 / 3×1 branches).
+fn inception_c(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    in_ch: usize,
+) -> (TensorId, usize) {
+    let b1 = conv_bn_relu(b, &format!("{name}_b1_1x1"), input, Conv2dAttrs::pointwise(in_ch, 320));
+
+    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, 384));
+    let b2a = conv_bn_relu(
+        b,
+        &format!("{name}_b2_1x3"),
+        b2,
+        Conv2dAttrs::rect(384, 384, (1, 3), (0, 1)),
+    );
+    let b2b = conv_bn_relu(
+        b,
+        &format!("{name}_b2_3x1"),
+        b2,
+        Conv2dAttrs::rect(384, 384, (3, 1), (1, 0)),
+    );
+    let b2 = b.concat(&format!("{name}_b2_concat"), vec![b2a, b2b]);
+
+    let b3 = conv_bn_relu(b, &format!("{name}_b3_1x1"), input, Conv2dAttrs::pointwise(in_ch, 448));
+    let b3 = conv_bn_relu(b, &format!("{name}_b3_3x3"), b3, Conv2dAttrs::same_3x3(448, 384));
+    let b3a = conv_bn_relu(
+        b,
+        &format!("{name}_b3_1x3"),
+        b3,
+        Conv2dAttrs::rect(384, 384, (1, 3), (0, 1)),
+    );
+    let b3b = conv_bn_relu(
+        b,
+        &format!("{name}_b3_3x1"),
+        b3,
+        Conv2dAttrs::rect(384, 384, (3, 1), (1, 0)),
+    );
+    let b3 = b.concat(&format!("{name}_b3_concat"), vec![b3a, b3b]);
+
+    let b4 = b.pool(&format!("{name}_b4_pool"), input, PoolAttrs::avg(3, 1).with_pad(1));
+    let b4 = conv_bn_relu(b, &format!("{name}_b4_proj"), b4, Conv2dAttrs::pointwise(in_ch, 192));
+
+    let out = b.concat(&format!("{name}_concat"), vec![b1, b2, b3, b4]);
+    (out, 320 + 768 + 768 + 192)
+}
+
+/// Build Inception-v3. The canonical input resolution is 299×299.
+pub fn inception_v3(batch: usize, input_size: usize) -> Graph {
+    let mut b = GraphBuilder::new("inception-v3");
+    let x = b.input("data", Shape::nchw(batch, 3, input_size, input_size));
+
+    // Stem.
+    let y = conv_bn_relu(&mut b, "stem_conv1", x, Conv2dAttrs::square(3, 32, 3, 2, 0));
+    let y = conv_bn_relu(&mut b, "stem_conv2", y, Conv2dAttrs::square(32, 32, 3, 1, 0));
+    let y = conv_bn_relu(&mut b, "stem_conv3", y, Conv2dAttrs::same_3x3(32, 64));
+    let y = b.pool("stem_pool1", y, PoolAttrs::max(3, 2));
+    let y = conv_bn_relu(&mut b, "stem_conv4", y, Conv2dAttrs::pointwise(64, 80));
+    let y = conv_bn_relu(&mut b, "stem_conv5", y, Conv2dAttrs::square(80, 192, 3, 1, 0));
+    let y = b.pool("stem_pool2", y, PoolAttrs::max(3, 2));
+    let mut channels = 192usize;
+    let mut y = y;
+
+    // 3 × Inception-A.
+    for (i, pool_proj) in [32usize, 64, 64].iter().enumerate() {
+        let (out, c) = inception_a(&mut b, &format!("mixed_a{i}"), y, channels, *pool_proj);
+        y = out;
+        channels = c;
+    }
+
+    // Reduction-A.
+    let (out, c) = reduction_a(&mut b, "reduction_a", y, channels);
+    y = out;
+    channels = c;
+
+    // 4 × Inception-B with the factorized 7-tap convolutions.
+    for (i, ch7) in [128usize, 160, 160, 192].iter().enumerate() {
+        let (out, c) = inception_b(&mut b, &format!("mixed_b{i}"), y, channels, *ch7);
+        y = out;
+        channels = c;
+    }
+
+    // Reduction-B.
+    let (out, c) = reduction_b(&mut b, "reduction_b", y, channels);
+    y = out;
+    channels = c;
+
+    // 2 × Inception-C.
+    for i in 0..2 {
+        let (out, c) = inception_c(&mut b, &format!("mixed_c{i}"), y, channels);
+        y = out;
+        channels = c;
+    }
+
+    let pooled = b.pool("global_pool", y, PoolAttrs::global_avg());
+    let flat = b.flatten("flatten", pooled, FlattenAttrs { start_axis: 1 });
+    let logits = b.fully_connected_auto("fc", flat, channels, NUM_CLASSES);
+    let prob = b.softmax("prob", logits);
+    b.build(vec![prob])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inception_v3_validates_and_infers_at_299() {
+        let mut g = inception_v3(1, 299);
+        g.validate().unwrap();
+        g.infer_shapes().unwrap();
+        let pool_node = g.nodes().iter().find(|n| n.name == "global_pool").unwrap();
+        let shape = g
+            .tensor_info(pool_node.inputs[0])
+            .unwrap()
+            .shape
+            .clone()
+            .unwrap();
+        assert_eq!(shape.dims(), &[1, 2048, 8, 8]);
+    }
+
+    #[test]
+    fn factorized_convolution_count_matches_structure() {
+        let g = inception_v3(1, 299);
+        let seven_tap = g
+            .nodes()
+            .iter()
+            .filter(|n| {
+                n.op.conv_attrs()
+                    .map(|a| a.kernel == (1, 7) || a.kernel == (7, 1))
+                    .unwrap_or(false)
+            })
+            .count();
+        // 4 Inception-B blocks contribute 6 each; reduction-B contributes 2.
+        assert_eq!(seven_tap, 4 * 6 + 2);
+    }
+
+    #[test]
+    fn parameter_count_is_near_the_published_24m() {
+        let g = inception_v3(1, 299);
+        let params = g.parameter_count() as f64;
+        assert!(params > 18e6 && params < 32e6, "got {params}");
+    }
+}

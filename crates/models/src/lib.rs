@@ -1,0 +1,232 @@
+//! Model zoo for MNN-rs: the networks used throughout the paper's evaluation.
+//!
+//! The paper benchmarks MobileNet-v1/v2, SqueezeNet-v1.0/v1.1, ResNet-18/50 and
+//! Inception-v3 (Section 4.1 and Fig. 9). This crate builds those architectures on
+//! the `mnn-graph` IR with deterministic synthetic weights — latency is
+//! shape-dependent, not value-dependent, so synthetic weights preserve every
+//! performance experiment while keeping the repository self-contained.
+//!
+//! ```
+//! use mnn_models::{build, ModelKind};
+//!
+//! let graph = build(ModelKind::MobileNetV1, 1, 224);
+//! assert!(graph.parameter_count() > 3_000_000);
+//! ```
+
+#![deny(missing_docs)]
+
+mod inception;
+mod mobilenet;
+mod resnet;
+mod squeezenet;
+mod tiny;
+
+pub use inception::inception_v3;
+pub use mobilenet::{mobilenet_v1, mobilenet_v2};
+pub use resnet::{resnet_18, resnet_50};
+pub use squeezenet::{squeezenet_v1_0, squeezenet_v1_1};
+pub use tiny::tiny_cnn;
+
+use mnn_graph::Graph;
+
+/// Number of classes in the classifier head (ImageNet-1k).
+pub const NUM_CLASSES: usize = 1000;
+
+/// The networks used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// MobileNet-v1 (Howard et al., 2017) — depthwise-separable convolutions.
+    MobileNetV1,
+    /// MobileNet-v2 (Sandler et al., 2018) — inverted residuals with ReLU6.
+    MobileNetV2,
+    /// SqueezeNet v1.0 (Iandola et al., 2016) — fire modules, 7×7 stem.
+    SqueezeNetV1_0,
+    /// SqueezeNet v1.1 — fire modules, 3×3 stem, earlier downsampling.
+    SqueezeNetV1_1,
+    /// ResNet-18 (He et al., 2016) — basic residual blocks.
+    ResNet18,
+    /// ResNet-50 — bottleneck residual blocks.
+    ResNet50,
+    /// Inception-v3 (Szegedy et al., 2015) — includes the 1×7/7×1 factorized
+    /// convolutions highlighted in the paper's Fig. 8.
+    InceptionV3,
+    /// A small CNN used by examples and tests.
+    TinyCnn,
+}
+
+impl ModelKind {
+    /// All paper-relevant model kinds (excludes the test-only tiny CNN).
+    pub const PAPER_MODELS: [ModelKind; 7] = [
+        ModelKind::MobileNetV1,
+        ModelKind::MobileNetV2,
+        ModelKind::SqueezeNetV1_0,
+        ModelKind::SqueezeNetV1_1,
+        ModelKind::ResNet18,
+        ModelKind::ResNet50,
+        ModelKind::InceptionV3,
+    ];
+
+    /// Canonical short name used in benchmark tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ModelKind::MobileNetV1 => "MobileNet-v1",
+            ModelKind::MobileNetV2 => "MobileNet-v2",
+            ModelKind::SqueezeNetV1_0 => "SqueezeNet-v1.0",
+            ModelKind::SqueezeNetV1_1 => "SqueezeNet-v1.1",
+            ModelKind::ResNet18 => "ResNet-18",
+            ModelKind::ResNet50 => "ResNet-50",
+            ModelKind::InceptionV3 => "Inception-v3",
+            ModelKind::TinyCnn => "Tiny-CNN",
+        }
+    }
+
+    /// Default input spatial resolution used by the paper's benchmarks.
+    pub const fn default_input_size(self) -> usize {
+        match self {
+            ModelKind::InceptionV3 => 299,
+            ModelKind::TinyCnn => 32,
+            _ => 224,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Build a zoo model with the given batch size and input resolution.
+///
+/// Input resolution may be reduced (e.g. to 64 or 128) to keep CPU-bound test and
+/// benchmark times manageable; the architecture is unchanged.
+pub fn build(kind: ModelKind, batch: usize, input_size: usize) -> Graph {
+    match kind {
+        ModelKind::MobileNetV1 => mobilenet_v1(batch, input_size, 1.0),
+        ModelKind::MobileNetV2 => mobilenet_v2(batch, input_size),
+        ModelKind::SqueezeNetV1_0 => squeezenet_v1_0(batch, input_size),
+        ModelKind::SqueezeNetV1_1 => squeezenet_v1_1(batch, input_size),
+        ModelKind::ResNet18 => resnet_18(batch, input_size),
+        ModelKind::ResNet50 => resnet_50(batch, input_size),
+        ModelKind::InceptionV3 => inception_v3(batch, input_size),
+        ModelKind::TinyCnn => tiny_cnn(batch, input_size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every zoo model must validate and shape-infer at its default resolution.
+    #[test]
+    fn all_models_build_validate_and_infer_shapes() {
+        for kind in ModelKind::PAPER_MODELS {
+            // Use a reduced input so shape inference stays fast; architecture is the
+            // same at any resolution that survives the downsampling chain.
+            let size = match kind {
+                ModelKind::InceptionV3 => 299,
+                _ => 224,
+            };
+            let mut graph = build(kind, 1, size);
+            graph.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            graph
+                .infer_shapes()
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let out = graph.outputs()[0];
+            let shape = graph.tensor_info(out).unwrap().shape.clone().unwrap();
+            assert_eq!(
+                shape.dims().last().copied(),
+                Some(NUM_CLASSES),
+                "{kind} must end in a {NUM_CLASSES}-way classifier"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_counts_are_in_the_right_ballpark() {
+        // Published parameter counts (±35% tolerance: synthetic heads/stems differ
+        // slightly from the original papers).
+        let expectations = [
+            (ModelKind::MobileNetV1, 4.2e6),
+            (ModelKind::MobileNetV2, 3.5e6),
+            (ModelKind::SqueezeNetV1_1, 1.2e6),
+            (ModelKind::ResNet18, 11.7e6),
+            (ModelKind::ResNet50, 25.6e6),
+        ];
+        for (kind, expected) in expectations {
+            let graph = build(kind, 1, 224);
+            let params = graph.parameter_count() as f64;
+            assert!(
+                params > expected * 0.65 && params < expected * 1.35,
+                "{kind}: {params} parameters, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_counts_rank_models_as_expected() {
+        // ResNet-50 is far heavier than MobileNet-v1; SqueezeNet-v1.1 is lighter than
+        // SqueezeNet-v1.0 (that is the whole point of v1.1).
+        let muls = |kind| {
+            let mut g = build(kind, 1, 224);
+            g.infer_shapes().unwrap();
+            g.total_mul_count()
+        };
+        let mobilenet = muls(ModelKind::MobileNetV1);
+        let resnet50 = muls(ModelKind::ResNet50);
+        let sq10 = muls(ModelKind::SqueezeNetV1_0);
+        let sq11 = muls(ModelKind::SqueezeNetV1_1);
+        assert!(resnet50 > 4 * mobilenet);
+        assert!(sq11 < sq10);
+    }
+
+    #[test]
+    fn inception_contains_factorized_convolutions() {
+        let graph = build(ModelKind::InceptionV3, 1, 299);
+        let has_1x7 = graph.nodes().iter().any(|n| {
+            n.op.conv_attrs()
+                .map(|a| a.kernel == (1, 7) || a.kernel == (7, 1))
+                .unwrap_or(false)
+        });
+        assert!(has_1x7, "Inception-v3 must contain 1x7 / 7x1 convolutions");
+    }
+
+    #[test]
+    fn mobilenet_contains_depthwise_convolutions() {
+        let graph = build(ModelKind::MobileNetV1, 1, 224);
+        let depthwise = graph
+            .nodes()
+            .iter()
+            .filter(|n| n.op.conv_attrs().map(|a| a.groups > 1).unwrap_or(false))
+            .count();
+        assert_eq!(depthwise, 13, "MobileNet-v1 has 13 depthwise layers");
+    }
+
+    #[test]
+    fn resnet_contains_residual_additions() {
+        let graph = build(ModelKind::ResNet18, 1, 224);
+        let adds = graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, mnn_graph::Op::Binary(mnn_graph::BinaryKind::Add)))
+            .count();
+        assert_eq!(adds, 8, "ResNet-18 has 8 residual additions");
+    }
+
+    #[test]
+    fn models_build_at_reduced_resolution() {
+        for kind in [ModelKind::MobileNetV1, ModelKind::ResNet18, ModelKind::SqueezeNetV1_1] {
+            let mut g = build(kind, 1, 64);
+            g.validate().unwrap();
+            g.infer_shapes().unwrap();
+        }
+    }
+
+    #[test]
+    fn names_and_default_sizes() {
+        assert_eq!(ModelKind::MobileNetV1.name(), "MobileNet-v1");
+        assert_eq!(ModelKind::InceptionV3.default_input_size(), 299);
+        assert_eq!(ModelKind::ResNet18.default_input_size(), 224);
+        assert_eq!(ModelKind::TinyCnn.to_string(), "Tiny-CNN");
+    }
+}

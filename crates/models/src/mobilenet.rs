@@ -1,0 +1,225 @@
+//! MobileNet-v1 and MobileNet-v2 graph builders.
+
+use crate::NUM_CLASSES;
+use mnn_graph::{
+    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Graph, GraphBuilder, PoolAttrs,
+    TensorId,
+};
+use mnn_tensor::Shape;
+
+/// Convolution + batch-norm + activation, the building block of both MobileNets.
+fn conv_bn_act(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    attrs: Conv2dAttrs,
+    act: ActivationKind,
+) -> TensorId {
+    let out_channels = attrs.out_channels;
+    let y = b.conv2d_auto(name, input, attrs, false);
+    let y = b.batch_norm_auto(&format!("{name}_bn"), y, out_channels);
+    if act == ActivationKind::None {
+        y
+    } else {
+        b.activation(&format!("{name}_act"), y, act)
+    }
+}
+
+/// MobileNet-v1 (Howard et al., 2017) with a width multiplier.
+///
+/// The body is the standard stack of 13 depthwise-separable blocks; the classifier
+/// is global-average-pool → fully-connected → softmax.
+pub fn mobilenet_v1(batch: usize, input_size: usize, width_multiplier: f32) -> Graph {
+    let c = |ch: usize| ((ch as f32 * width_multiplier).round() as usize).max(8);
+    let mut b = GraphBuilder::new("mobilenet-v1");
+    let x = b.input("data", Shape::nchw(batch, 3, input_size, input_size));
+
+    let mut y = conv_bn_act(
+        &mut b,
+        "conv1",
+        x,
+        Conv2dAttrs::square(3, c(32), 3, 2, 1),
+        ActivationKind::Relu,
+    );
+    let mut in_ch = c(32);
+
+    // (output channels, stride) for the 13 depthwise-separable blocks.
+    let blocks = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (out, stride)) in blocks.iter().enumerate() {
+        let out_ch = c(*out);
+        y = conv_bn_act(
+            &mut b,
+            &format!("dw{i}"),
+            y,
+            Conv2dAttrs::depthwise_3x3(in_ch, *stride),
+            ActivationKind::Relu,
+        );
+        y = conv_bn_act(
+            &mut b,
+            &format!("pw{i}"),
+            y,
+            Conv2dAttrs::pointwise(in_ch, out_ch),
+            ActivationKind::Relu,
+        );
+        in_ch = out_ch;
+    }
+
+    let pooled = b.pool("global_pool", y, PoolAttrs::global_avg());
+    let flat = b.flatten("flatten", pooled, FlattenAttrs { start_axis: 1 });
+    let logits = b.fully_connected_auto("fc", flat, in_ch, NUM_CLASSES);
+    let prob = b.softmax("prob", logits);
+    b.build(vec![prob])
+}
+
+/// MobileNet-v2 (Sandler et al., 2018): inverted residual blocks with ReLU6.
+pub fn mobilenet_v2(batch: usize, input_size: usize) -> Graph {
+    let mut b = GraphBuilder::new("mobilenet-v2");
+    let x = b.input("data", Shape::nchw(batch, 3, input_size, input_size));
+
+    let mut y = conv_bn_act(
+        &mut b,
+        "conv1",
+        x,
+        Conv2dAttrs::square(3, 32, 3, 2, 1),
+        ActivationKind::Relu6,
+    );
+    let mut in_ch = 32usize;
+
+    // (expansion, output channels, repeats, first stride)
+    let settings = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut block_idx = 0usize;
+    for (expand, out_ch, repeats, first_stride) in settings {
+        for r in 0..repeats {
+            let stride = if r == 0 { first_stride } else { 1 };
+            let name = format!("ir{block_idx}");
+            let hidden = in_ch * expand;
+            let mut z = y;
+            if expand != 1 {
+                z = conv_bn_act(
+                    &mut b,
+                    &format!("{name}_expand"),
+                    z,
+                    Conv2dAttrs::pointwise(in_ch, hidden),
+                    ActivationKind::Relu6,
+                );
+            }
+            z = conv_bn_act(
+                &mut b,
+                &format!("{name}_dw"),
+                z,
+                Conv2dAttrs::depthwise_3x3(hidden, stride),
+                ActivationKind::Relu6,
+            );
+            // Linear bottleneck: no activation on the projection.
+            z = conv_bn_act(
+                &mut b,
+                &format!("{name}_project"),
+                z,
+                Conv2dAttrs::pointwise(hidden, out_ch),
+                ActivationKind::None,
+            );
+            y = if stride == 1 && in_ch == out_ch {
+                b.binary(&format!("{name}_add"), z, y, BinaryKind::Add)
+            } else {
+                z
+            };
+            in_ch = out_ch;
+            block_idx += 1;
+        }
+    }
+
+    let y = conv_bn_act(
+        &mut b,
+        "conv_last",
+        y,
+        Conv2dAttrs::pointwise(in_ch, 1280),
+        ActivationKind::Relu6,
+    );
+    let pooled = b.pool("global_pool", y, PoolAttrs::global_avg());
+    let flat = b.flatten("flatten", pooled, FlattenAttrs { start_axis: 1 });
+    let logits = b.fully_connected_auto("fc", flat, 1280, NUM_CLASSES);
+    let prob = b.softmax("prob", logits);
+    b.build(vec![prob])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_v1_width_multiplier_scales_parameters() {
+        let full = mobilenet_v1(1, 224, 1.0);
+        let half = mobilenet_v1(1, 224, 0.5);
+        assert!(half.parameter_count() < full.parameter_count() / 2);
+    }
+
+    #[test]
+    fn mobilenet_v1_final_spatial_size_is_7x7_at_224() {
+        let mut g = mobilenet_v1(1, 224, 1.0);
+        g.infer_shapes().unwrap();
+        // Find the global pool input shape.
+        let pool_node = g.nodes().iter().find(|n| n.name == "global_pool").unwrap();
+        let shape = g
+            .tensor_info(pool_node.inputs[0])
+            .unwrap()
+            .shape
+            .clone()
+            .unwrap();
+        assert_eq!(shape.dims(), &[1, 1024, 7, 7]);
+    }
+
+    #[test]
+    fn mobilenet_v2_uses_relu6_and_residuals() {
+        let g = mobilenet_v2(1, 224);
+        let relu6 = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, mnn_graph::Op::Activation(ActivationKind::Relu6)))
+            .count();
+        let adds = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, mnn_graph::Op::Binary(BinaryKind::Add)))
+            .count();
+        assert!(relu6 > 20);
+        // v2 has 10 residual connections (blocks with stride 1 and equal channels).
+        assert_eq!(adds, 10);
+    }
+
+    #[test]
+    fn mobilenet_v2_shapes_infer_at_224() {
+        let mut g = mobilenet_v2(1, 224);
+        g.validate().unwrap();
+        g.infer_shapes().unwrap();
+        let pool_node = g.nodes().iter().find(|n| n.name == "global_pool").unwrap();
+        let shape = g
+            .tensor_info(pool_node.inputs[0])
+            .unwrap()
+            .shape
+            .clone()
+            .unwrap();
+        assert_eq!(shape.dims(), &[1, 1280, 7, 7]);
+    }
+}

@@ -1,0 +1,227 @@
+//! ResNet-18 and ResNet-50 graph builders (He et al., 2016).
+
+use crate::NUM_CLASSES;
+use mnn_graph::{
+    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Graph, GraphBuilder, PoolAttrs,
+    TensorId,
+};
+use mnn_tensor::Shape;
+
+fn conv_bn(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    attrs: Conv2dAttrs,
+    relu: bool,
+) -> TensorId {
+    let out_channels = attrs.out_channels;
+    let y = b.conv2d_auto(name, input, attrs, false);
+    let y = b.batch_norm_auto(&format!("{name}_bn"), y, out_channels);
+    if relu {
+        b.activation(&format!("{name}_relu"), y, ActivationKind::Relu)
+    } else {
+        y
+    }
+}
+
+/// Basic residual block (two 3×3 convolutions), used by ResNet-18/34.
+fn basic_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+) -> TensorId {
+    let y = conv_bn(
+        b,
+        &format!("{name}_conv1"),
+        input,
+        Conv2dAttrs::square(in_ch, out_ch, 3, stride, 1),
+        true,
+    );
+    let y = conv_bn(
+        b,
+        &format!("{name}_conv2"),
+        y,
+        Conv2dAttrs::same_3x3(out_ch, out_ch),
+        false,
+    );
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        conv_bn(
+            b,
+            &format!("{name}_downsample"),
+            input,
+            Conv2dAttrs::square(in_ch, out_ch, 1, stride, 0),
+            false,
+        )
+    } else {
+        input
+    };
+    let sum = b.binary(&format!("{name}_add"), y, shortcut, BinaryKind::Add);
+    b.activation(&format!("{name}_out_relu"), sum, ActivationKind::Relu)
+}
+
+/// Bottleneck residual block (1×1 → 3×3 → 1×1), used by ResNet-50/101/152.
+fn bottleneck_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    in_ch: usize,
+    mid_ch: usize,
+    out_ch: usize,
+    stride: usize,
+) -> TensorId {
+    let y = conv_bn(
+        b,
+        &format!("{name}_conv1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, mid_ch),
+        true,
+    );
+    let y = conv_bn(
+        b,
+        &format!("{name}_conv2"),
+        y,
+        Conv2dAttrs::square(mid_ch, mid_ch, 3, stride, 1),
+        true,
+    );
+    let y = conv_bn(
+        b,
+        &format!("{name}_conv3"),
+        y,
+        Conv2dAttrs::pointwise(mid_ch, out_ch),
+        false,
+    );
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        conv_bn(
+            b,
+            &format!("{name}_downsample"),
+            input,
+            Conv2dAttrs::square(in_ch, out_ch, 1, stride, 0),
+            false,
+        )
+    } else {
+        input
+    };
+    let sum = b.binary(&format!("{name}_add"), y, shortcut, BinaryKind::Add);
+    b.activation(&format!("{name}_out_relu"), sum, ActivationKind::Relu)
+}
+
+fn stem(b: &mut GraphBuilder, batch: usize, input_size: usize) -> TensorId {
+    let x = b.input("data", Shape::nchw(batch, 3, input_size, input_size));
+    let y = conv_bn(b, "conv1", x, Conv2dAttrs::square(3, 64, 7, 2, 3), true);
+    b.pool("pool1", y, PoolAttrs::max(3, 2).with_pad(1))
+}
+
+fn head(b: &mut GraphBuilder, input: TensorId, channels: usize) -> TensorId {
+    let pooled = b.pool("global_pool", input, PoolAttrs::global_avg());
+    let flat = b.flatten("flatten", pooled, FlattenAttrs { start_axis: 1 });
+    let logits = b.fully_connected_auto("fc", flat, channels, NUM_CLASSES);
+    b.softmax("prob", logits)
+}
+
+/// ResNet-18: four stages of two basic blocks each.
+pub fn resnet_18(batch: usize, input_size: usize) -> Graph {
+    let mut b = GraphBuilder::new("resnet-18");
+    let mut y = stem(&mut b, batch, input_size);
+    let mut in_ch = 64usize;
+    for (stage, (out_ch, first_stride)) in [(64, 1), (128, 2), (256, 2), (512, 2)].iter().enumerate()
+    {
+        for block in 0..2 {
+            let stride = if block == 0 { *first_stride } else { 1 };
+            y = basic_block(
+                &mut b,
+                &format!("layer{}_{block}", stage + 1),
+                y,
+                in_ch,
+                *out_ch,
+                stride,
+            );
+            in_ch = *out_ch;
+        }
+    }
+    let out = head(&mut b, y, 512);
+    b.build(vec![out])
+}
+
+/// ResNet-50: four stages of bottleneck blocks (3, 4, 6, 3).
+pub fn resnet_50(batch: usize, input_size: usize) -> Graph {
+    let mut b = GraphBuilder::new("resnet-50");
+    let mut y = stem(&mut b, batch, input_size);
+    let mut in_ch = 64usize;
+    let stages = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    for (stage, (mid_ch, out_ch, blocks, first_stride)) in stages.iter().enumerate() {
+        for block in 0..*blocks {
+            let stride = if block == 0 { *first_stride } else { 1 };
+            y = bottleneck_block(
+                &mut b,
+                &format!("layer{}_{block}", stage + 1),
+                y,
+                in_ch,
+                *mid_ch,
+                *out_ch,
+                stride,
+            );
+            in_ch = *out_ch;
+        }
+    }
+    let out = head(&mut b, y, 2048);
+    b.build(vec![out])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_shapes_follow_the_published_downsampling_chain() {
+        let mut g = resnet_18(1, 224);
+        g.validate().unwrap();
+        g.infer_shapes().unwrap();
+        let pool_node = g.nodes().iter().find(|n| n.name == "global_pool").unwrap();
+        let shape = g
+            .tensor_info(pool_node.inputs[0])
+            .unwrap()
+            .shape
+            .clone()
+            .unwrap();
+        assert_eq!(shape.dims(), &[1, 512, 7, 7]);
+    }
+
+    #[test]
+    fn resnet50_ends_with_2048_channels() {
+        let mut g = resnet_50(1, 224);
+        g.infer_shapes().unwrap();
+        let pool_node = g.nodes().iter().find(|n| n.name == "global_pool").unwrap();
+        let shape = g
+            .tensor_info(pool_node.inputs[0])
+            .unwrap()
+            .shape
+            .clone()
+            .unwrap();
+        assert_eq!(shape.dims(), &[1, 2048, 7, 7]);
+    }
+
+    #[test]
+    fn resnet50_has_more_parameters_and_compute_than_resnet18() {
+        let mut r18 = resnet_18(1, 224);
+        let mut r50 = resnet_50(1, 224);
+        r18.infer_shapes().unwrap();
+        r50.infer_shapes().unwrap();
+        assert!(r50.parameter_count() > r18.parameter_count());
+        assert!(r50.total_mul_count() > r18.total_mul_count());
+    }
+
+    #[test]
+    fn projection_shortcuts_appear_only_where_needed() {
+        let g = resnet_18(1, 224);
+        let downsamples = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.contains("downsample") && n.op.is_conv())
+            .count();
+        // Stages 2-4 each start with a projection shortcut; stage 1 does not.
+        assert_eq!(downsamples, 3);
+    }
+}

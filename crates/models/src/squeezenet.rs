@@ -1,0 +1,149 @@
+//! SqueezeNet v1.0 and v1.1 graph builders (Iandola et al., 2016).
+
+use crate::NUM_CLASSES;
+use mnn_graph::{
+    ActivationKind, Conv2dAttrs, FlattenAttrs, Graph, GraphBuilder, PoolAttrs, TensorId,
+};
+use mnn_tensor::Shape;
+
+/// A fire module: squeeze 1×1 followed by parallel expand 1×1 / expand 3×3 branches
+/// concatenated along channels.
+fn fire(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    in_channels: usize,
+    squeeze: usize,
+    expand1: usize,
+    expand3: usize,
+) -> (TensorId, usize) {
+    let s = b.conv2d_auto(
+        &format!("{name}_squeeze1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_channels, squeeze),
+        true,
+    );
+    let s = b.activation(&format!("{name}_squeeze_relu"), s, ActivationKind::Relu);
+    let e1 = b.conv2d_auto(
+        &format!("{name}_expand1x1"),
+        s,
+        Conv2dAttrs::pointwise(squeeze, expand1),
+        true,
+    );
+    let e1 = b.activation(&format!("{name}_expand1x1_relu"), e1, ActivationKind::Relu);
+    let e3 = b.conv2d_auto(
+        &format!("{name}_expand3x3"),
+        s,
+        Conv2dAttrs::same_3x3(squeeze, expand3),
+        true,
+    );
+    let e3 = b.activation(&format!("{name}_expand3x3_relu"), e3, ActivationKind::Relu);
+    let out = b.concat(&format!("{name}_concat"), vec![e1, e3]);
+    (out, expand1 + expand3)
+}
+
+fn classifier_head(b: &mut GraphBuilder, input: TensorId, in_channels: usize) -> TensorId {
+    // SqueezeNet ends with a 1x1 convolution to NUM_CLASSES followed by global
+    // average pooling — there is no fully-connected layer.
+    let conv = b.conv2d_auto(
+        "conv_final",
+        input,
+        Conv2dAttrs::pointwise(in_channels, NUM_CLASSES),
+        true,
+    );
+    let conv = b.activation("conv_final_relu", conv, ActivationKind::Relu);
+    let pooled = b.pool("global_pool", conv, PoolAttrs::global_avg());
+    let flat = b.flatten("flatten", pooled, FlattenAttrs { start_axis: 1 });
+    b.softmax("prob", flat)
+}
+
+/// SqueezeNet v1.0: 7×7 stem and late downsampling.
+pub fn squeezenet_v1_0(batch: usize, input_size: usize) -> Graph {
+    let mut b = GraphBuilder::new("squeezenet-v1.0");
+    let x = b.input("data", Shape::nchw(batch, 3, input_size, input_size));
+    let y = b.conv2d_auto("conv1", x, Conv2dAttrs::square(3, 96, 7, 2, 3), true);
+    let y = b.activation("conv1_relu", y, ActivationKind::Relu);
+    let y = b.pool("pool1", y, PoolAttrs::max(3, 2));
+
+    let (y, c) = fire(&mut b, "fire2", y, 96, 16, 64, 64);
+    let (y, c) = fire(&mut b, "fire3", y, c, 16, 64, 64);
+    let (y, c) = fire(&mut b, "fire4", y, c, 32, 128, 128);
+    let y = b.pool("pool4", y, PoolAttrs::max(3, 2));
+    let (y, c) = fire(&mut b, "fire5", y, c, 32, 128, 128);
+    let (y, c) = fire(&mut b, "fire6", y, c, 48, 192, 192);
+    let (y, c) = fire(&mut b, "fire7", y, c, 48, 192, 192);
+    let (y, c) = fire(&mut b, "fire8", y, c, 64, 256, 256);
+    let y = b.pool("pool8", y, PoolAttrs::max(3, 2));
+    let (y, c) = fire(&mut b, "fire9", y, c, 64, 256, 256);
+
+    let out = classifier_head(&mut b, y, c);
+    b.build(vec![out])
+}
+
+/// SqueezeNet v1.1: 3×3 stem and earlier downsampling (≈2.4× less computation than
+/// v1.0 at the same accuracy).
+pub fn squeezenet_v1_1(batch: usize, input_size: usize) -> Graph {
+    let mut b = GraphBuilder::new("squeezenet-v1.1");
+    let x = b.input("data", Shape::nchw(batch, 3, input_size, input_size));
+    let y = b.conv2d_auto("conv1", x, Conv2dAttrs::square(3, 64, 3, 2, 1), true);
+    let y = b.activation("conv1_relu", y, ActivationKind::Relu);
+    let y = b.pool("pool1", y, PoolAttrs::max(3, 2));
+
+    let (y, c) = fire(&mut b, "fire2", y, 64, 16, 64, 64);
+    let (y, c) = fire(&mut b, "fire3", y, c, 16, 64, 64);
+    let y = b.pool("pool3", y, PoolAttrs::max(3, 2));
+    let (y, c) = fire(&mut b, "fire4", y, c, 32, 128, 128);
+    let (y, c) = fire(&mut b, "fire5", y, c, 32, 128, 128);
+    let y = b.pool("pool5", y, PoolAttrs::max(3, 2));
+    let (y, c) = fire(&mut b, "fire6", y, c, 48, 192, 192);
+    let (y, c) = fire(&mut b, "fire7", y, c, 48, 192, 192);
+    let (y, c) = fire(&mut b, "fire8", y, c, 64, 256, 256);
+    let (y, c) = fire(&mut b, "fire9", y, c, 64, 256, 256);
+
+    let out = classifier_head(&mut b, y, c);
+    b.build(vec![out])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_versions_validate_and_infer() {
+        for builder in [squeezenet_v1_0, squeezenet_v1_1] {
+            let mut g = builder(1, 224);
+            g.validate().unwrap();
+            g.infer_shapes().unwrap();
+        }
+    }
+
+    #[test]
+    fn v1_1_is_cheaper_than_v1_0() {
+        let mut a = squeezenet_v1_0(1, 224);
+        let mut b = squeezenet_v1_1(1, 224);
+        a.infer_shapes().unwrap();
+        b.infer_shapes().unwrap();
+        assert!(b.total_mul_count() < a.total_mul_count() / 2);
+    }
+
+    #[test]
+    fn fire_module_concatenates_expand_branches() {
+        let mut b = GraphBuilder::new("fire-test");
+        let x = b.input("x", Shape::nchw(1, 64, 16, 16));
+        let (out, c) = fire(&mut b, "fire", x, 64, 16, 64, 64);
+        assert_eq!(c, 128);
+        let mut g = b.build(vec![out]);
+        g.infer_shapes().unwrap();
+        let shape = g.tensor_info(out).unwrap().shape.clone().unwrap();
+        assert_eq!(shape.dims(), &[1, 128, 16, 16]);
+    }
+
+    #[test]
+    fn squeezenet_has_no_fully_connected_layer() {
+        let g = squeezenet_v1_1(1, 224);
+        assert!(!g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, mnn_graph::Op::FullyConnected { .. })));
+    }
+}

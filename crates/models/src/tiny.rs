@@ -1,0 +1,64 @@
+//! A small CNN used by examples, tests and quick benchmarks.
+
+use mnn_graph::{
+    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Graph, GraphBuilder, PoolAttrs,
+};
+use mnn_tensor::Shape;
+
+/// Build a small residual CNN: stem convolution, one residual block, classifier.
+///
+/// `input_size` is the spatial resolution (e.g. 32); the classifier has 10 classes.
+pub fn tiny_cnn(batch: usize, input_size: usize) -> Graph {
+    let mut b = GraphBuilder::new("tiny-cnn");
+    let x = b.input("data", Shape::nchw(batch, 3, input_size, input_size));
+    let stem = b.conv2d_auto("stem", x, Conv2dAttrs::same_3x3(3, 16), true);
+    let stem = b.batch_norm_auto("stem_bn", stem, 16);
+    let stem = b.activation("stem_relu", stem, ActivationKind::Relu);
+
+    let branch = b.conv2d_auto("block_conv1", stem, Conv2dAttrs::same_3x3(16, 16), false);
+    let branch = b.activation("block_relu1", branch, ActivationKind::Relu);
+    let branch = b.conv2d_auto("block_conv2", branch, Conv2dAttrs::same_3x3(16, 16), false);
+    let merged = b.binary("residual_add", branch, stem, BinaryKind::Add);
+    let merged = b.activation("block_relu2", merged, ActivationKind::Relu);
+
+    let down = b.conv2d_auto("down", merged, Conv2dAttrs::square(16, 32, 3, 2, 1), false);
+    let down = b.activation("down_relu", down, ActivationKind::Relu);
+    let pooled = b.pool("gap", down, PoolAttrs::global_avg());
+    let flat = b.flatten("flatten", pooled, FlattenAttrs { start_axis: 1 });
+    let logits = b.fully_connected_auto("classifier", flat, 32, 10);
+    let prob = b.softmax("prob", logits);
+    b.build(vec![prob])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_cnn_is_valid_and_small() {
+        let mut g = tiny_cnn(1, 32);
+        g.validate().unwrap();
+        g.infer_shapes().unwrap();
+        assert!(g.parameter_count() < 50_000);
+        let out_shape = g
+            .tensor_info(g.outputs()[0])
+            .unwrap()
+            .shape
+            .clone()
+            .unwrap();
+        assert_eq!(out_shape.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn batch_dimension_propagates() {
+        let mut g = tiny_cnn(4, 32);
+        g.infer_shapes().unwrap();
+        let out_shape = g
+            .tensor_info(g.outputs()[0])
+            .unwrap()
+            .shape
+            .clone()
+            .unwrap();
+        assert_eq!(out_shape.dims()[0], 4);
+    }
+}

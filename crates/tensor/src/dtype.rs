@@ -1,0 +1,93 @@
+//! Element data types supported by the engine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a [`Tensor`](crate::Tensor).
+///
+/// The engine primarily computes in `f32`; `i8`/`u8` are used by the post-training
+/// quantization path and `i32` by shape/index tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DataType {
+    /// 32-bit IEEE-754 floating point (the default compute type).
+    #[default]
+    F32,
+    /// Signed 8-bit integer, used for quantized weights/activations.
+    I8,
+    /// Unsigned 8-bit integer, used for quantized activations with asymmetric zero points.
+    U8,
+    /// Signed 32-bit integer, used for indices, shapes and quantized accumulators.
+    I32,
+}
+
+impl DataType {
+    /// Size in bytes of one element of this type.
+    ///
+    /// ```
+    /// use mnn_tensor::DataType;
+    /// assert_eq!(DataType::F32.size_of(), 4);
+    /// assert_eq!(DataType::I8.size_of(), 1);
+    /// ```
+    pub const fn size_of(self) -> usize {
+        match self {
+            DataType::F32 | DataType::I32 => 4,
+            DataType::I8 | DataType::U8 => 1,
+        }
+    }
+
+    /// Whether this is a quantized (integer, sub-32-bit) type.
+    pub const fn is_quantized(self) -> bool {
+        matches!(self, DataType::I8 | DataType::U8)
+    }
+
+    /// Whether this is a floating point type.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DataType::F32)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::F32 => "f32",
+            DataType::I8 => "i8",
+            DataType::U8 => "u8",
+            DataType::I32 => "i32",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_rust_types() {
+        assert_eq!(DataType::F32.size_of(), std::mem::size_of::<f32>());
+        assert_eq!(DataType::I32.size_of(), std::mem::size_of::<i32>());
+        assert_eq!(DataType::I8.size_of(), std::mem::size_of::<i8>());
+        assert_eq!(DataType::U8.size_of(), std::mem::size_of::<u8>());
+    }
+
+    #[test]
+    fn quantized_flags() {
+        assert!(DataType::I8.is_quantized());
+        assert!(DataType::U8.is_quantized());
+        assert!(!DataType::F32.is_quantized());
+        assert!(!DataType::I32.is_quantized());
+        assert!(DataType::F32.is_float());
+        assert!(!DataType::I32.is_float());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(DataType::F32.to_string(), "f32");
+        assert_eq!(DataType::I8.to_string(), "i8");
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(DataType::default(), DataType::F32);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for tensor operations.
+
+use crate::{DataType, Shape};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the number of elements implied by the shape.
+    LengthMismatch {
+        /// Number of elements expected from the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// The tensor's data type does not match the requested operation.
+    DataTypeMismatch {
+        /// Data type expected by the operation.
+        expected: DataType,
+        /// Data type actually present in the tensor.
+        actual: DataType,
+    },
+    /// The tensor's shape is incompatible with the requested operation.
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: Shape,
+        /// Shape actually present.
+        actual: Shape,
+    },
+    /// The requested operation needs a 4-D (N, C, H, W) tensor.
+    NotFourDimensional(Shape),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::DataTypeMismatch { expected, actual } => {
+                write!(f, "expected data type {expected}, found {actual}")
+            }
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "expected shape {expected}, found {actual}")
+            }
+            TensorError::NotFourDimensional(shape) => {
+                write!(f, "operation requires a 4-D tensor, found shape {shape}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = TensorError::LengthMismatch {
+            expected: 12,
+            actual: 10,
+        };
+        assert!(err.to_string().contains("12"));
+        assert!(err.to_string().contains("10"));
+
+        let err = TensorError::DataTypeMismatch {
+            expected: DataType::F32,
+            actual: DataType::I8,
+        };
+        assert!(err.to_string().contains("f32"));
+        assert!(err.to_string().contains("i8"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

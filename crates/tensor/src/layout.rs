@@ -1,0 +1,268 @@
+//! Physical memory layouts and conversion routines.
+//!
+//! MNN's CPU kernels operate on the **NC4HW4** layout (paper, Section 3.3.1): the
+//! channel dimension is split into `ceil(C/4)` blocks of 4 channels, and the 4
+//! channel values of one spatial position are stored contiguously so a single SIMD
+//! instruction can process them. Logically the packed buffer has shape
+//! `(N, ceil(C/4), H, W, 4)`.
+
+use crate::{round_up_pack, Shape, PACK};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical memory layout of a 4-D activation tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DataLayout {
+    /// Batch, channel, height, width — the canonical layout used by graph-level code.
+    #[default]
+    Nchw,
+    /// Batch, height, width, channel — the layout used by TensorFlow-style models.
+    Nhwc,
+    /// MNN's packed layout: `(N, ceil(C/4), H, W, 4)`. Channels are padded with zeros
+    /// up to a multiple of 4.
+    Nc4hw4,
+}
+
+impl DataLayout {
+    /// Number of buffer elements needed to store a tensor of logical shape `shape`
+    /// in this layout.
+    ///
+    /// For [`DataLayout::Nc4hw4`] the channel dimension is padded up to a multiple
+    /// of 4, so the physical size can exceed `shape.num_elements()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is not 4-D and the layout is not [`DataLayout::Nchw`].
+    pub fn physical_elements(self, shape: &Shape) -> usize {
+        match self {
+            DataLayout::Nchw => shape.num_elements(),
+            DataLayout::Nhwc => shape.num_elements(),
+            DataLayout::Nc4hw4 => {
+                let (n, c, h, w) = (
+                    shape.batch(),
+                    shape.channels(),
+                    shape.height(),
+                    shape.width(),
+                );
+                n * round_up_pack(c) * h * w
+            }
+        }
+    }
+
+    /// Short human-readable name (`"NCHW"`, `"NHWC"`, `"NC4HW4"`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            DataLayout::Nchw => "NCHW",
+            DataLayout::Nhwc => "NHWC",
+            DataLayout::Nc4hw4 => "NC4HW4",
+        }
+    }
+}
+
+impl fmt::Display for DataLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Offset of element `(n, c, h, w)` in an NC4HW4 buffer for a tensor of logical
+/// shape `(batch, channels, height, width)`.
+///
+/// ```
+/// use mnn_tensor::nc4hw4_offset;
+/// // channel 5 lives in block 1, lane 1
+/// let off = nc4hw4_offset(0, 5, 0, 0, 8, 2, 2);
+/// assert_eq!(off, 1 * (2 * 2 * 4) + 0 * (2 * 4) + 0 * 4 + 1);
+/// ```
+pub fn nc4hw4_offset(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+) -> usize {
+    let c_blocks = round_up_pack(channels) / PACK;
+    let block = c / PACK;
+    let lane = c % PACK;
+    ((n * c_blocks + block) * height * width + h * width + w) * PACK + lane
+}
+
+/// Offset of element `(n, c, h, w)` in an NCHW buffer.
+pub fn nchw_offset(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+) -> usize {
+    ((n * channels + c) * height + h) * width + w
+}
+
+/// Offset of element `(n, c, h, w)` in an NHWC buffer.
+pub fn nhwc_offset(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+) -> usize {
+    ((n * height + h) * width + w) * channels + c
+}
+
+/// Convert an `f32` buffer from one layout to another for a tensor of logical shape
+/// `shape` (must be 4-D). Returns a freshly allocated buffer in the destination
+/// layout; padded lanes in NC4HW4 are zero-filled.
+///
+/// # Panics
+///
+/// Panics if `shape` is not 4-D or `src.len()` does not match the source layout's
+/// physical element count.
+pub fn convert_layout_f32(
+    src: &[f32],
+    shape: &Shape,
+    from: DataLayout,
+    to: DataLayout,
+) -> Vec<f32> {
+    assert!(shape.is_4d(), "layout conversion requires a 4-D shape");
+    assert_eq!(
+        src.len(),
+        from.physical_elements(shape),
+        "source buffer length does not match {from} physical size"
+    );
+    if from == to {
+        return src.to_vec();
+    }
+    let (n, c, h, w) = (
+        shape.batch(),
+        shape.channels(),
+        shape.height(),
+        shape.width(),
+    );
+    let mut dst = vec![0.0f32; to.physical_elements(shape)];
+    for bn in 0..n {
+        for bc in 0..c {
+            for bh in 0..h {
+                for bw in 0..w {
+                    let s = offset_for(from, bn, bc, bh, bw, c, h, w);
+                    let d = offset_for(to, bn, bc, bh, bw, c, h, w);
+                    dst[d] = src[s];
+                }
+            }
+        }
+    }
+    dst
+}
+
+fn offset_for(
+    layout: DataLayout,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+) -> usize {
+    match layout {
+        DataLayout::Nchw => nchw_offset(n, c, h, w, channels, height, width),
+        DataLayout::Nhwc => nhwc_offset(n, c, h, w, channels, height, width),
+        DataLayout::Nc4hw4 => nc4hw4_offset(n, c, h, w, channels, height, width),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn physical_elements_pads_nc4hw4() {
+        let shape = Shape::nchw(1, 3, 2, 2);
+        assert_eq!(DataLayout::Nchw.physical_elements(&shape), 12);
+        assert_eq!(DataLayout::Nhwc.physical_elements(&shape), 12);
+        assert_eq!(DataLayout::Nc4hw4.physical_elements(&shape), 16);
+    }
+
+    #[test]
+    fn exact_multiple_of_pack_is_not_padded() {
+        let shape = Shape::nchw(2, 8, 3, 3);
+        assert_eq!(
+            DataLayout::Nc4hw4.physical_elements(&shape),
+            shape.num_elements()
+        );
+    }
+
+    #[test]
+    fn nchw_to_nhwc_small_case() {
+        // shape (1, 2, 1, 2): NCHW = [c0w0, c0w1, c1w0, c1w1]
+        let shape = Shape::nchw(1, 2, 1, 2);
+        let src = vec![1.0, 2.0, 3.0, 4.0];
+        let dst = convert_layout_f32(&src, &shape, DataLayout::Nchw, DataLayout::Nhwc);
+        // NHWC = [w0c0, w0c1, w1c0, w1c1]
+        assert_eq!(dst, vec![1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn nchw_to_nc4hw4_pads_with_zero() {
+        let shape = Shape::nchw(1, 2, 1, 1);
+        let src = vec![5.0, 7.0];
+        let dst = convert_layout_f32(&src, &shape, DataLayout::Nchw, DataLayout::Nc4hw4);
+        assert_eq!(dst, vec![5.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_conversion_is_copy() {
+        let shape = Shape::nchw(1, 1, 2, 2);
+        let src = vec![1.0, 2.0, 3.0, 4.0];
+        let dst = convert_layout_f32(&src, &shape, DataLayout::Nchw, DataLayout::Nchw);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn layout_names() {
+        assert_eq!(DataLayout::Nchw.to_string(), "NCHW");
+        assert_eq!(DataLayout::Nc4hw4.to_string(), "NC4HW4");
+    }
+
+    fn layouts() -> impl Strategy<Value = DataLayout> {
+        prop_oneof![
+            Just(DataLayout::Nchw),
+            Just(DataLayout::Nhwc),
+            Just(DataLayout::Nc4hw4),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_is_lossless(
+            n in 1usize..3, c in 1usize..9, h in 1usize..6, w in 1usize..6,
+            from in layouts(), to in layouts()
+        ) {
+            let shape = Shape::nchw(n, c, h, w);
+            // Fill the *logical* elements through NCHW so padding lanes stay zero.
+            let logical: Vec<f32> = (0..shape.num_elements()).map(|v| v as f32 + 1.0).collect();
+            let src = convert_layout_f32(&logical, &shape, DataLayout::Nchw, from);
+            let converted = convert_layout_f32(&src, &shape, from, to);
+            let back = convert_layout_f32(&converted, &shape, to, DataLayout::Nchw);
+            prop_assert_eq!(back, logical);
+        }
+
+        #[test]
+        fn prop_nc4hw4_offsets_in_bounds(
+            n in 1usize..3, c in 1usize..17, h in 1usize..5, w in 1usize..5
+        ) {
+            let shape = Shape::nchw(n, c, h, w);
+            let size = DataLayout::Nc4hw4.physical_elements(&shape);
+            for bn in 0..n { for bc in 0..c { for bh in 0..h { for bw in 0..w {
+                let off = nc4hw4_offset(bn, bc, bh, bw, c, h, w);
+                prop_assert!(off < size);
+            }}}}
+        }
+    }
+}

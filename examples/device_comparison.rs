@@ -1,0 +1,75 @@
+//! Cross-device, cross-engine what-if analysis with the analytic simulator.
+//!
+//! Uses the calibrated device profiles and engine cost models (the substrate behind
+//! the paper's Figs. 7–9) to answer: "how would this model behave across the phone
+//! fleet, per engine and backend?" — the question the paper's production case study
+//! (Table 6) cares about.
+//!
+//! ```text
+//! cargo run --release --example device_comparison [-- <model>]
+//! ```
+
+use mnn::device_sim::{
+    estimate_cpu_latency_ms, estimate_gpu_latency_ms, DeviceProfile, Engine, GpuStandard,
+};
+use mnn::models::{build, ModelKind};
+
+fn parse_model(name: &str) -> ModelKind {
+    match name.to_ascii_lowercase().as_str() {
+        "mobilenet-v2" | "mobilenetv2" => ModelKind::MobileNetV2,
+        "squeezenet" | "squeezenet-v1.1" => ModelKind::SqueezeNetV1_1,
+        "resnet-18" | "resnet18" => ModelKind::ResNet18,
+        "resnet-50" | "resnet50" => ModelKind::ResNet50,
+        "inception-v3" | "inceptionv3" => ModelKind::InceptionV3,
+        _ => ModelKind::MobileNetV1,
+    }
+}
+
+fn main() {
+    let model = std::env::args()
+        .nth(1)
+        .map(|name| parse_model(&name))
+        .unwrap_or(ModelKind::MobileNetV1);
+    let mut graph = build(model, 1, model.default_input_size());
+    graph.infer_shapes().expect("shape inference");
+    println!(
+        "{model}: {:.1} M parameters, {:.0} M multiply-accumulates",
+        graph.parameter_count() as f64 / 1e6,
+        graph.total_mul_count() as f64 / 1e6
+    );
+
+    println!("\nestimated latency (ms) per device — CPU 4 threads:");
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}", "device", "MNN", "NCNN", "MACE", "TF-Lite", "TVM");
+    for device_name in ["iPhoneX", "Mate20", "MI6", "P20", "Pixel3"] {
+        let device = DeviceProfile::by_name(device_name).unwrap();
+        let lat = |engine| estimate_cpu_latency_ms(&graph, &device, engine, 4);
+        println!(
+            "{:<12} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            device_name,
+            lat(Engine::Mnn),
+            lat(Engine::Ncnn),
+            lat(Engine::Mace),
+            lat(Engine::TfLite),
+            lat(Engine::Tvm)
+        );
+    }
+
+    println!("\nMNN GPU latency (ms) per standard:");
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "device", "Metal", "OpenCL", "OpenGL", "Vulkan");
+    for device_name in ["iPhoneX", "Mate20", "MI6", "P20", "Pixel3"] {
+        let device = DeviceProfile::by_name(device_name).unwrap();
+        let cell = |standard| {
+            estimate_gpu_latency_ms(&graph, &device, Engine::Mnn, standard)
+                .map(|v| format!("{v:>8.1}"))
+                .unwrap_or_else(|| format!("{:>8}", "-"))
+        };
+        println!(
+            "{:<12} {} {} {} {}",
+            device_name,
+            cell(GpuStandard::Metal),
+            cell(GpuStandard::OpenCl),
+            cell(GpuStandard::OpenGl),
+            cell(GpuStandard::Vulkan)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build a model, run pre-inference, execute it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mnn::models::{build, ModelKind};
+use mnn::tensor::{Shape, Tensor};
+use mnn::{Interpreter, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A model. Real applications load one through `mnn::converter::ModelFile`;
+    //    here the zoo builds a small CNN with synthetic weights.
+    let graph = build(ModelKind::TinyCnn, 1, 32);
+    println!("model: {} ({} parameters)", graph.name(), graph.parameter_count());
+
+    // 2. Interpreter + session. Creating the session runs *pre-inference*: scheme
+    //    selection, backend cost evaluation and memory planning (paper Section 3.2).
+    let interpreter = Interpreter::from_graph(graph)?;
+    let mut session = interpreter.create_session(SessionConfig::cpu(4))?;
+
+    let report = session.report();
+    println!(
+        "pre-inference: {:.2} ms, estimated run cost {:.3} ms, memory {} -> {} elements ({:.0}% saved)",
+        report.pre_inference_ms,
+        report.estimated_total_ms,
+        report.unplanned_memory_elements,
+        report.planned_memory_elements,
+        report.memory_savings_ratio() * 100.0
+    );
+    for placement in &report.placements {
+        if let Some(scheme) = placement.scheme {
+            println!("  {:<16} -> {} via {}", placement.name, placement.forward_type, scheme);
+        }
+    }
+
+    // 3. Inference. The input shape must match the graph's declared input.
+    let input = Tensor::full(Shape::nchw(1, 3, 32, 32), 0.5);
+    let outputs = session.run(&[input])?;
+    let probabilities = outputs[0].data_f32();
+    let best = probabilities
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!(
+        "inference: {:.2} ms wall, top class = {} (p = {:.3})",
+        session.last_stats().wall_ms,
+        best.0,
+        best.1
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! # MNN-rs — a Rust reproduction of *MNN: A Universal and Efficient Inference Engine* (MLSys 2020)
+//!
+//! This facade crate re-exports the whole workspace so applications can depend on a
+//! single crate:
+//!
+//! * [`tensor`] — tensors, shapes, and the NC4HW4 data layout.
+//! * [`kernels`] — CPU compute kernels: GEMM, Strassen, the Winograd generator and
+//!   convolution, pooling, activations, quantized ops.
+//! * [`graph`] — the computational-graph IR and builder.
+//! * [`converter`] — offline conversion: model format, graph optimizer, quantizer.
+//! * [`backend`] — the `Backend` abstraction, memory pool, CPU backend and simulated
+//!   GPU backends.
+//! * [`core`] — pre-inference (scheme selection, backend cost evaluation, memory
+//!   planning), the `Interpreter`/`Session` API and hybrid scheduling.
+//! * [`models`] — the model zoo (MobileNet, SqueezeNet, ResNet, Inception-v3).
+//! * [`device_sim`] — device profiles and competitor-engine cost models used by the
+//!   paper-reproduction experiments.
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ```
+//! use mnn::{Interpreter, SessionConfig};
+//! use mnn::models::{build, ModelKind};
+//! use mnn::tensor::{Shape, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = build(ModelKind::TinyCnn, 1, 32);
+//! let interpreter = Interpreter::from_graph(graph)?;
+//! let mut session = interpreter.create_session(SessionConfig::cpu(2))?;
+//! let outputs = session.run(&[Tensor::zeros(Shape::nchw(1, 3, 32, 32))])?;
+//! assert_eq!(outputs[0].shape().dims(), &[1, 10]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+/// Tensors, shapes, data types and layouts (re-export of `mnn-tensor`).
+pub use mnn_tensor as tensor;
+
+/// CPU compute kernels (re-export of `mnn-kernels`).
+pub use mnn_kernels as kernels;
+
+/// Computational-graph IR (re-export of `mnn-graph`).
+pub use mnn_graph as graph;
+
+/// Offline conversion, optimization and quantization (re-export of `mnn-converter`).
+pub use mnn_converter as converter;
+
+/// Backend abstraction and implementations (re-export of `mnn-backend`).
+pub use mnn_backend as backend;
+
+/// Engine core: pre-inference and sessions (re-export of `mnn-core`).
+pub use mnn_core as core;
+
+/// Model zoo (re-export of `mnn-models`).
+pub use mnn_models as models;
+
+/// Device profiles and engine cost models (re-export of `mnn-device-sim`).
+pub use mnn_device_sim as device_sim;
+
+pub use mnn_backend::{ConvScheme, ForwardType, GpuProfile};
+pub use mnn_core::{Interpreter, PreInferenceReport, Session, SessionConfig};
+pub use mnn_graph::{Graph, GraphBuilder};
+pub use mnn_tensor::{Shape, Tensor};

@@ -1,0 +1,127 @@
+//! Integration tests for the pre-inference mechanism: scheme selection, hybrid
+//! scheduling, preparation–execution decoupling and memory planning.
+
+use mnn::models::{build, ModelKind};
+use mnn::tensor::{Shape, Tensor};
+use mnn::{ConvScheme, ForwardType, GpuProfile, Interpreter, SessionConfig};
+
+fn input(size: usize) -> Tensor {
+    Tensor::from_vec(
+        Shape::nchw(1, 3, size, size),
+        (0..3 * size * size).map(|i| ((i % 29) as f32 - 14.0) * 0.05).collect(),
+    )
+}
+
+#[test]
+fn scheme_selection_covers_the_whole_scheme_pool_on_a_real_model() {
+    let graph = build(ModelKind::SqueezeNetV1_1, 1, 64);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let session = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+    let schemes: Vec<ConvScheme> = session
+        .report()
+        .placements
+        .iter()
+        .filter_map(|p| p.scheme)
+        .collect();
+    assert!(!schemes.is_empty());
+    // SqueezeNet mixes 1x1 squeeze/expand convolutions (Strassen path) with 3x3
+    // expand convolutions (Winograd or sliding window).
+    assert!(schemes.iter().any(|s| matches!(s, ConvScheme::Strassen1x1)));
+    assert!(schemes
+        .iter()
+        .any(|s| matches!(s, ConvScheme::Winograd { .. } | ConvScheme::SlidingWindow)));
+}
+
+#[test]
+fn mobilenet_uses_depthwise_and_pointwise_schemes() {
+    let graph = build(ModelKind::MobileNetV1, 1, 64);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let session = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+    let schemes: Vec<ConvScheme> = session
+        .report()
+        .placements
+        .iter()
+        .filter_map(|p| p.scheme)
+        .collect();
+    assert!(schemes.iter().any(|s| matches!(s, ConvScheme::Depthwise)));
+    assert!(schemes.iter().any(|s| matches!(s, ConvScheme::Strassen1x1)));
+}
+
+#[test]
+fn hybrid_session_agrees_with_cpu_session_and_uses_both_backends() {
+    let graph = build(ModelKind::TinyCnn, 1, 32);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let mut cpu = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+    let mut hybrid = interpreter
+        .create_session(SessionConfig::gpu(
+            ForwardType::Vulkan,
+            GpuProfile::by_name("Adreno 540"),
+        ))
+        .unwrap();
+    let x = input(32);
+    let a = cpu.run(std::slice::from_ref(&x)).unwrap();
+    let b = hybrid.run(std::slice::from_ref(&x)).unwrap();
+    assert!(a[0].max_abs_diff(&b[0]) < 1e-4);
+
+    let backends: std::collections::BTreeSet<ForwardType> = hybrid
+        .report()
+        .placements
+        .iter()
+        .map(|p| p.forward_type)
+        .collect();
+    assert!(backends.contains(&ForwardType::Vulkan));
+    assert!(backends.contains(&ForwardType::Cpu));
+    assert!(hybrid.last_stats().gpu_virtual_ms > 0.0);
+}
+
+#[test]
+fn decoupling_preparation_does_not_change_results_and_reduces_per_run_work() {
+    let graph = build(ModelKind::TinyCnn, 1, 32);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let x = input(32);
+
+    let mut decoupled = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+    let mut coupled = interpreter
+        .create_session(SessionConfig {
+            decouple_preparation: false,
+            ..SessionConfig::cpu(2)
+        })
+        .unwrap();
+
+    let a = decoupled.run(std::slice::from_ref(&x)).unwrap();
+    let b = coupled.run(std::slice::from_ref(&x)).unwrap();
+    assert!(a[0].max_abs_diff(&b[0]) < 1e-5);
+
+    // Averaged over a few runs, paying preparation on every inference can only be
+    // slower or equal (it repeats weight transforms and execution creation).
+    let with = decoupled.benchmark(std::slice::from_ref(&x), 1, 5).unwrap();
+    let without = coupled.benchmark(std::slice::from_ref(&x), 1, 5).unwrap();
+    assert!(without.wall_ms >= with.wall_ms * 0.8, "decoupled runs should not be drastically slower");
+}
+
+#[test]
+fn memory_plan_reuses_buffers_on_deep_models() {
+    let graph = build(ModelKind::MobileNetV1, 1, 64);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let session = interpreter.create_session(SessionConfig::cpu(1)).unwrap();
+    let report = session.report();
+    // A 28-layer chain-like network reuses the vast majority of its intermediates.
+    assert!(report.memory_savings_ratio() > 0.5);
+    assert!(report.planned_memory_elements > 0);
+}
+
+#[test]
+fn estimated_costs_decrease_with_more_threads() {
+    let graph = build(ModelKind::TinyCnn, 1, 32);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let s1 = interpreter.create_session(SessionConfig::cpu(1)).unwrap();
+    let s4 = interpreter.create_session(SessionConfig::cpu(4)).unwrap();
+    assert!(s4.report().estimated_total_ms < s1.report().estimated_total_ms);
+}
+
+#[test]
+fn capability_table_reports_cpu_as_superset_of_gpu() {
+    let row = mnn::backend::capability::mnn_rs_capability();
+    assert!(row.cpu_ops.unwrap() >= row.vulkan_ops.unwrap());
+    assert!(row.vulkan_ops.unwrap() > 0);
+}
