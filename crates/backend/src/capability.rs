@@ -8,7 +8,9 @@
 
 use crate::traits::{Backend, ForwardType};
 use crate::{CpuBackend, GpuProfile, SimGpuBackend};
-use mnn_graph::{ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Op, PoolAttrs, SoftmaxAttrs};
+use mnn_graph::{
+    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Op, PoolAttrs, SoftmaxAttrs,
+};
 
 /// Operator-count entry for one engine (one row of Table 4).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,10 +167,7 @@ mod tests {
     #[test]
     fn cpu_supports_every_representative_op() {
         let cpu = CpuBackend::new(1);
-        assert_eq!(
-            supported_op_count(&cpu),
-            representative_ops().len() as u32
-        );
+        assert_eq!(supported_op_count(&cpu), representative_ops().len() as u32);
     }
 
     #[test]

@@ -8,8 +8,10 @@ use crate::BackendError;
 use mnn_graph::{ActivationKind, Conv2dAttrs, Graph, Node, Op, TensorId};
 use mnn_kernels::activation::Activation;
 use mnn_kernels::conv::ConvParams;
+use mnn_kernels::winograd::PreparedWinogradWeights;
 use mnn_kernels::{activation, conv, elementwise, fc, norm, pool, winograd};
 use mnn_tensor::{Shape, Tensor};
+use std::sync::Arc;
 
 /// Estimated sustained FLOPs per second per CPU thread used by the cost model when
 /// no device profile is supplied (the appendix's default of 2 GFLOPs).
@@ -49,9 +51,9 @@ impl CpuBackend {
         self.threads
     }
 
-    fn constant<'g>(graph: &'g Graph, id: TensorId, what: &str) -> Result<&'g Tensor, BackendError> {
+    fn constant(graph: &Graph, id: TensorId, what: &str) -> Result<Arc<Tensor>, BackendError> {
         graph
-            .constant(id)
+            .constant_arc(id)
             .ok_or_else(|| BackendError::MissingConstant(what.to_string()))
     }
 
@@ -108,6 +110,13 @@ impl Backend for CpuBackend {
         true
     }
 
+    fn executions_are_geometry_invariant(&self) -> bool {
+        // CPU executions capture constants (weights, transformed Winograd
+        // kernels) but read activation shapes at run time, so they survive a
+        // `resize_session` unchanged.
+        true
+    }
+
     fn on_create(
         &self,
         node: &Node,
@@ -133,10 +142,10 @@ impl Backend for CpuBackend {
             })),
             Op::Concat => Ok(Box::new(ConcatExec)),
             Op::BatchNorm { epsilon } => {
-                let mean = Self::constant(graph, node.inputs[1], "batchnorm mean")?.clone();
-                let var = Self::constant(graph, node.inputs[2], "batchnorm variance")?.clone();
-                let gamma = Self::constant(graph, node.inputs[3], "batchnorm gamma")?.clone();
-                let beta = Self::constant(graph, node.inputs[4], "batchnorm beta")?.clone();
+                let mean = Self::constant(graph, node.inputs[1], "batchnorm mean")?;
+                let var = Self::constant(graph, node.inputs[2], "batchnorm variance")?;
+                let gamma = Self::constant(graph, node.inputs[3], "batchnorm gamma")?;
+                let beta = Self::constant(graph, node.inputs[4], "batchnorm beta")?;
                 Ok(Box::new(BatchNormExec {
                     mean,
                     var,
@@ -146,8 +155,8 @@ impl Backend for CpuBackend {
                 }))
             }
             Op::Scale => {
-                let scale = Self::constant(graph, node.inputs[1], "scale factors")?.clone();
-                let shift = Self::constant(graph, node.inputs[2], "scale shifts")?.clone();
+                let scale = Self::constant(graph, node.inputs[1], "scale factors")?;
+                let shift = Self::constant(graph, node.inputs[2], "scale shifts")?;
                 Ok(Box::new(ScaleExec { scale, shift }))
             }
             Op::FullyConnected {
@@ -155,9 +164,9 @@ impl Backend for CpuBackend {
                 out_features,
                 has_bias,
             } => {
-                let weight = Self::constant(graph, node.inputs[1], "fc weight")?.clone();
+                let weight = Self::constant(graph, node.inputs[1], "fc weight")?;
                 let bias = if *has_bias {
-                    Some(Self::constant(graph, node.inputs[2], "fc bias")?.clone())
+                    Some(Self::constant(graph, node.inputs[2], "fc bias")?)
                 } else {
                     None
                 };
@@ -204,9 +213,9 @@ fn create_conv(
     hint: &SchemeHint,
     threads: usize,
 ) -> Result<Box<dyn Execution>, BackendError> {
-    let weight = CpuBackend::constant(graph, node.inputs[1], "conv weight")?.clone();
+    let weight = CpuBackend::constant(graph, node.inputs[1], "conv weight")?;
     let bias = if attrs.has_bias {
-        Some(CpuBackend::constant(graph, node.inputs[2], "conv bias")?.clone())
+        Some(CpuBackend::constant(graph, node.inputs[2], "conv bias")?)
     } else {
         None
     };
@@ -214,11 +223,20 @@ fn create_conv(
     let scheme = hint
         .conv_scheme
         .unwrap_or_else(|| CpuBackend::default_conv_scheme(&params));
+    let prepared = match scheme {
+        ConvScheme::Winograd { tile } => Some(winograd::prepare_winograd_weights(
+            &params,
+            tile,
+            weight.data_f32(),
+        )),
+        _ => None,
+    };
     Ok(Box::new(ConvExec {
         params,
         scheme,
         weight,
         bias,
+        prepared,
         activation: fused.to_kernel(),
         threads,
     }))
@@ -232,8 +250,11 @@ fn create_conv(
 struct ConvExec {
     params: ConvParams,
     scheme: ConvScheme,
-    weight: Tensor,
-    bias: Option<Tensor>,
+    weight: Arc<Tensor>,
+    bias: Option<Arc<Tensor>>,
+    /// Winograd weights transformed once at creation time (paper Fig. 3:
+    /// preparation work hoisted out of the inference loop).
+    prepared: Option<PreparedWinogradWeights>,
     activation: Activation,
     threads: usize,
 }
@@ -261,17 +282,27 @@ impl Execution for ConvExec {
             ConvScheme::Im2col => {
                 conv::conv2d_im2col(&self.params, self.threads, batch, in_h, in_w, x, w, b)
             }
-            ConvScheme::Winograd { tile } => winograd::conv2d_winograd(
-                &self.params,
-                tile,
-                self.threads,
-                batch,
-                in_h,
-                in_w,
-                x,
-                w,
-                b,
-            ),
+            ConvScheme::Winograd { tile } => {
+                // `create_conv` always prepares weights for the selected tile; a
+                // mismatch is a programming error. Do NOT silently re-transform
+                // here — that would hide the per-run cost that preparation
+                // decoupling exists to remove.
+                let prepared = self
+                    .prepared
+                    .as_ref()
+                    .filter(|p| p.tile() == tile)
+                    .expect("Winograd execution created without matching prepared weights");
+                winograd::conv2d_winograd_prepared(
+                    &self.params,
+                    prepared,
+                    self.threads,
+                    batch,
+                    in_h,
+                    in_w,
+                    x,
+                    b,
+                )
+            }
             ConvScheme::Strassen1x1 => {
                 conv::conv2d_1x1_strassen(&self.params, batch, in_h, in_w, x, w, b)
             }
@@ -281,10 +312,7 @@ impl Execution for ConvExec {
         };
         self.activation.apply(&mut result);
         let (oh, ow) = self.params.output_size(in_h, in_w);
-        *output = Tensor::from_vec(
-            Shape::nchw(batch, self.params.out_channels, oh, ow),
-            result,
-        );
+        *output = Tensor::from_vec(Shape::nchw(batch, self.params.out_channels, oh, ow), result);
         Ok(())
     }
 
@@ -387,10 +415,10 @@ impl Execution for ConcatExec {
 }
 
 struct BatchNormExec {
-    mean: Tensor,
-    var: Tensor,
-    gamma: Tensor,
-    beta: Tensor,
+    mean: Arc<Tensor>,
+    var: Arc<Tensor>,
+    gamma: Arc<Tensor>,
+    beta: Arc<Tensor>,
     epsilon: f32,
 }
 
@@ -419,8 +447,8 @@ impl Execution for BatchNormExec {
 }
 
 struct ScaleExec {
-    scale: Tensor,
-    shift: Tensor,
+    scale: Arc<Tensor>,
+    shift: Arc<Tensor>,
 }
 
 impl Execution for ScaleExec {
@@ -445,8 +473,8 @@ impl Execution for ScaleExec {
 }
 
 struct FullyConnectedExec {
-    weight: Tensor,
-    bias: Option<Tensor>,
+    weight: Arc<Tensor>,
+    bias: Option<Arc<Tensor>>,
     in_features: usize,
     out_features: usize,
     threads: usize,
@@ -456,7 +484,7 @@ impl Execution for FullyConnectedExec {
     fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
         let input = inputs[0];
         let total = input.shape().num_elements();
-        if total % self.in_features != 0 {
+        if !total.is_multiple_of(self.in_features) {
             return Err(BackendError::ShapeMismatch(format!(
                 "fully-connected input {} is not divisible by in_features {}",
                 input.shape(),

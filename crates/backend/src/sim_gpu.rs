@@ -102,7 +102,10 @@ impl SimGpuBackend {
     ///
     /// Panics if `standard` is [`ForwardType::Cpu`].
     pub fn new(standard: ForwardType, profile: GpuProfile) -> Self {
-        assert!(standard.is_gpu(), "SimGpuBackend requires a GPU forward type");
+        assert!(
+            standard.is_gpu(),
+            "SimGpuBackend requires a GPU forward type"
+        );
         SimGpuBackend {
             standard,
             profile,

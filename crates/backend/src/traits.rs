@@ -182,6 +182,19 @@ pub trait Backend: Send {
         hint: &SchemeHint,
     ) -> Result<Box<dyn Execution>, BackendError>;
 
+    /// Whether this backend's [`Execution`] instances stay valid when the input
+    /// geometry changes (they read activation shapes at run time and capture no
+    /// per-shape state).
+    ///
+    /// Pre-inference may carry such executions across a `resize_session` instead
+    /// of re-creating them. Backends that bake shape-derived state into their
+    /// executions at creation time — e.g. the simulated GPU backends, whose
+    /// per-run virtual cost is computed from the shapes seen at `on_create` —
+    /// must return `false` (the default) so resizes re-encode them.
+    fn executions_are_geometry_invariant(&self) -> bool {
+        false
+    }
+
     /// Hook called before a sequence of executions (MNN's `onExecuteBegin`).
     fn on_execute_begin(&mut self) {}
 
@@ -299,7 +312,10 @@ mod tests {
 
     #[test]
     fn conv_scheme_display() {
-        assert_eq!(ConvScheme::Winograd { tile: 4 }.to_string(), "winograd-F(4x4)");
+        assert_eq!(
+            ConvScheme::Winograd { tile: 4 }.to_string(),
+            "winograd-F(4x4)"
+        );
         assert_eq!(ConvScheme::SlidingWindow.to_string(), "sliding-window");
     }
 

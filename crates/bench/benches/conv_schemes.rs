@@ -5,9 +5,9 @@
 //! (`table1_scheme_selection`) measures the original settings.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnn_backend::ConvScheme;
 use mnn_bench::deterministic_buffer;
 use mnn_core::scheme::{select_conv_scheme, MAX_WINOGRAD_TILE};
-use mnn_backend::ConvScheme;
 use mnn_kernels::conv::{conv2d_sliding_window, ConvParams};
 use mnn_kernels::winograd::conv2d_winograd;
 use std::time::Duration;
@@ -34,23 +34,47 @@ fn bench_conv_schemes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sliding", &label), &setting, |b, _| {
             b.iter(|| conv2d_sliding_window(&params, threads, 1, size, size, &input, &weight, &[]))
         });
-        group.bench_with_input(BenchmarkId::new("winograd_min", &label), &setting, |b, _| {
-            b.iter(|| conv2d_winograd(&params, 2, threads, 1, size, size, &input, &weight, &[]))
-        });
-        group.bench_with_input(BenchmarkId::new("winograd_max", &label), &setting, |b, _| {
-            b.iter(|| {
-                conv2d_winograd(&params, MAX_WINOGRAD_TILE, threads, 1, size, size, &input, &weight, &[])
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("winograd_min", &label),
+            &setting,
+            |b, _| {
+                b.iter(|| conv2d_winograd(&params, 2, threads, 1, size, size, &input, &weight, &[]))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("winograd_max", &label),
+            &setting,
+            |b, _| {
+                b.iter(|| {
+                    conv2d_winograd(
+                        &params,
+                        MAX_WINOGRAD_TILE,
+                        threads,
+                        1,
+                        size,
+                        size,
+                        &input,
+                        &weight,
+                        &[],
+                    )
+                })
+            },
+        );
         let decision = select_conv_scheme(&params, size, size, MAX_WINOGRAD_TILE);
-        group.bench_with_input(BenchmarkId::new("ours_selected", &label), &setting, |b, _| {
-            b.iter(|| match decision.selected {
-                ConvScheme::Winograd { tile } => {
-                    conv2d_winograd(&params, tile, threads, 1, size, size, &input, &weight, &[])
-                }
-                _ => conv2d_sliding_window(&params, threads, 1, size, size, &input, &weight, &[]),
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ours_selected", &label),
+            &setting,
+            |b, _| {
+                b.iter(|| match decision.selected {
+                    ConvScheme::Winograd { tile } => {
+                        conv2d_winograd(&params, tile, threads, 1, size, size, &input, &weight, &[])
+                    }
+                    _ => {
+                        conv2d_sliding_window(&params, threads, 1, size, size, &input, &weight, &[])
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

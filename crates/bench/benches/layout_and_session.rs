@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_layout(c: &mut Criterion) {
     let mut group = c.benchmark_group("nc4hw4_layout");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for channels in [3usize, 32, 128] {
         let t = Tensor::from_vec(
             Shape::nchw(1, channels, 56, 56),
@@ -42,11 +44,82 @@ fn bench_session(c: &mut Criterion) {
             })
             .expect("session");
         group.bench_function(BenchmarkId::new("run", label), |b| {
-            b.iter(|| session.run(std::slice::from_ref(&input)).expect("inference"))
+            b.iter(|| {
+                session
+                    .run(std::slice::from_ref(&input))
+                    .expect("inference")
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_layout, bench_session);
+/// Quantify the shape-signature pre-inference cache behind `resize_session`:
+/// alternating between two known geometries (cache hit, plans swap in O(1))
+/// versus alternating between a known and an always-new geometry (cold
+/// pre-inference on every switch).
+fn bench_resize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resize_session");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    let graph = build(ModelKind::TinyCnn, 1, 32);
+    let interpreter = Interpreter::from_graph(graph).expect("valid model");
+
+    // Cached re-plan: 32x32 <-> 48x48, both geometries planned once up front.
+    {
+        let mut session = interpreter
+            .create_session(SessionConfig::cpu(2))
+            .expect("session");
+        session
+            .resize_input("data", Shape::nchw(1, 3, 48, 48))
+            .expect("resize");
+        session.resize_session().expect("warm 48");
+        let mut size = 32usize;
+        group.bench_function(BenchmarkId::new("replan", "cached-shape"), |b| {
+            b.iter(|| {
+                session
+                    .resize_input("data", Shape::nchw(1, 3, size, size))
+                    .expect("resize");
+                session.resize_session().expect("cached re-plan");
+                size = if size == 32 { 48 } else { 32 };
+            })
+        });
+        assert!(
+            session.plan_cache_hits() > 0,
+            "bench must exercise the cache"
+        );
+    }
+
+    // Cold pre-inference: cycle through a fixed set of spatial sizes much larger
+    // than the session's plan-cache capacity, so (nearly) every switch misses
+    // the cache while the geometry — and therefore the staged-tensor allocation
+    // cost — stays bounded and comparable to the cached case above.
+    {
+        let mut session = interpreter
+            .create_session(SessionConfig::cpu(2))
+            .expect("session");
+        let sizes: Vec<usize> = (33..65).collect(); // 32 geometries vs. 8 cache slots
+        let mut index = 0usize;
+        group.bench_function(BenchmarkId::new("replan", "cold-shape"), |b| {
+            b.iter(|| {
+                let size = sizes[index % sizes.len()];
+                index += 1;
+                session
+                    .resize_input("data", Shape::nchw(1, 3, size, size))
+                    .expect("resize");
+                session.resize_session().expect("cold re-plan");
+            })
+        });
+        println!(
+            "  (cold-shape bench: {} cache hits over {} resizes)",
+            session.plan_cache_hits(),
+            index
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout, bench_session, bench_resize);
 criterion_main!(benches);

@@ -21,14 +21,20 @@ fn bench_tile_sizes(c: &mut Criterion) {
     let input = deterministic_buffer(32 * size * size, 1);
     let weight = deterministic_buffer(params.weight_len(), 2);
     for tile in [2usize, 3, 4, 6] {
-        group.bench_with_input(BenchmarkId::new("conv3x3_ic32_oc32_s56", tile), &tile, |b, &tile| {
-            b.iter(|| conv2d_winograd(&params, tile, 4, 1, size, size, &input, &weight, &[]))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("conv3x3_ic32_oc32_s56", tile),
+            &tile,
+            |b, &tile| {
+                b.iter(|| conv2d_winograd(&params, tile, 4, 1, size, size, &input, &weight, &[]))
+            },
+        );
     }
     group.finish();
 
     let mut gen_group = c.benchmark_group("winograd_generator");
-    gen_group.sample_size(20).measurement_time(Duration::from_secs(2));
+    gen_group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for (n, k) in [(2usize, 3usize), (4, 3), (6, 3), (2, 7)] {
         gen_group.bench_with_input(
             BenchmarkId::new("generate", format!("F({n},{k})")),

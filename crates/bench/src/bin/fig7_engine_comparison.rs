@@ -36,6 +36,7 @@ fn cpu_section(graph: &Graph, threads: usize) {
         let mut cells = vec![device_name.to_string()];
         for engine in Engine::ALL {
             let spec = engine.spec();
+            #[allow(clippy::nonminimal_bool)] // readability: two named platform exclusions
             let supported = !(spec.ios_only && !device.gpu.is_metal)
                 && !(spec.android_only && device.gpu.is_metal);
             let value = supported.then(|| estimate_cpu_latency_ms(graph, &device, engine, threads));
@@ -69,14 +70,54 @@ fn gpu_section(graph: &Graph) {
         };
         let cells = vec![
             device_name.to_string(),
-            cell(estimate_gpu_latency_ms(graph, &device, Engine::Ncnn, GpuStandard::Vulkan)),
-            cell(estimate_gpu_latency_ms(graph, &device, Engine::Mace, GpuStandard::OpenCl)),
-            cell(estimate_gpu_latency_ms(graph, &device, Engine::TfLite, tflite_standard)),
-            cell(estimate_gpu_latency_ms(graph, &device, Engine::CoreMl, GpuStandard::Metal)),
-            cell(estimate_gpu_latency_ms(graph, &device, Engine::Mnn, GpuStandard::Metal)),
-            cell(estimate_gpu_latency_ms(graph, &device, Engine::Mnn, GpuStandard::OpenCl)),
-            cell(estimate_gpu_latency_ms(graph, &device, Engine::Mnn, GpuStandard::OpenGl)),
-            cell(estimate_gpu_latency_ms(graph, &device, Engine::Mnn, GpuStandard::Vulkan)),
+            cell(estimate_gpu_latency_ms(
+                graph,
+                &device,
+                Engine::Ncnn,
+                GpuStandard::Vulkan,
+            )),
+            cell(estimate_gpu_latency_ms(
+                graph,
+                &device,
+                Engine::Mace,
+                GpuStandard::OpenCl,
+            )),
+            cell(estimate_gpu_latency_ms(
+                graph,
+                &device,
+                Engine::TfLite,
+                tflite_standard,
+            )),
+            cell(estimate_gpu_latency_ms(
+                graph,
+                &device,
+                Engine::CoreMl,
+                GpuStandard::Metal,
+            )),
+            cell(estimate_gpu_latency_ms(
+                graph,
+                &device,
+                Engine::Mnn,
+                GpuStandard::Metal,
+            )),
+            cell(estimate_gpu_latency_ms(
+                graph,
+                &device,
+                Engine::Mnn,
+                GpuStandard::OpenCl,
+            )),
+            cell(estimate_gpu_latency_ms(
+                graph,
+                &device,
+                Engine::Mnn,
+                GpuStandard::OpenGl,
+            )),
+            cell(estimate_gpu_latency_ms(
+                graph,
+                &device,
+                Engine::Mnn,
+                GpuStandard::Vulkan,
+            )),
         ];
         print_row(&cells);
     }

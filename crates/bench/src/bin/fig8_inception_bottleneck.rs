@@ -26,8 +26,8 @@ fn main() {
     let mnn_vulkan =
         estimate_gpu_latency_ms(&graph, &p20, Engine::Mnn, GpuStandard::Vulkan).unwrap_or(f64::NAN);
     let mace_cpu = estimate_cpu_latency_ms(&graph, &p20, Engine::Mace, 4);
-    let mace_cl =
-        estimate_gpu_latency_ms(&graph, &p20, Engine::Mace, GpuStandard::OpenCl).unwrap_or(f64::NAN);
+    let mace_cl = estimate_gpu_latency_ms(&graph, &p20, Engine::Mace, GpuStandard::OpenCl)
+        .unwrap_or(f64::NAN);
     let tflite_cpu = estimate_cpu_latency_ms(&graph, &p20, Engine::TfLite, 4);
     let ncnn_cpu = estimate_cpu_latency_ms(&graph, &p20, Engine::Ncnn, 4);
 

@@ -20,7 +20,14 @@ fn main() {
 
     print_table_header(
         "Figure 9: CPU inference time (ms) on Kirin 970 — MNN vs TVM",
-        &["network", "MNN (sim)", "TVM (sim)", "TVM/MNN", "paper MNN", "paper TVM"],
+        &[
+            "network",
+            "MNN (sim)",
+            "TVM (sim)",
+            "TVM/MNN",
+            "paper MNN",
+            "paper TVM",
+        ],
     );
     for (kind, paper_mnn, paper_tvm) in paper {
         let mut graph = build(kind, 1, kind.default_input_size());

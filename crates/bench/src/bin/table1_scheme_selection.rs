@@ -8,7 +8,10 @@
 //! Run with: `cargo run --release -p mnn-bench --bin table1_scheme_selection`
 
 use mnn_backend::ConvScheme;
-use mnn_bench::{deterministic_buffer, ms, print_row, print_table_header, table1_conv, time_avg_ms, TABLE1_SETTINGS};
+use mnn_bench::{
+    deterministic_buffer, ms, print_row, print_table_header, table1_conv, time_avg_ms,
+    TABLE1_SETTINGS,
+};
 use mnn_core::scheme::{select_conv_scheme, MAX_WINOGRAD_TILE};
 use mnn_kernels::conv::{conv2d_sliding_window, ConvParams};
 use mnn_kernels::winograd::conv2d_winograd;
@@ -38,7 +41,14 @@ fn main() {
     let runs = 3;
     print_table_header(
         "Table 1: convolution scheme comparison (ms, lower is better)",
-        &["setting (k, ic, oc, size)", "Sliding", "WinoMin", "WinoMax", "Ours", "selected scheme"],
+        &[
+            "setting (k, ic, oc, size)",
+            "Sliding",
+            "WinoMin",
+            "WinoMax",
+            "Ours",
+            "selected scheme",
+        ],
     );
 
     for setting in TABLE1_SETTINGS {
@@ -47,11 +57,29 @@ fn main() {
         let input = deterministic_buffer(ic * size * size, 1);
         let weight = deterministic_buffer(params.weight_len(), 2);
 
-        let sliding = run_scheme(&params, ConvScheme::SlidingWindow, size, &input, &weight, threads, runs);
-        let wino_min = run_scheme(&params, ConvScheme::Winograd { tile: 2 }, size, &input, &weight, threads, runs);
+        let sliding = run_scheme(
+            &params,
+            ConvScheme::SlidingWindow,
+            size,
+            &input,
+            &weight,
+            threads,
+            runs,
+        );
+        let wino_min = run_scheme(
+            &params,
+            ConvScheme::Winograd { tile: 2 },
+            size,
+            &input,
+            &weight,
+            threads,
+            runs,
+        );
         let wino_max = run_scheme(
             &params,
-            ConvScheme::Winograd { tile: MAX_WINOGRAD_TILE },
+            ConvScheme::Winograd {
+                tile: MAX_WINOGRAD_TILE,
+            },
             size,
             &input,
             &weight,

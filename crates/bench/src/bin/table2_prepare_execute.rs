@@ -67,11 +67,20 @@ fn measure(device: &DeviceProfile, gpu: bool) -> Measurement {
 fn main() {
     print_table_header(
         "Table 2: preparation-execution decoupling (MobileNet-v1, ms)",
-        &["device", "backend", "w/o decoupling", "w/ decoupling", "improvement"],
+        &[
+            "device",
+            "backend",
+            "w/o decoupling",
+            "w/ decoupling",
+            "improvement",
+        ],
     );
     for device_name in ["MI6", "P10"] {
         let device = DeviceProfile::by_name(device_name).expect("known device");
-        for (label, gpu) in [("CPU (4 threads)", false), ("GPU (Vulkan, simulated)", true)] {
+        for (label, gpu) in [
+            ("CPU (4 threads)", false),
+            ("GPU (Vulkan, simulated)", true),
+        ] {
             let m = measure(&device, gpu);
             let improvement = (1.0 - m.with / m.without) * 100.0;
             print_row(&[

@@ -2,14 +2,22 @@
 //!
 //! Run with: `cargo run --release -p mnn-bench --bin table3_strassen`
 
-use mnn_bench::{deterministic_buffer, ms, print_row, print_table_header, time_avg_ms, TABLE3_SIZES};
+use mnn_bench::{
+    deterministic_buffer, ms, print_row, print_table_header, time_avg_ms, TABLE3_SIZES,
+};
 use mnn_kernels::gemm::gemm;
 use mnn_kernels::strassen::{planned_depth, strassen};
 
 fn main() {
     print_table_header(
         "Table 3: matrix multiplication time (ms), direct vs Strassen",
-        &["matrix size (a, b, c)", "w/o Strassen", "w/ Strassen", "improvement", "recursion depth"],
+        &[
+            "matrix size (a, b, c)",
+            "w/o Strassen",
+            "w/ Strassen",
+            "improvement",
+            "recursion depth",
+        ],
     );
     for (a, b, c) in TABLE3_SIZES {
         let lhs = deterministic_buffer(a * b, 1);

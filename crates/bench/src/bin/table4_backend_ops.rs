@@ -10,7 +10,9 @@ use mnn_backend::capability::{mnn_rs_capability, published_capabilities, EngineC
 use mnn_bench::{print_row, print_table_header};
 
 fn cell(value: Option<u32>) -> String {
-    value.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string())
+    value
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| "-".to_string())
 }
 
 fn row(capability: &EngineCapability) -> Vec<String> {

@@ -38,7 +38,9 @@ fn main() {
     let wall_start = Instant::now();
     for _ in 0..queries {
         let start = Instant::now();
-        session.run(std::slice::from_ref(&input)).expect("inference");
+        session
+            .run(std::slice::from_ref(&input))
+            .expect("inference");
         latencies_ns.push(start.elapsed().as_nanos());
     }
     let wall_s = wall_start.elapsed().as_secs_f64();
@@ -55,13 +57,28 @@ fn main() {
     );
     let rows: Vec<(String, String)> = vec![
         ("query count".into(), queries.to_string()),
-        ("QPS w/ loadgen overhead".into(), format!("{qps_with_overhead:.2}")),
-        ("QPS w/o loadgen overhead".into(), format!("{qps_without_overhead:.2}")),
+        (
+            "QPS w/ loadgen overhead".into(),
+            format!("{qps_with_overhead:.2}"),
+        ),
+        (
+            "QPS w/o loadgen overhead".into(),
+            format!("{qps_without_overhead:.2}"),
+        ),
         ("Min latency (ns)".into(), latencies_ns[0].to_string()),
-        ("Max latency (ns)".into(), latencies_ns[queries - 1].to_string()),
+        (
+            "Max latency (ns)".into(),
+            latencies_ns[queries - 1].to_string(),
+        ),
         ("Mean latency (ns)".into(), mean_ns.to_string()),
-        ("50.00 percentile latency (ns)".into(), percentile(&latencies_ns, 0.50).to_string()),
-        ("90.00 percentile latency (ns)".into(), percentile(&latencies_ns, 0.90).to_string()),
+        (
+            "50.00 percentile latency (ns)".into(),
+            percentile(&latencies_ns, 0.50).to_string(),
+        ),
+        (
+            "90.00 percentile latency (ns)".into(),
+            percentile(&latencies_ns, 0.90).to_string(),
+        ),
     ];
     for (item, value) in rows {
         print_row(&[item, value]);

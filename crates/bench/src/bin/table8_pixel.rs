@@ -12,7 +12,15 @@ fn main() {
 
     print_table_header(
         "Table 8: Inception-v3 float CPU inference time (ms)",
-        &["phone", "#threads", "TF-Lite (sim)", "MNN (sim)", "speed-up", "paper TF-Lite", "paper MNN"],
+        &[
+            "phone",
+            "#threads",
+            "TF-Lite (sim)",
+            "MNN (sim)",
+            "speed-up",
+            "paper TF-Lite",
+            "paper MNN",
+        ],
     );
     let paper = [
         ("Pixel2", 1usize, 974.0, 664.0),

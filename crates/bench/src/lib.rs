@@ -74,7 +74,10 @@ pub fn time_avg_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
 pub fn print_table_header(title: &str, columns: &[&str]) {
     println!("\n=== {title} ===");
     println!("{}", columns.join(" | "));
-    println!("{}", "-".repeat(columns.iter().map(|c| c.len() + 3).sum::<usize>().max(20)));
+    println!(
+        "{}",
+        "-".repeat(columns.iter().map(|c| c.len() + 3).sum::<usize>().max(20))
+    );
 }
 
 /// Print one table row.

@@ -139,10 +139,26 @@ fn fuse_conv_batch_norm(graph: &mut Graph) -> usize {
         };
 
         // Gather constants.
-        let mean = graph.constant(bn.inputs[1]).expect("bn mean").data_f32().to_vec();
-        let var = graph.constant(bn.inputs[2]).expect("bn var").data_f32().to_vec();
-        let gamma = graph.constant(bn.inputs[3]).expect("bn gamma").data_f32().to_vec();
-        let beta = graph.constant(bn.inputs[4]).expect("bn beta").data_f32().to_vec();
+        let mean = graph
+            .constant(bn.inputs[1])
+            .expect("bn mean")
+            .data_f32()
+            .to_vec();
+        let var = graph
+            .constant(bn.inputs[2])
+            .expect("bn var")
+            .data_f32()
+            .to_vec();
+        let gamma = graph
+            .constant(bn.inputs[3])
+            .expect("bn gamma")
+            .data_f32()
+            .to_vec();
+        let beta = graph
+            .constant(bn.inputs[4])
+            .expect("bn beta")
+            .data_f32()
+            .to_vec();
         let (scale, shift) = batch_norm_to_scale_shift(&mean, &var, &gamma, &beta, epsilon);
 
         let weight_id = conv.inputs[1];
@@ -156,7 +172,11 @@ fn fuse_conv_batch_norm(graph: &mut Graph) -> usize {
             }
         }
         let old_bias: Vec<f32> = if attrs.has_bias {
-            graph.constant(conv.inputs[2]).expect("conv bias").data_f32().to_vec()
+            graph
+                .constant(conv.inputs[2])
+                .expect("conv bias")
+                .data_f32()
+                .to_vec()
         } else {
             vec![0.0; oc]
         };
@@ -167,7 +187,10 @@ fn fuse_conv_batch_norm(graph: &mut Graph) -> usize {
             .map(|((b, s), sh)| b * s + sh)
             .collect();
 
-        graph.replace_constant(weight_id, Tensor::from_vec(weight.shape().clone(), new_weight));
+        graph.replace_constant(
+            weight_id,
+            Tensor::from_vec(weight.shape().clone(), new_weight),
+        );
         let bias_id = if attrs.has_bias {
             let id = conv.inputs[2];
             graph.replace_constant(id, Tensor::from_vec(Shape::vector(oc), new_bias));
@@ -256,10 +279,7 @@ fn fold_constant_activations(graph: &mut Graph) -> usize {
         let nodes = graph.nodes().to_vec();
         let candidate = nodes.iter().enumerate().find(|(_, node)| {
             matches!(node.op, Op::Activation(_))
-                && node
-                    .inputs
-                    .iter()
-                    .all(|id| graph.constant(*id).is_some())
+                && node.inputs.iter().all(|id| graph.constant(*id).is_some())
         });
         let Some((idx, node)) = candidate else {
             break;
@@ -267,7 +287,10 @@ fn fold_constant_activations(graph: &mut Graph) -> usize {
         let Op::Activation(kind) = node.op else {
             break;
         };
-        let input = graph.constant(node.inputs[0]).expect("constant input").clone();
+        let input = graph
+            .constant(node.inputs[0])
+            .expect("constant input")
+            .clone();
         let mut data = input.data_f32().to_vec();
         kind.to_kernel().apply(&mut data);
         let out_id = node.outputs[0];
@@ -286,9 +309,9 @@ fn eliminate_dead_nodes(graph: &mut Graph) -> usize {
         let nodes = graph.nodes().to_vec();
         let outputs = graph.outputs().to_vec();
         let dead = nodes.iter().enumerate().position(|(idx, node)| {
-            node.outputs.iter().all(|out| {
-                !outputs.contains(out) && consumer_count(&nodes, *out, idx) == 0
-            })
+            node.outputs
+                .iter()
+                .all(|out| !outputs.contains(out) && consumer_count(&nodes, *out, idx) == 0)
         });
         let Some(idx) = dead else {
             break;
@@ -397,7 +420,9 @@ mod tests {
         let mut optimized = original.clone();
         optimize(&mut optimized, OptimizerOptions::default());
 
-        let input: Vec<f32> = (0..3 * 8 * 8).map(|v| ((v % 13) as f32 - 6.0) * 0.1).collect();
+        let input: Vec<f32> = (0..3 * 8 * 8)
+            .map(|v| ((v % 13) as f32 - 6.0) * 0.1)
+            .collect();
         let expected = run_reference(&original, &input);
         let got = run_reference(&optimized, &input);
         assert_eq!(expected.len(), got.len());
@@ -448,7 +473,10 @@ mod tests {
     fn constant_activations_are_folded() {
         let mut b = GraphBuilder::new("constfold");
         let x = b.input("x", Shape::nchw(1, 2, 4, 4));
-        let c = b.constant("c", Tensor::from_vec(Shape::nchw(1, 2, 4, 4), vec![-1.0; 32]));
+        let c = b.constant(
+            "c",
+            Tensor::from_vec(Shape::nchw(1, 2, 4, 4), vec![-1.0; 32]),
+        );
         let folded = b.activation("relu_const", c, ActivationKind::Relu);
         let y = b.binary("add", x, folded, mnn_graph::BinaryKind::Add);
         let mut g = b.build(vec![y]);

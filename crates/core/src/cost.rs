@@ -58,7 +58,11 @@ pub struct Placement {
 /// # Panics
 ///
 /// Panics if `backends` is empty or `fallback` is out of range.
-pub fn hybrid_schedule(graph: &Graph, backends: &[&dyn Backend], fallback: usize) -> Vec<Placement> {
+pub fn hybrid_schedule(
+    graph: &Graph,
+    backends: &[&dyn Backend],
+    fallback: usize,
+) -> Vec<Placement> {
     assert!(!backends.is_empty(), "at least one backend is required");
     assert!(fallback < backends.len(), "fallback index out of range");
     graph
@@ -76,8 +80,8 @@ pub fn hybrid_schedule(graph: &Graph, backends: &[&dyn Backend], fallback: usize
                     best = Some((i, cost));
                 }
             }
-            let (backend_index, cost_ms) =
-                best.unwrap_or_else(|| (fallback, backends[fallback].descriptor().op_cost_ms(muls)));
+            let (backend_index, cost_ms) = best
+                .unwrap_or_else(|| (fallback, backends[fallback].descriptor().op_cost_ms(muls)));
             Placement {
                 node: node.id,
                 backend_index,

@@ -48,4 +48,7 @@ mod session;
 pub use error::CoreError;
 pub use memory_plan::MemoryPlan;
 pub use scheme::{SchemeChoice, SchemeDecision};
-pub use session::{Interpreter, NodePlacement, PreInferenceReport, Session, SessionConfig};
+pub use session::{
+    Interpreter, NodePlacement, PreInferenceReport, RunStats, Session, SessionConfig,
+    SessionConfigBuilder,
+};

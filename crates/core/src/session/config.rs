@@ -1,0 +1,158 @@
+//! Session configuration and its builder.
+
+use mnn_backend::{ForwardType, GpuProfile};
+
+/// Configuration of a session, chosen by the application developer.
+///
+/// Construct one with [`SessionConfig::builder`] (preferred — new knobs never
+/// break builder call sites), with the [`SessionConfig::cpu`] /
+/// [`SessionConfig::gpu`] shorthands, or by filling fields over
+/// [`SessionConfig::default`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Backend preference list. The CPU is always available as the universal
+    /// fallback even if it is not listed.
+    pub forward_types: Vec<ForwardType>,
+    /// CPU thread count (the paper evaluates 2 and 4 threads).
+    pub threads: usize,
+    /// Whether preparation (execution creation, weight transforms, GPU command
+    /// encoding) is decoupled from execution. Disabling this reproduces the "w/o"
+    /// rows of Table 2.
+    pub decouple_preparation: bool,
+    /// Largest Winograd output tile size considered by scheme selection.
+    pub max_winograd_tile: usize,
+    /// GPU profile used by simulated GPU backends.
+    pub gpu_profile: GpuProfile,
+    /// CPU FLOPS estimate override for the cost model (e.g. from a device profile).
+    pub cpu_flops: Option<f64>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            forward_types: vec![ForwardType::Cpu],
+            threads: mnn_kernels::parallel::default_threads(),
+            decouple_preparation: true,
+            max_winograd_tile: crate::scheme::MAX_WINOGRAD_TILE,
+            gpu_profile: GpuProfile::GENERIC,
+            cpu_flops: None,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Start building a configuration:
+    /// `SessionConfig::builder().threads(4).forward(ForwardType::Cpu).build()`.
+    pub fn builder() -> SessionConfigBuilder {
+        SessionConfigBuilder {
+            forward_types: Vec::new(),
+            config: SessionConfig::default(),
+        }
+    }
+
+    /// CPU-only configuration with an explicit thread count.
+    pub fn cpu(threads: usize) -> Self {
+        SessionConfig {
+            threads,
+            ..SessionConfig::default()
+        }
+    }
+
+    /// Configuration preferring a (simulated) GPU backend with the given profile.
+    pub fn gpu(standard: ForwardType, profile: GpuProfile) -> Self {
+        SessionConfig {
+            forward_types: vec![standard, ForwardType::Cpu],
+            gpu_profile: profile,
+            ..SessionConfig::default()
+        }
+    }
+}
+
+/// Builder for [`SessionConfig`], so future knobs extend the API without breaking
+/// existing constructor calls.
+#[derive(Debug, Clone)]
+pub struct SessionConfigBuilder {
+    /// Forward types accumulated by [`SessionConfigBuilder::forward`]; empty means
+    /// "CPU only".
+    forward_types: Vec<ForwardType>,
+    config: SessionConfig,
+}
+
+impl SessionConfigBuilder {
+    /// Append a backend to the preference list, most-preferred first. The CPU is
+    /// always appended as the universal fallback, so listing it is optional.
+    pub fn forward(mut self, forward_type: ForwardType) -> Self {
+        self.forward_types.push(forward_type);
+        self
+    }
+
+    /// Set the CPU thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Enable/disable preparation–execution decoupling (Table 2's ablation).
+    pub fn decouple_preparation(mut self, decouple: bool) -> Self {
+        self.config.decouple_preparation = decouple;
+        self
+    }
+
+    /// Bound the Winograd tile-size search of scheme selection.
+    pub fn max_winograd_tile(mut self, tile: usize) -> Self {
+        self.config.max_winograd_tile = tile;
+        self
+    }
+
+    /// Set the GPU profile used by simulated GPU backends.
+    pub fn gpu_profile(mut self, profile: GpuProfile) -> Self {
+        self.config.gpu_profile = profile;
+        self
+    }
+
+    /// Override the CPU FLOPS estimate used by the cost model.
+    pub fn cpu_flops(mut self, flops: f64) -> Self {
+        self.config.cpu_flops = Some(flops);
+        self
+    }
+
+    /// Finish building the configuration.
+    pub fn build(mut self) -> SessionConfig {
+        if !self.forward_types.is_empty() {
+            self.config.forward_types = self.forward_types;
+        }
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_issue_example() {
+        let config = SessionConfig::builder()
+            .threads(4)
+            .forward(ForwardType::Cpu)
+            .build();
+        assert_eq!(config.threads, 4);
+        assert_eq!(config.forward_types, vec![ForwardType::Cpu]);
+        assert!(config.decouple_preparation);
+    }
+
+    #[test]
+    fn builder_defaults_to_cpu_when_no_forward_given() {
+        let config = SessionConfig::builder().threads(2).build();
+        assert_eq!(config.forward_types, vec![ForwardType::Cpu]);
+    }
+
+    #[test]
+    fn builder_preserves_gpu_preference_order() {
+        let config = SessionConfig::builder()
+            .forward(ForwardType::Vulkan)
+            .gpu_profile(GpuProfile::by_name("Mali-G72"))
+            .build();
+        assert_eq!(config.forward_types, vec![ForwardType::Vulkan]);
+        assert_eq!(config.gpu_profile.name, "Mali-G72");
+    }
+}

@@ -1,0 +1,237 @@
+//! The Interpreter / Session API and the pre-inference pipeline.
+//!
+//! Mirroring MNN's user-facing flow (paper Fig. 2, "on-device inference"):
+//!
+//! 1. An [`Interpreter`] is created from an (optimized) graph; it validates the
+//!    graph, runs shape inference and stores the result behind an `Arc`.
+//! 2. [`Interpreter::create_session`] runs **pre-inference**: computation scheme
+//!    selection for every convolution (Eq. 2–3), backend cost evaluation and hybrid
+//!    scheduling (Eq. 4–5), the static memory plan (Fig. 3), and — when
+//!    preparation–execution decoupling is enabled — creation of every execution
+//!    instance (including Winograd weight transforms and simulated GPU command
+//!    encoding). The returned [`Session`] is **owned** (`'static` and [`Send`]): it
+//!    shares the graph with the interpreter through the `Arc`, may outlive it, and
+//!    can be moved onto worker threads.
+//! 3. [`Session::run_with`] / [`Session::run`] then perform pure computation
+//!    against the pre-selected schemes, placements and memory. I/O is addressed by
+//!    name ([`Session::input_mut`], [`Session::output`]).
+//! 4. When the input geometry changes, [`Session::resize_input`] +
+//!    [`Session::resize_session`] re-run pre-inference for the new shapes —
+//!    reusing unchanged execution instances and caching whole plans per shape
+//!    signature, so alternating between known geometries never re-plans.
+
+mod config;
+mod exec;
+mod plan;
+mod resize;
+#[cfg(test)]
+mod tests;
+
+pub use config::{SessionConfig, SessionConfigBuilder};
+pub use exec::RunStats;
+pub use plan::{NodePlacement, PreInferenceReport};
+
+use crate::memory_plan::MemoryPlan;
+use crate::CoreError;
+use mnn_backend::{Backend, CpuBackend, ForwardType, SimGpuBackend};
+use mnn_graph::{Graph, NodeId, TensorId};
+use mnn_tensor::{Shape, Tensor};
+use plan::ExecutionPlan;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The model holder: owns the validated, shape-inferred graph behind an `Arc` so
+/// that every session shares (rather than copies) the model weights.
+#[derive(Debug)]
+pub struct Interpreter {
+    graph: Arc<Graph>,
+}
+
+impl Interpreter {
+    /// Create an interpreter, validating the graph and inferring every shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Graph`] when the graph is structurally invalid or shapes
+    /// cannot be inferred.
+    pub fn from_graph(mut graph: Graph) -> Result<Self, CoreError> {
+        graph.validate()?;
+        graph.infer_shapes()?;
+        Ok(Interpreter {
+            graph: Arc::new(graph),
+        })
+    }
+
+    /// The underlying graph (shapes inferred).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Shared handle to the underlying graph.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Run pre-inference and build an owned [`Session`].
+    ///
+    /// The session holds its own handle to the graph: it remains fully usable if
+    /// the interpreter is dropped, and it is [`Send`], so it can serve inferences
+    /// from a worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for inconsistent configurations and
+    /// propagates backend errors from execution creation.
+    pub fn create_session(&self, config: SessionConfig) -> Result<Session, CoreError> {
+        Session::create(Arc::clone(&self.graph), config)
+    }
+}
+
+/// A cached pre-inference result: the geometry-specific graph plus its plan.
+struct CachedPlan {
+    graph: Arc<Graph>,
+    plan: ExecutionPlan,
+}
+
+/// An inference session: pre-inference results plus runtime state.
+///
+/// Sessions are **owned** and [`Send`]: they share the interpreter's graph via an
+/// `Arc`, may outlive the interpreter, and can be moved across thread boundaries
+/// (e.g. one session per worker thread, all sharing one set of weights).
+pub struct Session {
+    /// The graph at the session's *current* input geometry. Starts as the
+    /// interpreter's graph; `resize_session` replaces it with a re-inferred copy
+    /// (cheap — constants are shared through `Arc`s).
+    graph: Arc<Graph>,
+    config: SessionConfig,
+    backends: Vec<Box<dyn Backend>>,
+    cpu_index: usize,
+    plan: ExecutionPlan,
+    /// Named input tensors staged for the next run (see [`Session::input_mut`]).
+    inputs: HashMap<TensorId, Tensor>,
+    /// Outputs of the most recent run (see [`Session::output`]).
+    outputs: HashMap<TensorId, Tensor>,
+    /// Input shape changes staged by [`Session::resize_input`], applied by
+    /// [`Session::resize_session`].
+    pending_shapes: HashMap<TensorId, Shape>,
+    /// Pre-inference results cached per input-shape signature.
+    plan_cache: HashMap<Vec<Shape>, CachedPlan>,
+    cache_hits: usize,
+    last_stats: RunStats,
+}
+
+// Sessions must stay movable across threads; this fails to compile if a
+// non-`Send` field sneaks in.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
+
+impl Session {
+    fn create(graph: Arc<Graph>, config: SessionConfig) -> Result<Self, CoreError> {
+        if config.threads == 0 {
+            return Err(CoreError::InvalidConfig("thread count must be >= 1".into()));
+        }
+
+        // --- Backends -------------------------------------------------------
+        let mut backends: Vec<Box<dyn Backend>> = Vec::new();
+        let mut cpu_index = None;
+        let mut forward_types = config.forward_types.clone();
+        if !forward_types.contains(&ForwardType::Cpu) {
+            forward_types.push(ForwardType::Cpu);
+        }
+        for ft in &forward_types {
+            match ft {
+                ForwardType::Cpu => {
+                    let mut cpu = CpuBackend::new(config.threads);
+                    if let Some(flops) = config.cpu_flops {
+                        cpu = cpu.with_flops(flops);
+                    }
+                    cpu_index = Some(backends.len());
+                    backends.push(Box::new(cpu));
+                }
+                gpu => {
+                    let mut sim = SimGpuBackend::new(*gpu, config.gpu_profile);
+                    sim.set_decoupled(config.decouple_preparation);
+                    backends.push(Box::new(sim));
+                }
+            }
+        }
+        let cpu_index = cpu_index.expect("CPU backend is always present");
+
+        let plan = plan::build_plan(&graph, &config, &mut backends, None)?;
+        let inputs = Self::fresh_inputs(&graph)?;
+
+        Ok(Session {
+            graph,
+            config,
+            backends,
+            cpu_index,
+            plan,
+            inputs,
+            outputs: HashMap::new(),
+            pending_shapes: HashMap::new(),
+            plan_cache: HashMap::new(),
+            cache_hits: 0,
+            last_stats: RunStats::default(),
+        })
+    }
+
+    /// Zero-filled staged input tensors matching the graph's current input shapes.
+    fn fresh_inputs(graph: &Graph) -> Result<HashMap<TensorId, Tensor>, CoreError> {
+        let mut inputs = HashMap::new();
+        for id in graph.inputs() {
+            let shape = graph.tensor_info(*id)?.shape.clone().ok_or_else(|| {
+                CoreError::InvalidInput(format!("graph input {id} has no declared shape"))
+            })?;
+            inputs.insert(*id, Tensor::zeros(shape));
+        }
+        Ok(inputs)
+    }
+
+    /// The pre-inference report (schemes, placements, memory, estimated cost) for
+    /// the session's current input geometry.
+    pub fn report(&self) -> &PreInferenceReport {
+        &self.plan.report
+    }
+
+    /// The static memory plan computed for the current input geometry.
+    pub fn memory_plan(&self) -> &MemoryPlan {
+        &self.plan.memory_plan
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The graph at the session's current input geometry.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Timing of the most recent run.
+    pub fn last_stats(&self) -> RunStats {
+        self.last_stats
+    }
+
+    /// Index of the CPU fallback backend in this session's backend list.
+    pub fn cpu_backend_index(&self) -> usize {
+        self.cpu_index
+    }
+
+    /// Execution order used by the session (topological).
+    pub fn execution_order(&self) -> &[NodeId] {
+        &self.plan.order
+    }
+
+    /// The declared input names, in positional order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.graph.input_names()
+    }
+
+    /// The output names, in positional order.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.graph.output_names()
+    }
+}

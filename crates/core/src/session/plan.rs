@@ -1,0 +1,293 @@
+//! Pre-inference: scheme selection, hybrid scheduling, memory planning and
+//! execution creation, bundled into a swappable [`ExecutionPlan`].
+//!
+//! Everything here is a pure function of (graph geometry, configuration): a
+//! session re-runs it whenever its input shapes change (`resize_session`) and
+//! caches the resulting plans per shape signature.
+
+use super::config::SessionConfig;
+use crate::cost::{hybrid_schedule, placement_cost_ms, Placement};
+use crate::memory_plan::MemoryPlan;
+use crate::scheme::{select_conv_scheme, SchemeDecision};
+use crate::CoreError;
+use mnn_backend::{Backend, ConvScheme, Execution, ForwardType, SchemeHint};
+use mnn_graph::{Graph, NodeId, Op};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// The per-node outcome of pre-inference.
+#[derive(Debug, Clone)]
+pub struct NodePlacement {
+    /// The node.
+    pub node: NodeId,
+    /// Node name (for reporting).
+    pub name: String,
+    /// Operator name.
+    pub op: &'static str,
+    /// Backend chosen by hybrid scheduling.
+    pub forward_type: ForwardType,
+    /// Convolution scheme chosen by the cost model, when the node is a convolution.
+    pub scheme: Option<ConvScheme>,
+    /// Estimated cost on the chosen backend, in milliseconds.
+    pub estimated_cost_ms: f64,
+}
+
+/// Summary of everything pre-inference decided, for inspection and experiments.
+#[derive(Debug, Clone)]
+pub struct PreInferenceReport {
+    /// Per-node backend/scheme decisions.
+    pub placements: Vec<NodePlacement>,
+    /// Estimated total cost of the placement, in milliseconds (Eq. 4).
+    pub estimated_total_ms: f64,
+    /// Arena elements required with live-range reuse.
+    pub planned_memory_elements: usize,
+    /// Elements required without reuse.
+    pub unplanned_memory_elements: usize,
+    /// Milliseconds spent in pre-inference (scheme search + execution creation).
+    pub pre_inference_ms: f64,
+    /// Executions carried over from the previous geometry by `resize_session`
+    /// (constant-weight captures — including Winograd weight transforms — whose
+    /// scheme did not change). Zero for a freshly created session.
+    pub reused_executions: usize,
+    /// Whether this plan was restored from the per-shape-signature pre-inference
+    /// cache instead of being recomputed.
+    pub from_cache: bool,
+}
+
+impl PreInferenceReport {
+    /// Fraction of intermediate memory saved by the plan.
+    pub fn memory_savings_ratio(&self) -> f64 {
+        if self.unplanned_memory_elements == 0 {
+            return 0.0;
+        }
+        1.0 - self.planned_memory_elements as f64 / self.unplanned_memory_elements as f64
+    }
+}
+
+impl fmt::Display for PreInferenceReport {
+    /// Render the report as a per-node placement table, e.g.
+    ///
+    /// ```text
+    /// pre-inference: 1.23 ms (computed), estimated run cost 0.456 ms
+    /// memory: 12345 -> 2345 elements (81% saved)
+    /// node              op              backend  scheme            est ms
+    /// conv1             Conv2d          cpu      winograd-F(4x4)    0.123
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pre-inference: {:.2} ms ({}{}), estimated run cost {:.3} ms",
+            self.pre_inference_ms,
+            if self.from_cache {
+                "cached plan"
+            } else {
+                "computed"
+            },
+            if self.reused_executions > 0 {
+                format!(", {} executions reused", self.reused_executions)
+            } else {
+                String::new()
+            },
+            self.estimated_total_ms
+        )?;
+        writeln!(
+            f,
+            "memory: {} -> {} elements ({:.0}% saved)",
+            self.unplanned_memory_elements,
+            self.planned_memory_elements,
+            self.memory_savings_ratio() * 100.0
+        )?;
+        writeln!(
+            f,
+            "{:<20} {:<16} {:<8} {:<18} {:>9}",
+            "node", "op", "backend", "scheme", "est ms"
+        )?;
+        for p in &self.placements {
+            writeln!(
+                f,
+                // `ForwardType`'s Display ignores width flags (write_str), so
+                // render it to a string before padding.
+                "{:<20} {:<16} {:<8} {:<18} {:>9.4}",
+                p.name,
+                p.op,
+                p.forward_type.to_string(),
+                p.scheme
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+                p.estimated_cost_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One node scheduled for execution inside a session.
+pub(super) struct ScheduledNode {
+    pub(super) node: NodeId,
+    pub(super) backend_index: usize,
+    pub(super) hint: SchemeHint,
+    /// Pre-created execution when preparation is decoupled from execution.
+    pub(super) execution: Option<Box<dyn Execution>>,
+}
+
+/// Everything pre-inference produced for one input geometry: the execution order,
+/// the scheduled nodes (placements + pre-created executions), the memory plan and
+/// the report. Sessions swap whole plans on `resize_session`.
+pub(super) struct ExecutionPlan {
+    pub(super) order: Vec<NodeId>,
+    pub(super) scheduled: Vec<ScheduledNode>,
+    pub(super) report: PreInferenceReport,
+    pub(super) memory_plan: MemoryPlan,
+}
+
+/// Run pre-inference for `graph` (shapes already inferred) against `backends`.
+///
+/// When `reuse` holds the plan of the previous geometry, executions whose
+/// placement (backend) and scheme hint are unchanged are *moved* into the new
+/// plan instead of being re-created — this carries constant-weight captures and
+/// Winograd weight transforms across a resize.
+pub(super) fn build_plan(
+    graph: &Graph,
+    config: &SessionConfig,
+    backends: &mut [Box<dyn Backend>],
+    reuse: Option<&mut ExecutionPlan>,
+) -> Result<ExecutionPlan, CoreError> {
+    let start = Instant::now();
+
+    // --- Hybrid scheduling (Eq. 4–5) -------------------------------------
+    let backend_refs: Vec<&dyn Backend> = backends.iter().map(|b| b.as_ref()).collect();
+    let cpu_index = backend_refs
+        .iter()
+        .position(|b| b.forward_type() == ForwardType::Cpu)
+        .expect("CPU backend is always present");
+    let placements: Vec<Placement> = hybrid_schedule(graph, &backend_refs, cpu_index);
+    let estimated_total_ms = placement_cost_ms(&placements);
+
+    // --- Scheme selection (Eq. 2–3) --------------------------------------
+    let order = graph.topological_order()?;
+    let mut scheduled = Vec::with_capacity(order.len());
+    let mut report_placements = Vec::with_capacity(order.len());
+    for node_id in &order {
+        let node = graph.node(*node_id)?;
+        let placement = placements
+            .iter()
+            .find(|p| p.node == *node_id)
+            .expect("placement exists for every node");
+        let scheme_decision: Option<SchemeDecision> = match &node.op {
+            Op::Conv2d(attrs) | Op::Conv2dFused { attrs, .. } => {
+                let input_shape = graph
+                    .tensor_info(node.inputs[0])?
+                    .shape
+                    .clone()
+                    .ok_or_else(|| {
+                        CoreError::InvalidInput(format!("no shape for input of {}", node.name))
+                    })?;
+                Some(select_conv_scheme(
+                    &attrs.to_conv_params(),
+                    input_shape.height(),
+                    input_shape.width(),
+                    config.max_winograd_tile,
+                ))
+            }
+            _ => None,
+        };
+        let hint = SchemeHint {
+            conv_scheme: scheme_decision.as_ref().map(|d| d.selected),
+            threads: Some(config.threads),
+        };
+        report_placements.push(NodePlacement {
+            node: *node_id,
+            name: node.name.clone(),
+            op: node.op.name(),
+            forward_type: backends[placement.backend_index].forward_type(),
+            scheme: hint.conv_scheme,
+            estimated_cost_ms: placement.cost_ms,
+        });
+        scheduled.push(ScheduledNode {
+            node: *node_id,
+            backend_index: placement.backend_index,
+            hint,
+            execution: None,
+        });
+    }
+
+    // --- Memory plan (Fig. 3) --------------------------------------------
+    let memory_plan = MemoryPlan::build(graph)?;
+
+    // --- Preparation–execution decoupling ---------------------------------
+    let mut reused_executions = 0usize;
+    if config.decouple_preparation {
+        // Index the previous plan's executions by node so unchanged ones move over.
+        let mut previous: HashMap<NodeId, &mut ScheduledNode> = HashMap::new();
+        if let Some(old) = reuse {
+            for entry in &mut old.scheduled {
+                previous.insert(entry.node, entry);
+            }
+        }
+        for entry in &mut scheduled {
+            if let Some(old) = previous.get_mut(&entry.node) {
+                // Executions may only carry over when the placement and scheme are
+                // unchanged AND the backend's executions are geometry-invariant —
+                // simulated GPU executions bake shape-derived virtual costs in at
+                // creation time and must be re-encoded for the new geometry.
+                if old.backend_index == entry.backend_index
+                    && old.hint == entry.hint
+                    && old.execution.is_some()
+                    && backends[entry.backend_index].executions_are_geometry_invariant()
+                {
+                    entry.execution = old.execution.take();
+                    reused_executions += 1;
+                    continue;
+                }
+            }
+            let node = graph.node(entry.node)?;
+            let execution = backends[entry.backend_index].on_create(node, graph, &entry.hint)?;
+            entry.execution = Some(execution);
+        }
+    }
+
+    let report = PreInferenceReport {
+        placements: report_placements,
+        estimated_total_ms,
+        planned_memory_elements: memory_plan.planned_elements(),
+        unplanned_memory_elements: memory_plan.unplanned_elements(),
+        pre_inference_ms: start.elapsed().as_secs_f64() * 1000.0,
+        reused_executions,
+        from_cache: false,
+    };
+
+    Ok(ExecutionPlan {
+        order,
+        scheduled,
+        report,
+        memory_plan,
+    })
+}
+
+/// Re-create any missing executions in `plan` (used when a plan is re-activated
+/// from the shape-signature cache after some of its executions migrated to a
+/// newer plan). Returns how many executions were retained as-is, so the
+/// restored plan's report can describe *this* activation rather than the one
+/// that originally built it.
+pub(super) fn ensure_executions(
+    plan: &mut ExecutionPlan,
+    graph: &Graph,
+    config: &SessionConfig,
+    backends: &mut [Box<dyn Backend>],
+) -> Result<usize, CoreError> {
+    if !config.decouple_preparation {
+        return Ok(0);
+    }
+    let mut retained = 0usize;
+    for entry in &mut plan.scheduled {
+        if entry.execution.is_none() {
+            let node = graph.node(entry.node)?;
+            entry.execution =
+                Some(backends[entry.backend_index].on_create(node, graph, &entry.hint)?);
+        } else {
+            retained += 1;
+        }
+    }
+    Ok(retained)
+}

@@ -1,10 +1,10 @@
 //! Device profiles for the phones used throughout the paper's evaluation.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// GPU description: marketing name plus the effective FLOPS from the paper's
 /// Appendix C list.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct GpuInfo {
     /// GPU name, e.g. `"Adreno 540"`.
     pub name: &'static str,
@@ -16,7 +16,7 @@ pub struct GpuInfo {
 
 /// A phone profile: the effective CPU throughput at 1/2/4 threads (calibrated from
 /// the paper's MNN CPU latencies) and the GPU description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct DeviceProfile {
     /// Device marketing name (e.g. `"Mate20"`).
     pub name: &'static str,

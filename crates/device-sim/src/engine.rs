@@ -281,8 +281,8 @@ pub fn estimate_gpu_latency_ms(
         } else {
             1.0
         };
-        total += muls / device.gpu.flops * 1000.0 * factor * uncommon_penalty
-            + standard.t_schedule_ms();
+        total +=
+            muls / device.gpu.flops * 1000.0 * factor * uncommon_penalty + standard.t_schedule_ms();
     }
     Some(total)
 }
@@ -339,10 +339,17 @@ mod tests {
         let mnn = estimate_cpu_latency_ms(&g, &p20, Engine::Mnn, 4);
         let ncnn = estimate_cpu_latency_ms(&g, &p20, Engine::Ncnn, 4);
         let mace = estimate_cpu_latency_ms(&g, &p20, Engine::Mace, 4);
-        assert!(ncnn / mnn > 5.0, "NCNN should be >5x slower (got {:.1}x)", ncnn / mnn);
+        assert!(
+            ncnn / mnn > 5.0,
+            "NCNN should be >5x slower (got {:.1}x)",
+            ncnn / mnn
+        );
         assert!(mace / mnn < 5.0, "MACE should stay within 5x");
         // MNN itself should land near the paper's 297 ms.
-        assert!((mnn - 297.0).abs() / 297.0 < 0.4, "MNN Inception-v3 on P20: {mnn:.0} ms");
+        assert!(
+            (mnn - 297.0).abs() / 297.0 < 0.4,
+            "MNN Inception-v3 on P20: {mnn:.0} ms"
+        );
     }
 
     #[test]
@@ -376,7 +383,11 @@ mod tests {
         // Metal never exists on Android devices.
         assert!(estimate_gpu_latency_ms(&g, &mi6, Engine::Mnn, GpuStandard::Metal).is_none());
         // MNN covers all three Android standards.
-        for standard in [GpuStandard::OpenCl, GpuStandard::OpenGl, GpuStandard::Vulkan] {
+        for standard in [
+            GpuStandard::OpenCl,
+            GpuStandard::OpenGl,
+            GpuStandard::Vulkan,
+        ] {
             assert!(estimate_gpu_latency_ms(&g, &mi6, Engine::Mnn, standard).is_some());
         }
     }
@@ -397,7 +408,12 @@ mod tests {
         assert!(is_uncommon_conv(&Conv2dAttrs::rect(64, 64, (1, 7), (0, 3))));
         assert!(is_uncommon_conv(&Conv2dAttrs::rect(64, 64, (7, 1), (3, 0))));
         assert!(!is_uncommon_conv(&Conv2dAttrs::same_3x3(64, 64)));
-        assert!(!is_uncommon_conv(&Conv2dAttrs::rect(64, 64, (1, 3), (0, 1))));
+        assert!(!is_uncommon_conv(&Conv2dAttrs::rect(
+            64,
+            64,
+            (1, 3),
+            (0, 1)
+        )));
         let mut dilated = Conv2dAttrs::same_3x3(64, 64);
         dilated.dilation = (2, 2);
         assert!(is_uncommon_conv(&dilated));

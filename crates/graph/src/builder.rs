@@ -97,7 +97,11 @@ impl GraphBuilder {
         let magnitude = (2.0 / fan_in as f32).sqrt();
         let weight = self.constant_random(&format!("{name}.weight"), weight_shape, magnitude);
         let bias = if with_bias {
-            Some(self.constant_filled(&format!("{name}.bias"), Shape::vector(attrs.out_channels), 0.01))
+            Some(self.constant_filled(
+                &format!("{name}.bias"),
+                Shape::vector(attrs.out_channels),
+                0.01,
+            ))
         } else {
             None
         };
@@ -111,7 +115,9 @@ impl GraphBuilder {
 
     /// Append a stand-alone activation node.
     pub fn activation(&mut self, name: &str, input: TensorId, kind: ActivationKind) -> TensorId {
-        self.graph.add_node(name, Op::Activation(kind), vec![input]).1
+        self.graph
+            .add_node(name, Op::Activation(kind), vec![input])
+            .1
     }
 
     /// Append a binary element-wise node.
@@ -198,7 +204,9 @@ impl GraphBuilder {
 
     /// Append a reshape node.
     pub fn reshape(&mut self, name: &str, input: TensorId, shape: Vec<usize>) -> TensorId {
-        self.graph.add_node(name, Op::Reshape { shape }, vec![input]).1
+        self.graph
+            .add_node(name, Op::Reshape { shape }, vec![input])
+            .1
     }
 
     /// Finish the graph, marking `outputs` as its outputs.
@@ -250,7 +258,12 @@ mod tests {
         let mut b = GraphBuilder::new("a");
         let t = b.constant_random("w", Shape::vector(256), 0.5);
         let g = b.build(vec![]);
-        assert!(g.constant(t).unwrap().data_f32().iter().all(|v| v.abs() <= 0.5));
+        assert!(g
+            .constant(t)
+            .unwrap()
+            .data_f32()
+            .iter()
+            .all(|v| v.abs() <= 0.5));
         // and not all identical
         let data = g.constant(t).unwrap().data_f32();
         assert!(data.iter().any(|&v| (v - data[0]).abs() > 1e-6));

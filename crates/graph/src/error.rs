@@ -63,7 +63,9 @@ mod tests {
     #[test]
     fn messages_mention_identifiers() {
         assert!(GraphError::UnknownTensor(7).to_string().contains('7'));
-        assert!(GraphError::MissingWeight("w0".into()).to_string().contains("w0"));
+        assert!(GraphError::MissingWeight("w0".into())
+            .to_string()
+            .contains("w0"));
         let e = GraphError::ArityMismatch {
             node: "conv1".into(),
             expected: 2,

@@ -5,6 +5,7 @@ use mnn_tensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a value slot (activation or constant) in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -54,13 +55,19 @@ pub struct Node {
 }
 
 /// A dataflow graph of operators over value slots.
+///
+/// Constant payloads (weights, biases, statistics) are stored behind [`Arc`]s, so
+/// cloning a `Graph` is cheap: the structural metadata is copied while the weight
+/// data is shared. Sessions rely on this to keep a per-session copy of the graph
+/// (whose input shapes they may change via `resize_input`) without duplicating
+/// model parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Graph {
     name: String,
     nodes: Vec<Node>,
     tensors: Vec<TensorInfo>,
     /// Constant data, keyed by the slot index (BTreeMap keeps serialization stable).
-    constants: BTreeMap<usize, Tensor>,
+    constants: BTreeMap<usize, Arc<Tensor>>,
     inputs: Vec<TensorId>,
     outputs: Vec<TensorId>,
 }
@@ -103,6 +110,62 @@ impl Graph {
         &self.outputs
     }
 
+    /// The declared names of the graph inputs, in positional order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.inputs
+            .iter()
+            .map(|id| self.tensors[id.0].name.as_str())
+            .collect()
+    }
+
+    /// The names of the graph outputs, in positional order.
+    ///
+    /// An output slot is named after the node that produces it (e.g. `"prob"`);
+    /// slots without a producer fall back to their tensor name.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.outputs
+            .iter()
+            .map(|id| {
+                self.producer(*id)
+                    .map(|n| n.name.as_str())
+                    .unwrap_or_else(|| self.tensors[id.0].name.as_str())
+            })
+            .collect()
+    }
+
+    /// Resolve a graph input by name.
+    pub fn input_named(&self, name: &str) -> Option<TensorId> {
+        self.inputs
+            .iter()
+            .copied()
+            .find(|id| self.tensors[id.0].name == name)
+    }
+
+    /// Resolve a graph output by name — either the producing node's name or the
+    /// output slot's tensor name.
+    pub fn output_named(&self, name: &str) -> Option<TensorId> {
+        self.outputs.iter().copied().find(|id| {
+            self.tensors[id.0].name == name
+                || self.producer(*id).map(|n| n.name.as_str()) == Some(name)
+        })
+    }
+
+    /// Change the declared shape of a graph input (the first half of MNN's
+    /// `resizeTensor`). Downstream shapes become stale until
+    /// [`Graph::infer_shapes`] is re-run — sessions do this inside
+    /// `resize_session`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownTensor`] when `id` is not a graph input.
+    pub fn set_input_shape(&mut self, id: TensorId, shape: Shape) -> Result<(), GraphError> {
+        if !self.inputs.contains(&id) {
+            return Err(GraphError::UnknownTensor(id.0));
+        }
+        self.tensor_info_mut(id)?.shape = Some(shape);
+        Ok(())
+    }
+
     /// Declare a non-constant value slot and return its id.
     pub fn add_tensor(&mut self, name: impl Into<String>, shape: Option<Shape>) -> TensorId {
         let id = TensorId(self.tensors.len());
@@ -122,7 +185,7 @@ impl Graph {
             shape: Some(data.shape().clone()),
             is_constant: true,
         });
-        self.constants.insert(id.0, data);
+        self.constants.insert(id.0, Arc::new(data));
         id
     }
 
@@ -210,7 +273,13 @@ impl Graph {
 
     /// Constant data stored in a slot, if any.
     pub fn constant(&self, id: TensorId) -> Option<&Tensor> {
-        self.constants.get(&id.0)
+        self.constants.get(&id.0).map(Arc::as_ref)
+    }
+
+    /// Shared handle to the constant stored in a slot, if any. Executions capture
+    /// constants through this so weight data is shared rather than copied.
+    pub fn constant_arc(&self, id: TensorId) -> Option<Arc<Tensor>> {
+        self.constants.get(&id.0).cloned()
     }
 
     /// Replace the constant stored in a slot (used by optimizer passes that fold
@@ -220,7 +289,7 @@ impl Graph {
             info.shape = Some(data.shape().clone());
             info.is_constant = true;
         }
-        self.constants.insert(id.0, data);
+        self.constants.insert(id.0, Arc::new(data));
     }
 
     /// The node that produces `id`, if any (constants and graph inputs have none).
@@ -230,7 +299,10 @@ impl Graph {
 
     /// All nodes that consume `id`.
     pub fn consumers(&self, id: TensorId) -> Vec<&Node> {
-        self.nodes.iter().filter(|n| n.inputs.contains(&id)).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.inputs.contains(&id))
+            .collect()
     }
 
     /// Topological order of the nodes (Kahn's algorithm over tensor dependencies).
@@ -263,7 +335,9 @@ impl Graph {
                 }
             }
         }
-        let mut queue: VecDeque<usize> = (0..self.nodes.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..self.nodes.len())
+            .filter(|&i| indegree[i] == 0)
+            .collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(i) = queue.pop_front() {
             order.push(NodeId(i));
@@ -296,7 +370,11 @@ impl Graph {
                         2
                     }
                 }
-                Op::Pool(_) | Op::Activation(_) | Op::Softmax(_) | Op::Flatten(_) | Op::Reshape { .. } => 1,
+                Op::Pool(_)
+                | Op::Activation(_)
+                | Op::Softmax(_)
+                | Op::Flatten(_)
+                | Op::Reshape { .. } => 1,
                 Op::Binary(_) => 2,
                 Op::Concat => node.inputs.len().max(1),
                 Op::BatchNorm { .. } => 5,
@@ -357,7 +435,10 @@ impl Graph {
 
     /// Total number of stored constant elements (≈ parameter count).
     pub fn parameter_count(&self) -> usize {
-        self.constants.values().map(|t| t.shape().num_elements()).sum()
+        self.constants
+            .values()
+            .map(|t| t.shape().num_elements())
+            .sum()
     }
 
     /// Number of scalar multiplications the node performs, using inferred shapes.
@@ -379,7 +460,9 @@ impl Graph {
         let muls = match &node.op {
             Op::Conv2d(attrs) | Op::Conv2dFused { attrs, .. } => {
                 let input = in_shape(0)?;
-                attrs.to_conv_params().mul_count(input.height(), input.width()) as u64
+                attrs
+                    .to_conv_params()
+                    .mul_count(input.height(), input.width()) as u64
                     * input.batch() as u64
             }
             Op::FullyConnected {
@@ -421,7 +504,8 @@ mod tests {
         g.mark_input(x);
         let w = g.add_constant("w", Tensor::zeros(Shape::new(vec![8, 3, 3, 3])));
         let (_, conv_out) = g.add_node("conv", Op::Conv2d(Conv2dAttrs::same_3x3(3, 8)), vec![x, w]);
-        let (_, relu_out) = g.add_node("relu", Op::Activation(ActivationKind::Relu), vec![conv_out]);
+        let (_, relu_out) =
+            g.add_node("relu", Op::Activation(ActivationKind::Relu), vec![conv_out]);
         g.mark_output(relu_out);
         g
     }

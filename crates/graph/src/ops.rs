@@ -132,7 +132,13 @@ impl Conv2dAttrs {
     }
 
     /// A general square-kernel convolution.
-    pub fn square(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+    pub fn square(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         Conv2dAttrs {
             kernel: (kernel, kernel),
             stride: (stride, stride),

@@ -94,7 +94,12 @@ impl Graph {
                     }
                     channels += s.channels();
                 }
-                Ok(Shape::nchw(first.batch(), channels, first.height(), first.width()))
+                Ok(Shape::nchw(
+                    first.batch(),
+                    channels,
+                    first.height(),
+                    first.width(),
+                ))
             }
             Op::FullyConnected {
                 in_features,

@@ -145,8 +145,10 @@ impl ConvParams {
             return (in_h.div_ceil(self.stride_h), in_w.div_ceil(self.stride_w));
         }
         let (pad_h, pad_w) = self.resolve_padding(in_h, in_w);
-        let out_h = (in_h + 2 * pad_h).saturating_sub(self.effective_kernel_h()) / self.stride_h + 1;
-        let out_w = (in_w + 2 * pad_w).saturating_sub(self.effective_kernel_w()) / self.stride_w + 1;
+        let out_h =
+            (in_h + 2 * pad_h).saturating_sub(self.effective_kernel_h()) / self.stride_h + 1;
+        let out_w =
+            (in_w + 2 * pad_w).saturating_sub(self.effective_kernel_w()) / self.stride_w + 1;
         (out_h, out_w)
     }
 
@@ -228,8 +230,7 @@ pub fn conv2d_reference(
                                 if ix < 0 || ix >= in_w as isize {
                                     continue;
                                 }
-                                let in_idx = ((b * params.in_channels + in_c) * in_h
-                                    + iy as usize)
+                                let in_idx = ((b * params.in_channels + in_c) * in_h + iy as usize)
                                     * in_w
                                     + ix as usize;
                                 let w_idx = ((oc * ic_per_group + ic) * params.kernel_h + ky)
@@ -275,53 +276,47 @@ pub fn conv2d_sliding_window(
     let mut output = vec![0.0f32; batch * params.out_channels * out_h * out_w];
     let out_plane = out_h * out_w;
 
-    crate::parallel::parallel_chunks_mut(
-        threads,
-        &mut output,
-        out_plane,
-        |plane_index, planes| {
-            for (p, plane) in planes.chunks_mut(out_plane).enumerate() {
-                let global = plane_index + p;
-                let b = global / params.out_channels;
-                let oc = global % params.out_channels;
-                let group = oc / oc_per_group;
-                let bias_v = if params.has_bias { bias[oc] } else { 0.0 };
-                plane.fill(bias_v);
-                for ic in 0..ic_per_group {
-                    let in_c = group * ic_per_group + ic;
-                    let in_plane = &input
-                        [((b * params.in_channels + in_c) * in_h * in_w)..][..in_h * in_w];
-                    let w_base = (oc * ic_per_group + ic) * params.kernel_h * params.kernel_w;
-                    for ky in 0..params.kernel_h {
-                        for kx in 0..params.kernel_w {
-                            let wv = weight[w_base + ky * params.kernel_w + kx];
-                            if wv == 0.0 {
+    crate::parallel::parallel_chunks_mut(threads, &mut output, out_plane, |plane_index, planes| {
+        for (p, plane) in planes.chunks_mut(out_plane).enumerate() {
+            let global = plane_index + p;
+            let b = global / params.out_channels;
+            let oc = global % params.out_channels;
+            let group = oc / oc_per_group;
+            let bias_v = if params.has_bias { bias[oc] } else { 0.0 };
+            plane.fill(bias_v);
+            for ic in 0..ic_per_group {
+                let in_c = group * ic_per_group + ic;
+                let in_plane =
+                    &input[((b * params.in_channels + in_c) * in_h * in_w)..][..in_h * in_w];
+                let w_base = (oc * ic_per_group + ic) * params.kernel_h * params.kernel_w;
+                for ky in 0..params.kernel_h {
+                    for kx in 0..params.kernel_w {
+                        let wv = weight[w_base + ky * params.kernel_w + kx];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        for oy in 0..out_h {
+                            let iy = (oy * params.stride_h + ky * params.dilation_h) as isize
+                                - pad_h as isize;
+                            if iy < 0 || iy >= in_h as isize {
                                 continue;
                             }
-                            for oy in 0..out_h {
-                                let iy = (oy * params.stride_h + ky * params.dilation_h) as isize
-                                    - pad_h as isize;
-                                if iy < 0 || iy >= in_h as isize {
+                            let in_row = &in_plane[iy as usize * in_w..][..in_w];
+                            let out_row = &mut plane[oy * out_w..][..out_w];
+                            for ox in 0..out_w {
+                                let ix = (ox * params.stride_w + kx * params.dilation_w) as isize
+                                    - pad_w as isize;
+                                if ix < 0 || ix >= in_w as isize {
                                     continue;
                                 }
-                                let in_row = &in_plane[iy as usize * in_w..][..in_w];
-                                let out_row = &mut plane[oy * out_w..][..out_w];
-                                for ox in 0..out_w {
-                                    let ix = (ox * params.stride_w + kx * params.dilation_w)
-                                        as isize
-                                        - pad_w as isize;
-                                    if ix < 0 || ix >= in_w as isize {
-                                        continue;
-                                    }
-                                    out_row[ox] += wv * in_row[ix as usize];
-                                }
+                                out_row[ox] += wv * in_row[ix as usize];
                             }
                         }
                     }
                 }
             }
-        },
-    );
+        }
+    });
     output
 }
 
@@ -379,8 +374,17 @@ pub fn conv2d_im2col(
             }
         }
         // GEMM: [oc, k_dim] x [k_dim, n_dim]
-        let out_block = &mut output[b * params.out_channels * n_dim..][..params.out_channels * n_dim];
-        gemm_mt(threads, params.out_channels, k_dim, n_dim, weight, &col, out_block);
+        let out_block =
+            &mut output[b * params.out_channels * n_dim..][..params.out_channels * n_dim];
+        gemm_mt(
+            threads,
+            params.out_channels,
+            k_dim,
+            n_dim,
+            weight,
+            &col,
+            out_block,
+        );
         if params.has_bias {
             for oc in 0..params.out_channels {
                 let bias_v = bias[oc];
@@ -409,7 +413,10 @@ pub fn conv2d_1x1_strassen(
     weight: &[f32],
     bias: &[f32],
 ) -> Vec<f32> {
-    assert!(params.is_pointwise(), "conv2d_1x1_strassen requires a 1x1 s1 d1 convolution");
+    assert!(
+        params.is_pointwise(),
+        "conv2d_1x1_strassen requires a 1x1 s1 d1 convolution"
+    );
     validate(params, batch, in_h, in_w, input, weight, bias);
     let spatial = in_h * in_w;
     let mut output = vec![0.0f32; batch * params.out_channels * spatial];
@@ -453,7 +460,10 @@ pub fn conv2d_depthwise(
     weight: &[f32],
     bias: &[f32],
 ) -> Vec<f32> {
-    assert!(params.is_depthwise(), "conv2d_depthwise requires groups == in_channels == out_channels");
+    assert!(
+        params.is_depthwise(),
+        "conv2d_depthwise requires groups == in_channels == out_channels"
+    );
     conv2d_sliding_window(params, threads, batch, in_h, in_w, input, weight, bias)
 }
 
@@ -482,9 +492,17 @@ fn validate(
         batch * params.in_channels * in_h * in_w,
         "input buffer length mismatch"
     );
-    assert_eq!(weight.len(), params.weight_len(), "weight buffer length mismatch");
+    assert_eq!(
+        weight.len(),
+        params.weight_len(),
+        "weight buffer length mismatch"
+    );
     if params.has_bias {
-        assert_eq!(bias.len(), params.out_channels, "bias buffer length mismatch");
+        assert_eq!(
+            bias.len(),
+            params.out_channels,
+            "bias buffer length mismatch"
+        );
     }
 }
 
@@ -548,7 +566,9 @@ mod tests {
             (1, 8, 16, 9, 1, 0, 1),
             (7, 1, 2, 15, 3, 3, 1),
         ] {
-            let mut p = ConvParams::square(ic, oc, k, pad).with_stride(stride).with_dilation(dil);
+            let mut p = ConvParams::square(ic, oc, k, pad)
+                .with_stride(stride)
+                .with_dilation(dil);
             p.has_bias = true;
             let input = random(&mut rng, ic * size * size);
             let weight = random(&mut rng, p.weight_len());

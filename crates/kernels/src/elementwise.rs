@@ -34,7 +34,11 @@ impl BinaryOp {
 ///
 /// Panics if the buffer lengths differ.
 pub fn binary(op: BinaryOp, a: &[f32], b: &[f32]) -> Vec<f32> {
-    assert_eq!(a.len(), b.len(), "element-wise operands must have equal length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "element-wise operands must have equal length"
+    );
     a.iter().zip(b).map(|(&x, &y)| op.apply(x, y)).collect()
 }
 
@@ -44,7 +48,11 @@ pub fn binary(op: BinaryOp, a: &[f32], b: &[f32]) -> Vec<f32> {
 ///
 /// Panics if the buffer lengths differ.
 pub fn binary_inplace(op: BinaryOp, a: &mut [f32], b: &[f32]) {
-    assert_eq!(a.len(), b.len(), "element-wise operands must have equal length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "element-wise operands must have equal length"
+    );
     for (x, &y) in a.iter_mut().zip(b) {
         *x = op.apply(*x, y);
     }
@@ -66,7 +74,11 @@ pub fn binary_broadcast_channel(
     channels: usize,
     plane: usize,
 ) {
-    assert_eq!(per_channel.len(), channels, "per-channel operand length mismatch");
+    assert_eq!(
+        per_channel.len(),
+        channels,
+        "per-channel operand length mismatch"
+    );
     assert_eq!(data.len(), batch * channels * plane, "data length mismatch");
     for b in 0..batch {
         for c in 0..channels {
@@ -94,7 +106,11 @@ pub fn concat_channels(
     let total_c: usize = inputs.iter().map(|(_, c)| c).sum();
     let mut out = vec![0.0f32; batch * total_c * plane];
     for (data, c) in inputs {
-        assert_eq!(data.len(), batch * c * plane, "concat input length mismatch");
+        assert_eq!(
+            data.len(),
+            batch * c * plane,
+            "concat input length mismatch"
+        );
     }
     for b in 0..batch {
         let mut c_offset = 0usize;

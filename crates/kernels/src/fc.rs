@@ -21,14 +21,26 @@ pub fn fully_connected(
     bias: &[f32],
 ) -> Vec<f32> {
     assert_eq!(input.len(), batch * in_features, "input length mismatch");
-    assert_eq!(weight.len(), out_features * in_features, "weight length mismatch");
+    assert_eq!(
+        weight.len(),
+        out_features * in_features,
+        "weight length mismatch"
+    );
     if !bias.is_empty() {
         assert_eq!(bias.len(), out_features, "bias length mismatch");
     }
     // y[b][o] = sum_i x[b][i] * w[o][i]  ==  X (batch x in) * W^T (in x out)
     let weight_t = crate::gemm::transpose(out_features, in_features, weight);
     let mut output = vec![0.0f32; batch * out_features];
-    gemm_mt(threads, batch, in_features, out_features, input, &weight_t, &mut output);
+    gemm_mt(
+        threads,
+        batch,
+        in_features,
+        out_features,
+        input,
+        &weight_t,
+        &mut output,
+    );
     if !bias.is_empty() {
         for row in output.chunks_mut(out_features) {
             for (v, &b) in row.iter_mut().zip(bias) {
@@ -68,7 +80,9 @@ mod tests {
         let out = fully_connected(2, batch, inf, outf, &input, &weight, &[]);
         for b in 0..batch {
             for o in 0..outf {
-                let expected: f32 = (0..inf).map(|i| input[b * inf + i] * weight[o * inf + i]).sum();
+                let expected: f32 = (0..inf)
+                    .map(|i| input[b * inf + i] * weight[o * inf + i])
+                    .sum();
                 assert!((out[b * outf + o] - expected).abs() < 1e-4);
             }
         }

@@ -95,15 +95,7 @@ pub fn gemm_accumulate(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &m
 /// # Panics
 ///
 /// Panics if any slice length does not match its dimensions.
-pub fn gemm_mt(
-    threads: usize,
-    m: usize,
-    k: usize,
-    n: usize,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-) {
+pub fn gemm_mt(threads: usize, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     check_dims(m, k, n, a, b, c);
     if threads <= 1 || m == 1 {
         gemm(m, k, n, a, b, c);
@@ -187,7 +179,13 @@ mod tests {
     #[test]
     fn blocked_matches_naive() {
         let mut rng = StdRng::seed_from_u64(7);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (64, 64, 64), (100, 3, 50)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 33, 9),
+            (64, 64, 64),
+            (100, 3, 50),
+        ] {
             let a = random_matrix(&mut rng, m * k);
             let b = random_matrix(&mut rng, k * n);
             let mut c_ref = vec![0.0; m * n];

@@ -22,6 +22,11 @@
 //! from `mnn-bench`.
 
 #![deny(missing_docs)]
+// Compute kernels take their geometry as scalar parameters and index with plain
+// loops on purpose: the signatures mirror the (params, threads, batch, h, w,
+// buffers...) shape of the C++ kernels and the indexed loops keep the math legible.
+#![allow(clippy::too_many_arguments)]
+#![allow(clippy::needless_range_loop)]
 
 pub mod activation;
 pub mod conv;

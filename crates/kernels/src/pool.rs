@@ -101,7 +101,11 @@ pub fn pool2d(
     in_w: usize,
     input: &[f32],
 ) -> Vec<f32> {
-    assert_eq!(input.len(), batch * channels * in_h * in_w, "input length mismatch");
+    assert_eq!(
+        input.len(),
+        batch * channels * in_h * in_w,
+        "input length mismatch"
+    );
     let (kernel_h, kernel_w, stride_h, stride_w, pad_h, pad_w) = if params.global {
         (in_h, in_w, 1, 1, 0, 0)
     } else {
@@ -216,13 +220,19 @@ mod tests {
         let input: Vec<f32> = (1..=25).map(|v| v as f32).collect(); // 5x5
         let out = pool2d(&params, 1, 1, 5, 5, &input);
         assert_eq!(params.output_size(5, 5), (3, 3));
-        assert_eq!(out, vec![7.0, 9.0, 10.0, 17.0, 19.0, 20.0, 22.0, 24.0, 25.0]);
+        assert_eq!(
+            out,
+            vec![7.0, 9.0, 10.0, 17.0, 19.0, 20.0, 22.0, 24.0, 25.0]
+        );
     }
 
     #[test]
     fn output_size_formula() {
         assert_eq!(PoolParams::max(2).output_size(224, 224), (112, 112));
-        assert_eq!(PoolParams::max(3).with_stride(2).output_size(112, 112), (55, 55));
+        assert_eq!(
+            PoolParams::max(3).with_stride(2).output_size(112, 112),
+            (55, 55)
+        );
         assert_eq!(PoolParams::global_avg().output_size(7, 7), (1, 1));
     }
 

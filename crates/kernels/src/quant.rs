@@ -108,7 +108,11 @@ pub fn conv2d_quantized(
         batch * params.in_channels * in_h * in_w,
         "input length mismatch"
     );
-    assert_eq!(weight_q.len(), params.weight_len(), "weight length mismatch");
+    assert_eq!(
+        weight_q.len(),
+        params.weight_len(),
+        "weight length mismatch"
+    );
     let input_params = QuantParams::from_data(input);
     let input_q = quantize(input, input_params);
     let (out_h, out_w) = params.output_size(in_h, in_w);
@@ -138,8 +142,7 @@ pub fn conv2d_quantized(
                                 let in_idx = ((b * params.in_channels + ic) * in_h + iy as usize)
                                     * in_w
                                     + ix as usize;
-                                let w_idx = ((oc * params.in_channels + ic) * params.kernel_h
-                                    + ky)
+                                let w_idx = ((oc * params.in_channels + ic) * params.kernel_h + ky)
                                     * params.kernel_w
                                     + kx;
                                 acc += input_q[in_idx] as i32 * weight_q[w_idx] as i32;
@@ -217,15 +220,23 @@ mod tests {
         let mut p = ConvParams::square(3, 4, 3, 1);
         p.has_bias = true;
         let size = 8;
-        let input: Vec<f32> = (0..3 * size * size).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let weight: Vec<f32> = (0..p.weight_len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let input: Vec<f32> = (0..3 * size * size)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let weight: Vec<f32> = (0..p.weight_len())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let bias: Vec<f32> = (0..4).map(|_| rng.gen_range(-0.5..0.5)).collect();
         let expected = conv2d_reference(&p, 1, size, size, &input, &weight, &bias);
         let wp = QuantParams::from_data(&weight);
         let wq = quantize(&weight, wp);
         let got = conv2d_quantized(&p, 1, size, size, &input, &wq, wp, &bias);
-        let mean_abs_err: f32 =
-            got.iter().zip(&expected).map(|(a, b)| (a - b).abs()).sum::<f32>() / got.len() as f32;
+        let mean_abs_err: f32 = got
+            .iter()
+            .zip(&expected)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / got.len() as f32;
         assert!(mean_abs_err < 0.05, "mean abs error {mean_abs_err}");
     }
 

@@ -54,14 +54,22 @@ impl WinogradTransforms {
 
     /// Transform an `α×α` input tile: `X' = Bᵀ · X · B`.
     pub fn transform_input(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.alpha * self.alpha, "input tile must be alpha*alpha");
+        assert_eq!(
+            x.len(),
+            self.alpha * self.alpha,
+            "input tile must be alpha*alpha"
+        );
         let bx = mat_mul(self.alpha, self.alpha, self.alpha, &self.b_t, x);
         mat_mul_bt(self.alpha, self.alpha, self.alpha, &bx, &self.b_t)
     }
 
     /// Inverse-transform an `α×α` product tile: `Y = Aᵀ · Y' · A`, returning `n×n`.
     pub fn transform_output(&self, y: &[f32]) -> Vec<f32> {
-        assert_eq!(y.len(), self.alpha * self.alpha, "product tile must be alpha*alpha");
+        assert_eq!(
+            y.len(),
+            self.alpha * self.alpha,
+            "product tile must be alpha*alpha"
+        );
         let ay = mat_mul(self.n, self.alpha, self.alpha, &self.a_t, y);
         mat_mul_bt(self.n, self.alpha, self.n, &ay, &self.a_t)
     }
@@ -287,7 +295,9 @@ mod tests {
         let (n, k) = (2usize, 3usize);
         let t = generate(n, k);
         let alpha = t.alpha;
-        let x: Vec<f32> = (0..alpha * alpha).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x: Vec<f32> = (0..alpha * alpha)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let w: Vec<f32> = (0..k * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
 
         let wt = t.transform_kernel(&w);

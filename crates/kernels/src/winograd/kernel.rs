@@ -9,6 +9,74 @@ use crate::conv::ConvParams;
 use crate::gemm::gemm_mt;
 use crate::parallel::parallel_for;
 
+/// Winograd weights transformed once at preparation time (`W' = G·W·Gᵀ` for every
+/// `(oc, ic)` kernel tile), together with the transform matrices they were built
+/// with.
+///
+/// This is the *preparation* artifact of the paper's preparation–execution
+/// decoupling: computing it once per session — and keeping it across
+/// `resize_session` calls whose scheme selection is unchanged — removes the
+/// transform from the inference loop entirely.
+#[derive(Debug, Clone)]
+pub struct PreparedWinogradWeights {
+    /// The transform matrices for `F(n×n, k×k)`.
+    pub transforms: WinogradTransforms,
+    /// Transformed weights, laid out `[alpha*alpha][ic][oc]` row-major per position.
+    pub transformed: Vec<f32>,
+}
+
+impl PreparedWinogradWeights {
+    /// The output tile size `n` the weights were prepared for.
+    pub fn tile(&self) -> usize {
+        self.transforms.n
+    }
+}
+
+fn check_winograd_params(params: &ConvParams, tile_n: usize) {
+    assert!(
+        params.kernel_h == params.kernel_w,
+        "Winograd kernel requires a square kernel"
+    );
+    assert!(
+        params.kernel_h >= 2,
+        "Winograd kernel requires kernel size >= 2"
+    );
+    assert_eq!(params.stride_h, 1, "Winograd kernel requires stride 1");
+    assert_eq!(params.stride_w, 1, "Winograd kernel requires stride 1");
+    assert_eq!(params.dilation_h, 1, "Winograd kernel requires dilation 1");
+    assert_eq!(params.dilation_w, 1, "Winograd kernel requires dilation 1");
+    assert_eq!(params.groups, 1, "Winograd kernel requires groups == 1");
+    assert!(tile_n >= 1, "tile size must be >= 1");
+}
+
+/// Run the preparation stage of Winograd convolution: generate the transform
+/// matrices for `F(tile_n×tile_n, k×k)` and pre-transform `weight`
+/// (`[oc, ic, k, k]`).
+///
+/// # Panics
+///
+/// Panics if the parameters are outside the Winograd-applicable set or the weight
+/// buffer length does not match.
+pub fn prepare_winograd_weights(
+    params: &ConvParams,
+    tile_n: usize,
+    weight: &[f32],
+) -> PreparedWinogradWeights {
+    check_winograd_params(params, tile_n);
+    assert_eq!(
+        weight.len(),
+        params.weight_len(),
+        "weight buffer length mismatch"
+    );
+    let transforms = generate(tile_n, params.kernel_h);
+    let transformed =
+        transform_weights(&transforms, params.in_channels, params.out_channels, weight);
+    PreparedWinogradWeights {
+        transforms,
+        transformed,
+    }
+}
+
 /// Winograd convolution with output tile size `tile_n`.
 ///
 /// Supports stride 1, dilation 1, `groups == 1` and square kernels with
@@ -17,6 +85,10 @@ use crate::parallel::parallel_for;
 ///
 /// `input` is NCHW `[batch, ic, in_h, in_w]`, `weight` is `[oc, ic, k, k]`, `bias`
 /// is `[oc]` or empty; returns `[batch, oc, out_h, out_w]`.
+///
+/// The weight transform is performed on every call; sessions that run the same
+/// convolution repeatedly should call [`prepare_winograd_weights`] once and
+/// [`conv2d_winograd_prepared`] per inference instead.
 ///
 /// # Panics
 ///
@@ -34,26 +106,40 @@ pub fn conv2d_winograd(
     weight: &[f32],
     bias: &[f32],
 ) -> Vec<f32> {
-    assert!(params.kernel_h == params.kernel_w, "Winograd kernel requires a square kernel");
-    assert!(params.kernel_h >= 2, "Winograd kernel requires kernel size >= 2");
-    assert_eq!(params.stride_h, 1, "Winograd kernel requires stride 1");
-    assert_eq!(params.stride_w, 1, "Winograd kernel requires stride 1");
-    assert_eq!(params.dilation_h, 1, "Winograd kernel requires dilation 1");
-    assert_eq!(params.dilation_w, 1, "Winograd kernel requires dilation 1");
-    assert_eq!(params.groups, 1, "Winograd kernel requires groups == 1");
-    assert!(tile_n >= 1, "tile size must be >= 1");
+    let prepared = prepare_winograd_weights(params, tile_n, weight);
+    conv2d_winograd_prepared(params, &prepared, threads, batch, in_h, in_w, input, bias)
+}
+
+/// Winograd convolution running against weights transformed ahead of time by
+/// [`prepare_winograd_weights`] (the execution half of preparation–execution
+/// decoupling).
+///
+/// # Panics
+///
+/// Panics on buffer-length mismatches (same contract as [`conv2d_winograd`]).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_winograd_prepared(
+    params: &ConvParams,
+    prepared: &PreparedWinogradWeights,
+    threads: usize,
+    batch: usize,
+    in_h: usize,
+    in_w: usize,
+    input: &[f32],
+    bias: &[f32],
+) -> Vec<f32> {
+    let tile_n = prepared.tile();
+    check_winograd_params(params, tile_n);
     assert_eq!(
         input.len(),
         batch * params.in_channels * in_h * in_w,
         "input buffer length mismatch"
     );
-    assert_eq!(weight.len(), params.weight_len(), "weight buffer length mismatch");
     if params.has_bias {
         assert_eq!(bias.len(), params.out_channels, "bias length mismatch");
     }
 
-    let k = params.kernel_h;
-    let transforms = generate(tile_n, k);
+    let transforms = &prepared.transforms;
     let alpha = transforms.alpha;
     let (ic, oc) = (params.in_channels, params.out_channels);
     let (out_h, out_w) = params.output_size(in_h, in_w);
@@ -64,8 +150,13 @@ pub fn conv2d_winograd(
     let tiles_w = out_w.div_ceil(tile_n);
     let tiles = tiles_h * tiles_w;
 
-    // Pre-transform weights: for each transform position, a [ic, oc] matrix.
-    let transformed_weight = transform_weights(&transforms, ic, oc, weight);
+    // Weights were pre-transformed: for each position, a [ic, oc] matrix.
+    let transformed_weight = &prepared.transformed;
+    assert_eq!(
+        transformed_weight.len(),
+        alpha * alpha * ic * oc,
+        "prepared weights do not match the convolution parameters"
+    );
 
     let mut output = vec![0.0f32; batch * oc * out_h * out_w];
 
@@ -356,7 +447,17 @@ mod tests {
     #[should_panic(expected = "stride 1")]
     fn winograd_rejects_strided_convolution() {
         let p = ConvParams::square(3, 4, 3, 1).with_stride(2);
-        conv2d_winograd(&p, 2, 1, 1, 8, 8, &vec![0.0; 3 * 64], &vec![0.0; p.weight_len()], &[]);
+        conv2d_winograd(
+            &p,
+            2,
+            1,
+            1,
+            8,
+            8,
+            &vec![0.0; 3 * 64],
+            &vec![0.0; p.weight_len()],
+            &[],
+        );
     }
 
     proptest! {

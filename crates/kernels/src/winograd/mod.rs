@@ -14,7 +14,9 @@ mod generator;
 mod kernel;
 
 pub use generator::{generate, WinogradTransforms};
-pub use kernel::conv2d_winograd;
+pub use kernel::{
+    conv2d_winograd, conv2d_winograd_prepared, prepare_winograd_weights, PreparedWinogradWeights,
+};
 
 /// Arithmetic cost `C(n)` of Winograd convolution with output tile size `n`,
 /// kernel size `k`, `ic` input and `oc` output channels (paper Eq. 2):
@@ -29,7 +31,9 @@ pub use kernel::conv2d_winograd;
 pub fn winograd_tile_cost(n: usize, k: usize, ic: usize, oc: usize) -> f64 {
     let alpha = (n + k - 1) as f64;
     let (nf, kf, icf, ocf) = (n as f64, k as f64, ic as f64, oc as f64);
-    2.0 * icf * alpha * alpha * alpha + icf * ocf * alpha * alpha + nf * alpha * (2.0 * nf + kf - 1.0)
+    2.0 * icf * alpha * alpha * alpha
+        + icf * ocf * alpha * alpha
+        + nf * alpha * (2.0 * nf + kf - 1.0)
 }
 
 /// The optimal Winograd output tile size `n̂ = argmin_n C(n)` for a `k×k`

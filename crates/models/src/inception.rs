@@ -13,12 +13,7 @@ use mnn_graph::{
 use mnn_tensor::Shape;
 
 /// Convolution + batch-norm + ReLU, the basic Inception unit.
-fn conv_bn_relu(
-    b: &mut GraphBuilder,
-    name: &str,
-    input: TensorId,
-    attrs: Conv2dAttrs,
-) -> TensorId {
+fn conv_bn_relu(b: &mut GraphBuilder, name: &str, input: TensorId, attrs: Conv2dAttrs) -> TensorId {
     let out_channels = attrs.out_channels;
     let y = b.conv2d_auto(name, input, attrs, false);
     let y = b.batch_norm_auto(&format!("{name}_bn"), y, out_channels);
@@ -33,9 +28,19 @@ fn inception_a(
     in_ch: usize,
     pool_proj: usize,
 ) -> (TensorId, usize) {
-    let b1 = conv_bn_relu(b, &format!("{name}_b1_1x1"), input, Conv2dAttrs::pointwise(in_ch, 64));
+    let b1 = conv_bn_relu(
+        b,
+        &format!("{name}_b1_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 64),
+    );
 
-    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, 48));
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 48),
+    );
     let b2 = conv_bn_relu(
         b,
         &format!("{name}_b2_5x5"),
@@ -43,11 +48,30 @@ fn inception_a(
         Conv2dAttrs::square(48, 64, 5, 1, 2),
     );
 
-    let b3 = conv_bn_relu(b, &format!("{name}_b3_1x1"), input, Conv2dAttrs::pointwise(in_ch, 64));
-    let b3 = conv_bn_relu(b, &format!("{name}_b3_3x3a"), b3, Conv2dAttrs::same_3x3(64, 96));
-    let b3 = conv_bn_relu(b, &format!("{name}_b3_3x3b"), b3, Conv2dAttrs::same_3x3(96, 96));
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 64),
+    );
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_3x3a"),
+        b3,
+        Conv2dAttrs::same_3x3(64, 96),
+    );
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_3x3b"),
+        b3,
+        Conv2dAttrs::same_3x3(96, 96),
+    );
 
-    let b4 = b.pool(&format!("{name}_b4_pool"), input, PoolAttrs::avg(3, 1).with_pad(1));
+    let b4 = b.pool(
+        &format!("{name}_b4_pool"),
+        input,
+        PoolAttrs::avg(3, 1).with_pad(1),
+    );
     let b4 = conv_bn_relu(
         b,
         &format!("{name}_b4_proj"),
@@ -72,8 +96,18 @@ fn reduction_a(
         input,
         Conv2dAttrs::square(in_ch, 384, 3, 2, 0),
     );
-    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, 64));
-    let b2 = conv_bn_relu(b, &format!("{name}_b2_3x3a"), b2, Conv2dAttrs::same_3x3(64, 96));
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 64),
+    );
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_3x3a"),
+        b2,
+        Conv2dAttrs::same_3x3(64, 96),
+    );
     let b2 = conv_bn_relu(
         b,
         &format!("{name}_b2_3x3b"),
@@ -93,9 +127,19 @@ fn inception_b(
     in_ch: usize,
     ch7: usize,
 ) -> (TensorId, usize) {
-    let b1 = conv_bn_relu(b, &format!("{name}_b1_1x1"), input, Conv2dAttrs::pointwise(in_ch, 192));
+    let b1 = conv_bn_relu(
+        b,
+        &format!("{name}_b1_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 192),
+    );
 
-    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, ch7));
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, ch7),
+    );
     let b2 = conv_bn_relu(
         b,
         &format!("{name}_b2_1x7"),
@@ -109,7 +153,12 @@ fn inception_b(
         Conv2dAttrs::rect(ch7, 192, (7, 1), (3, 0)),
     );
 
-    let b3 = conv_bn_relu(b, &format!("{name}_b3_1x1"), input, Conv2dAttrs::pointwise(in_ch, ch7));
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, ch7),
+    );
     let b3 = conv_bn_relu(
         b,
         &format!("{name}_b3_7x1a"),
@@ -135,8 +184,17 @@ fn inception_b(
         Conv2dAttrs::rect(ch7, 192, (1, 7), (0, 3)),
     );
 
-    let b4 = b.pool(&format!("{name}_b4_pool"), input, PoolAttrs::avg(3, 1).with_pad(1));
-    let b4 = conv_bn_relu(b, &format!("{name}_b4_proj"), b4, Conv2dAttrs::pointwise(in_ch, 192));
+    let b4 = b.pool(
+        &format!("{name}_b4_pool"),
+        input,
+        PoolAttrs::avg(3, 1).with_pad(1),
+    );
+    let b4 = conv_bn_relu(
+        b,
+        &format!("{name}_b4_proj"),
+        b4,
+        Conv2dAttrs::pointwise(in_ch, 192),
+    );
 
     let out = b.concat(&format!("{name}_concat"), vec![b1, b2, b3, b4]);
     (out, 192 * 4)
@@ -149,7 +207,12 @@ fn reduction_b(
     input: TensorId,
     in_ch: usize,
 ) -> (TensorId, usize) {
-    let b1 = conv_bn_relu(b, &format!("{name}_b1_1x1"), input, Conv2dAttrs::pointwise(in_ch, 192));
+    let b1 = conv_bn_relu(
+        b,
+        &format!("{name}_b1_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 192),
+    );
     let b1 = conv_bn_relu(
         b,
         &format!("{name}_b1_3x3"),
@@ -157,7 +220,12 @@ fn reduction_b(
         Conv2dAttrs::square(192, 320, 3, 2, 0),
     );
 
-    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, 192));
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 192),
+    );
     let b2 = conv_bn_relu(
         b,
         &format!("{name}_b2_1x7"),
@@ -189,9 +257,19 @@ fn inception_c(
     input: TensorId,
     in_ch: usize,
 ) -> (TensorId, usize) {
-    let b1 = conv_bn_relu(b, &format!("{name}_b1_1x1"), input, Conv2dAttrs::pointwise(in_ch, 320));
+    let b1 = conv_bn_relu(
+        b,
+        &format!("{name}_b1_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 320),
+    );
 
-    let b2 = conv_bn_relu(b, &format!("{name}_b2_1x1"), input, Conv2dAttrs::pointwise(in_ch, 384));
+    let b2 = conv_bn_relu(
+        b,
+        &format!("{name}_b2_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 384),
+    );
     let b2a = conv_bn_relu(
         b,
         &format!("{name}_b2_1x3"),
@@ -206,8 +284,18 @@ fn inception_c(
     );
     let b2 = b.concat(&format!("{name}_b2_concat"), vec![b2a, b2b]);
 
-    let b3 = conv_bn_relu(b, &format!("{name}_b3_1x1"), input, Conv2dAttrs::pointwise(in_ch, 448));
-    let b3 = conv_bn_relu(b, &format!("{name}_b3_3x3"), b3, Conv2dAttrs::same_3x3(448, 384));
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_1x1"),
+        input,
+        Conv2dAttrs::pointwise(in_ch, 448),
+    );
+    let b3 = conv_bn_relu(
+        b,
+        &format!("{name}_b3_3x3"),
+        b3,
+        Conv2dAttrs::same_3x3(448, 384),
+    );
     let b3a = conv_bn_relu(
         b,
         &format!("{name}_b3_1x3"),
@@ -222,8 +310,17 @@ fn inception_c(
     );
     let b3 = b.concat(&format!("{name}_b3_concat"), vec![b3a, b3b]);
 
-    let b4 = b.pool(&format!("{name}_b4_pool"), input, PoolAttrs::avg(3, 1).with_pad(1));
-    let b4 = conv_bn_relu(b, &format!("{name}_b4_proj"), b4, Conv2dAttrs::pointwise(in_ch, 192));
+    let b4 = b.pool(
+        &format!("{name}_b4_pool"),
+        input,
+        PoolAttrs::avg(3, 1).with_pad(1),
+    );
+    let b4 = conv_bn_relu(
+        b,
+        &format!("{name}_b4_proj"),
+        b4,
+        Conv2dAttrs::pointwise(in_ch, 192),
+    );
 
     let out = b.concat(&format!("{name}_concat"), vec![b1, b2, b3, b4]);
     (out, 320 + 768 + 768 + 192)
@@ -236,11 +333,21 @@ pub fn inception_v3(batch: usize, input_size: usize) -> Graph {
 
     // Stem.
     let y = conv_bn_relu(&mut b, "stem_conv1", x, Conv2dAttrs::square(3, 32, 3, 2, 0));
-    let y = conv_bn_relu(&mut b, "stem_conv2", y, Conv2dAttrs::square(32, 32, 3, 1, 0));
+    let y = conv_bn_relu(
+        &mut b,
+        "stem_conv2",
+        y,
+        Conv2dAttrs::square(32, 32, 3, 1, 0),
+    );
     let y = conv_bn_relu(&mut b, "stem_conv3", y, Conv2dAttrs::same_3x3(32, 64));
     let y = b.pool("stem_pool1", y, PoolAttrs::max(3, 2));
     let y = conv_bn_relu(&mut b, "stem_conv4", y, Conv2dAttrs::pointwise(64, 80));
-    let y = conv_bn_relu(&mut b, "stem_conv5", y, Conv2dAttrs::square(80, 192, 3, 1, 0));
+    let y = conv_bn_relu(
+        &mut b,
+        "stem_conv5",
+        y,
+        Conv2dAttrs::square(80, 192, 3, 1, 0),
+    );
     let y = b.pool("stem_pool2", y, PoolAttrs::max(3, 2));
     let mut channels = 192usize;
     let mut y = y;

@@ -215,7 +215,11 @@ mod tests {
 
     #[test]
     fn models_build_at_reduced_resolution() {
-        for kind in [ModelKind::MobileNetV1, ModelKind::ResNet18, ModelKind::SqueezeNetV1_1] {
+        for kind in [
+            ModelKind::MobileNetV1,
+            ModelKind::ResNet18,
+            ModelKind::SqueezeNetV1_1,
+        ] {
             let mut g = build(kind, 1, 64);
             g.validate().unwrap();
             g.infer_shapes().unwrap();

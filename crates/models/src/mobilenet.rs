@@ -2,8 +2,7 @@
 
 use crate::NUM_CLASSES;
 use mnn_graph::{
-    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Graph, GraphBuilder, PoolAttrs,
-    TensorId,
+    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Graph, GraphBuilder, PoolAttrs, TensorId,
 };
 use mnn_tensor::Shape;
 

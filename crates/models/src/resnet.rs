@@ -2,8 +2,7 @@
 
 use crate::NUM_CLASSES;
 use mnn_graph::{
-    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Graph, GraphBuilder, PoolAttrs,
-    TensorId,
+    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Graph, GraphBuilder, PoolAttrs, TensorId,
 };
 use mnn_tensor::Shape;
 
@@ -126,7 +125,8 @@ pub fn resnet_18(batch: usize, input_size: usize) -> Graph {
     let mut b = GraphBuilder::new("resnet-18");
     let mut y = stem(&mut b, batch, input_size);
     let mut in_ch = 64usize;
-    for (stage, (out_ch, first_stride)) in [(64, 1), (128, 2), (256, 2), (512, 2)].iter().enumerate()
+    for (stage, (out_ch, first_stride)) in
+        [(64, 1), (128, 2), (256, 2), (512, 2)].iter().enumerate()
     {
         for block in 0..2 {
             let stride = if block == 0 { *first_stride } else { 1 };
@@ -150,7 +150,12 @@ pub fn resnet_50(batch: usize, input_size: usize) -> Graph {
     let mut b = GraphBuilder::new("resnet-50");
     let mut y = stem(&mut b, batch, input_size);
     let mut in_ch = 64usize;
-    let stages = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let stages = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
     for (stage, (mid_ch, out_ch, blocks, first_stride)) in stages.iter().enumerate() {
         for block in 0..*blocks {
             let stride = if block == 0 { *first_stride } else { 1 };

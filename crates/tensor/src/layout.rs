@@ -159,6 +159,7 @@ pub fn convert_layout_f32(
     dst
 }
 
+#[allow(clippy::too_many_arguments)]
 fn offset_for(
     layout: DataLayout,
     n: usize,

@@ -54,7 +54,7 @@ pub const PACK: usize = 4;
 /// assert_eq!(mnn_tensor::round_up_pack(0), 0);
 /// ```
 pub const fn round_up_pack(value: usize) -> usize {
-    (value + PACK - 1) / PACK * PACK
+    value.div_ceil(PACK) * PACK
 }
 
 /// Round `value` up to the next multiple of `to`.
@@ -67,5 +67,5 @@ pub const fn round_up_pack(value: usize) -> usize {
 /// assert_eq!(mnn_tensor::round_up(10, 8), 16);
 /// ```
 pub const fn round_up(value: usize, to: usize) -> usize {
-    (value + to - 1) / to * to
+    value.div_ceil(to) * to
 }

@@ -95,7 +95,11 @@ impl Shape {
     ///
     /// Panics if the shape is not 4-D.
     pub fn channels(&self) -> usize {
-        assert_eq!(self.rank(), 4, "channels() requires a 4-D shape, got {self}");
+        assert_eq!(
+            self.rank(),
+            4,
+            "channels() requires a 4-D shape, got {self}"
+        );
         self.0[1]
     }
 

@@ -475,12 +475,9 @@ mod tests {
             TensorData::F32(vec![0.0; 3])
         )
         .is_err());
-        assert!(Tensor::from_parts(
-            shape,
-            DataLayout::Nc4hw4,
-            TensorData::F32(vec![0.0; 4])
-        )
-        .is_ok());
+        assert!(
+            Tensor::from_parts(shape, DataLayout::Nc4hw4, TensorData::F32(vec![0.0; 4])).is_ok()
+        );
     }
 
     #[test]

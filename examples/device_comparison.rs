@@ -39,7 +39,10 @@ fn main() {
     );
 
     println!("\nestimated latency (ms) per device — CPU 4 threads:");
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}", "device", "MNN", "NCNN", "MACE", "TF-Lite", "TVM");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "device", "MNN", "NCNN", "MACE", "TF-Lite", "TVM"
+    );
     for device_name in ["iPhoneX", "Mate20", "MI6", "P20", "Pixel3"] {
         let device = DeviceProfile::by_name(device_name).unwrap();
         let lat = |engine| estimate_cpu_latency_ms(&graph, &device, engine, 4);
@@ -55,7 +58,10 @@ fn main() {
     }
 
     println!("\nMNN GPU latency (ms) per standard:");
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "device", "Metal", "OpenCL", "OpenGL", "Vulkan");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "device", "Metal", "OpenCL", "OpenGL", "Vulkan"
+    );
     for device_name in ["iPhoneX", "Mate20", "MI6", "P20", "Pixel3"] {
         let device = DeviceProfile::by_name(device_name).unwrap();
         let cell = |standard| {

@@ -35,15 +35,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diff = cpu_out[0].max_abs_diff(&gpu_out[0]);
     println!("max |cpu - hybrid| over outputs: {diff:.2e}");
 
-    // Where did each operator land?
+    // Where did each operator land? The report's Display impl prints the full
+    // per-node placement table; summarize per backend first.
     let mut per_backend: BTreeMap<String, usize> = BTreeMap::new();
     for placement in &gpu_session.report().placements {
-        *per_backend.entry(placement.forward_type.to_string()).or_insert(0) += 1;
+        *per_backend
+            .entry(placement.forward_type.to_string())
+            .or_insert(0) += 1;
     }
     println!("operator placement in the hybrid session:");
     for (backend, count) in &per_backend {
         println!("  {backend:<8} {count} operators");
     }
+    println!("\nfull placement table:\n{}", gpu_session.report());
     println!(
         "estimated cost: cpu-only {:.2} ms vs hybrid {:.2} ms; simulated GPU time last run: {:.2} ms",
         cpu_session.report().estimated_total_ms,

