@@ -1,0 +1,67 @@
+//! Serving throughput: batch=1 submission vs dynamic micro-batching.
+//!
+//! Drives a fixed closed-loop load (4 producers, 32 requests) through an
+//! `mnn-serve` server configured with and without micro-batching, on the same
+//! worker/thread budget. The batched configuration amortizes per-run
+//! bookkeeping and per-kernel thread fan-out across coalesced requests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnn_bench::deterministic_input;
+use mnn_core::SessionConfig;
+use mnn_models::{build, ModelKind};
+use mnn_serve::{ServeError, Server};
+use mnn_tensor::{Shape, Tensor};
+use std::time::Duration;
+
+const REQUESTS: usize = 32;
+const PRODUCERS: usize = 4;
+
+/// Push `REQUESTS` requests through the server from `PRODUCERS` threads and
+/// wait for every response (closed-loop load, retry on backpressure).
+fn drive(server: &Server, input: &Tensor) {
+    std::thread::scope(|scope| {
+        for _ in 0..PRODUCERS {
+            scope.spawn(|| {
+                let handles: Vec<_> = (0..REQUESTS / PRODUCERS)
+                    .map(|_| loop {
+                        match server.submit(&[("data", input)]) {
+                            Ok(handle) => break handle,
+                            Err(ServeError::QueueFull { .. }) => std::thread::yield_now(),
+                            Err(other) => panic!("{other}"),
+                        }
+                    })
+                    .collect();
+                for handle in handles {
+                    handle.wait().unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput_tiny_cnn");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let input = deterministic_input(Shape::nchw(1, 3, 32, 32), 42);
+    for max_batch in [1usize, 8] {
+        let server = Server::builder()
+            .workers(2)
+            .max_batch(max_batch)
+            .batch_window(Duration::from_millis(1))
+            .queue_capacity(64)
+            .session_config(SessionConfig::cpu(2))
+            .build(build(ModelKind::TinyCnn, 1, 32))
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("32_requests", format!("max_batch_{max_batch}")),
+            &max_batch,
+            |b, _| b.iter(|| drive(&server, &input)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

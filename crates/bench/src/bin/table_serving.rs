@@ -1,0 +1,119 @@
+//! `table_serving` — serving throughput: batch=1 vs dynamic micro-batching.
+//!
+//! The paper stops at single-request inference; `mnn-serve` layers a
+//! concurrent serving runtime (session pool, bounded queue, micro-batcher) on
+//! top of it. This table drives the same closed-loop load — `PRODUCERS`
+//! threads submitting `REQUESTS` single-image requests — through two servers
+//! that differ **only** in `max_batch`, on the same worker/thread budget:
+//!
+//! * `batch=1`: every request runs as its own inference.
+//! * `micro≤N`: compatible requests are coalesced (up to `MAX_BATCH`) within a
+//!   short window, stacked along the batch dimension, and run as one
+//!   inference — amortizing per-run bookkeeping and per-kernel thread fan-out.
+//!
+//! Reported: requests/s, p50/p99 end-to-end latency, the observed mean batch
+//! size, and the micro-batching speedup.
+//!
+//! Run with: `cargo run --release -p mnn-bench --bin table_serving`
+
+use mnn_bench::{deterministic_input, print_row, print_table_header, time_ms};
+use mnn_core::SessionConfig;
+use mnn_models::{build, ModelKind};
+use mnn_serve::{ServeError, Server, ServerStats};
+use mnn_tensor::{Shape, Tensor};
+use std::time::Duration;
+
+const INPUT_SIZE: usize = 64;
+const REQUESTS: usize = 96;
+const PRODUCERS: usize = 4;
+const WORKERS: usize = 2;
+const THREADS_PER_WORKER: usize = 2;
+const MAX_BATCH: usize = 8;
+const WINDOW: Duration = Duration::from_millis(2);
+
+struct LoadResult {
+    rps: f64,
+    stats: ServerStats,
+}
+
+/// Closed-loop load: `PRODUCERS` threads submit their share of `REQUESTS`,
+/// retrying on backpressure, then wait for every response.
+fn run_load(server: &Server, input: &Tensor) -> f64 {
+    let (_, total_ms) = time_ms(|| {
+        std::thread::scope(|scope| {
+            for _ in 0..PRODUCERS {
+                scope.spawn(|| {
+                    let handles: Vec<_> = (0..REQUESTS / PRODUCERS)
+                        .map(|_| loop {
+                            match server.submit(&[("data", input)]) {
+                                Ok(handle) => break handle,
+                                Err(ServeError::QueueFull { .. }) => std::thread::yield_now(),
+                                Err(other) => panic!("submit failed: {other}"),
+                            }
+                        })
+                        .collect();
+                    for handle in handles {
+                        handle.wait().expect("inference failed");
+                    }
+                });
+            }
+        });
+    });
+    REQUESTS as f64 / (total_ms / 1000.0)
+}
+
+fn measure(kind: ModelKind, max_batch: usize) -> LoadResult {
+    let server = Server::builder()
+        .workers(WORKERS)
+        .max_batch(max_batch)
+        .batch_window(WINDOW)
+        .queue_capacity(REQUESTS)
+        .session_config(SessionConfig::cpu(THREADS_PER_WORKER))
+        .build(build(kind, 1, INPUT_SIZE))
+        .expect("server");
+    let input = deterministic_input(Shape::nchw(1, 3, INPUT_SIZE, INPUT_SIZE), 11);
+    // Warm every plan (batch sizes up to max_batch) before measuring.
+    run_load(&server, &input);
+    let rps = run_load(&server, &input);
+    LoadResult {
+        rps,
+        stats: server.stats(),
+    }
+}
+
+fn main() {
+    println!(
+        "serving load: {REQUESTS} requests from {PRODUCERS} producers, {WORKERS} workers × {THREADS_PER_WORKER} threads, {INPUT_SIZE}px input"
+    );
+    print_table_header(
+        "Serving throughput: batch=1 vs dynamic micro-batching",
+        &[
+            "model",
+            "mode",
+            "req/s",
+            "p50 ms",
+            "p99 ms",
+            "mean batch",
+            "speedup",
+        ],
+    );
+    for kind in [ModelKind::MobileNetV1, ModelKind::SqueezeNetV1_1] {
+        let unbatched = measure(kind, 1);
+        let batched = measure(kind, MAX_BATCH);
+        let name = format!("{kind:?}");
+        for (mode, result) in [
+            ("batch=1", &unbatched),
+            (&format!("micro<={MAX_BATCH}"), &batched),
+        ] {
+            print_row(&[
+                name.clone(),
+                mode.to_string(),
+                format!("{:.1}", result.rps),
+                format!("{:.2}", result.stats.p50_latency_ms),
+                format!("{:.2}", result.stats.p99_latency_ms),
+                format!("{:.2}", result.stats.mean_batch_size),
+                format!("{:.2}x", result.rps / unbatched.rps),
+            ]);
+        }
+    }
+}

@@ -42,13 +42,15 @@
 pub mod cost;
 mod error;
 pub mod memory_plan;
+mod pool;
 pub mod scheme;
 mod session;
 
 pub use error::CoreError;
 pub use memory_plan::MemoryPlan;
+pub use pool::{PooledSession, SessionPool};
 pub use scheme::{SchemeChoice, SchemeDecision};
 pub use session::{
     Interpreter, NodePlacement, PreInferenceReport, RunStats, Session, SessionConfig,
-    SessionConfigBuilder,
+    SessionConfigBuilder, DEFAULT_PLAN_CACHE_CAPACITY,
 };

@@ -25,6 +25,12 @@ pub struct SessionConfig {
     pub gpu_profile: GpuProfile,
     /// CPU FLOPS estimate override for the cost model (e.g. from a device profile).
     pub cpu_flops: Option<f64>,
+    /// Upper bound on pre-inference plans cached per session (one entry per
+    /// input-shape signature, excluding the active plan). `0` disables the
+    /// cache entirely: every geometry change re-plans from scratch. Servers
+    /// that alternate between many batch sizes should size this at least
+    /// `max_batch + 1`.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for SessionConfig {
@@ -36,9 +42,13 @@ impl Default for SessionConfig {
             max_winograd_tile: crate::scheme::MAX_WINOGRAD_TILE,
             gpu_profile: GpuProfile::GENERIC,
             cpu_flops: None,
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
         }
     }
 }
+
+/// Default number of cached pre-inference plans per session.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 8;
 
 impl SessionConfig {
     /// Start building a configuration:
@@ -113,6 +123,13 @@ impl SessionConfigBuilder {
     /// Override the CPU FLOPS estimate used by the cost model.
     pub fn cpu_flops(mut self, flops: f64) -> Self {
         self.config.cpu_flops = Some(flops);
+        self
+    }
+
+    /// Bound the per-session pre-inference plan cache (entries are whole plans,
+    /// one per input-shape signature). `0` disables plan caching.
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.plan_cache_capacity = capacity;
         self
     }
 

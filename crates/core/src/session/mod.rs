@@ -27,7 +27,7 @@ mod resize;
 #[cfg(test)]
 mod tests;
 
-pub use config::{SessionConfig, SessionConfigBuilder};
+pub use config::{SessionConfig, SessionConfigBuilder, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use exec::RunStats;
 pub use plan::{NodePlacement, PreInferenceReport};
 

@@ -21,11 +21,6 @@ use mnn_tensor::{Shape, Tensor};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Upper bound on cached pre-inference results per session. Each entry holds the
-/// plan (and executions) for one input geometry; applications that stream
-/// arbitrary shapes would otherwise grow the cache without bound.
-const MAX_CACHED_PLANS: usize = 8;
-
 impl Session {
     /// Stage a new shape for the input named `name` (MNN's `resizeTensor`).
     ///
@@ -164,9 +159,15 @@ impl Session {
 
     /// Park a geometry's plan in the cache, evicting an arbitrary entry when the
     /// cache is full (the parked plan itself is always kept — the common pattern
-    /// alternates between a small set of geometries).
+    /// alternates between a small set of geometries). With
+    /// [`SessionConfig::plan_cache_capacity`] set to 0 the plan is dropped
+    /// instead: caching is disabled.
     fn park_plan(&mut self, key: Vec<Shape>, cached: CachedPlan) {
-        if self.plan_cache.len() >= MAX_CACHED_PLANS {
+        let capacity = self.config.plan_cache_capacity;
+        if capacity == 0 {
+            return;
+        }
+        if self.plan_cache.len() >= capacity {
             if let Some(evict) = self.plan_cache.keys().next().cloned() {
                 self.plan_cache.remove(&evict);
             }

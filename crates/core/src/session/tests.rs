@@ -325,6 +325,50 @@ fn alternating_geometries_hit_the_pre_inference_cache() {
 }
 
 #[test]
+fn plan_cache_capacity_zero_disables_caching() {
+    let interpreter = Interpreter::from_graph(fully_conv_net()).unwrap();
+    let config = SessionConfig::builder()
+        .threads(2)
+        .plan_cache_capacity(0)
+        .build();
+    let mut session = interpreter.create_session(config).unwrap();
+
+    // Bounce between two geometries: with caching disabled, no plan is ever
+    // parked and no resize is served from the cache.
+    for size in [32, 16, 32, 16] {
+        session
+            .resize_input("x", Shape::nchw(1, 3, size, size))
+            .unwrap();
+        session.resize_session().unwrap();
+        assert_eq!(session.plan_cache_len(), 0);
+        assert_eq!(session.plan_cache_hits(), 0);
+        assert!(!session.report().from_cache);
+    }
+    // The session still computes correctly at the final geometry.
+    let out = session.run(&[sized_input(16)]).unwrap();
+    assert_eq!(out[0].shape().dims(), &[1, 2, 16, 16]);
+}
+
+#[test]
+fn plan_cache_capacity_bounds_the_cache() {
+    let interpreter = Interpreter::from_graph(fully_conv_net()).unwrap();
+    let config = SessionConfig::builder()
+        .threads(2)
+        .plan_cache_capacity(2)
+        .build();
+    let mut session = interpreter.create_session(config).unwrap();
+
+    // Visit more geometries than the cache can hold.
+    for size in [16, 20, 24, 28, 32] {
+        session
+            .resize_input("x", Shape::nchw(1, 3, size, size))
+            .unwrap();
+        session.resize_session().unwrap();
+        assert!(session.plan_cache_len() <= 2);
+    }
+}
+
+#[test]
 fn resize_reuses_unchanged_executions() {
     let interpreter = Interpreter::from_graph(fully_conv_net()).unwrap();
     let mut session = interpreter.create_session(SessionConfig::cpu(2)).unwrap();

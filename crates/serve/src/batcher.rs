@@ -1,0 +1,145 @@
+//! Executing one micro-batch on a pooled session.
+//!
+//! The hot path of the serving runtime: stack the coalesced requests' inputs
+//! along the batch dimension ([`Tensor::stack_batch`]), steer the session to
+//! the batched geometry (`resize_input` + `resize_session`, which the
+//! per-signature plan cache turns into an O(1) plan swap after first sight of
+//! a batch size), run **one** inference, and scatter the outputs back to the
+//! per-request response slots ([`Tensor::split_batch`]).
+//!
+//! Kernels compute each sample of a batch independently, so the scattered
+//! outputs are bit-identical to running every request alone — the property the
+//! stress test in `tests/stress.rs` locks in.
+
+use crate::request::QueuedRequest;
+use crate::stats::StatsCollector;
+use crate::ServeError;
+use mnn_core::{CoreError, Session};
+use mnn_tensor::{Shape, Tensor};
+
+/// Run `batch` (1..=max_batch requests with one shared signature) on
+/// `session`, fulfilling every request's response slot and recording stats.
+pub(crate) fn process_batch(
+    session: &mut Session,
+    mut batch: Vec<QueuedRequest>,
+    stats: &StatsCollector,
+) {
+    // A panic anywhere in the engine (kernel asserts, layout checks) must not
+    // kill the worker with the batch's slots unfulfilled — clients blocked in
+    // `wait()` would hang forever. Contain it and fan out an error instead.
+    // The session is safe to reuse: a run mutates only per-run state.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_batch(session, &mut batch)
+    }))
+    .unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "worker panicked".to_string());
+        Err(ServeError::Inference(format!("worker panicked: {msg}")))
+    });
+    // Record stats BEFORE fulfilling any slot: a client that wakes from
+    // `wait()` must already see its request in the counters.
+    let latencies: Vec<f64> = batch
+        .iter()
+        .map(|request| request.enqueued.elapsed().as_secs_f64() * 1000.0)
+        .collect();
+    stats.record_batch(&latencies, result.is_ok());
+    match result {
+        Ok(outputs) => {
+            for (request, outputs) in batch.iter().zip(outputs) {
+                request.slot.fulfill(Ok(outputs));
+            }
+        }
+        Err(error) => {
+            for request in &batch {
+                request.slot.fulfill(Err(error.clone()));
+            }
+        }
+    }
+}
+
+/// The batched inference itself: returns per-request outputs in graph-output
+/// order. Any failure fails the whole batch (the caller fans the error out).
+fn run_batch(
+    session: &mut Session,
+    batch: &mut [QueuedRequest],
+) -> Result<Vec<Vec<Tensor>>, ServeError> {
+    let k = batch.len();
+    debug_assert!(k > 0, "next_batch never returns an empty batch");
+
+    // Take ownership of every request's tensors so stacking copies each input
+    // buffer at most once.
+    let mut taken: Vec<Vec<(String, Tensor)>> = batch
+        .iter_mut()
+        .map(|request| std::mem::take(&mut request.inputs))
+        .collect();
+
+    let stacked: Vec<(String, Tensor)> = if k == 1 {
+        taken.pop().expect("k == 1")
+    } else {
+        let arity = taken[0].len();
+        let mut stacked = Vec::with_capacity(arity);
+        for position in (0..arity).rev() {
+            // Pop from the back so each request's Vec shrinks without shifts.
+            let mut column = Vec::with_capacity(k);
+            let mut name = String::new();
+            for inputs in taken.iter_mut() {
+                let (n, tensor) = inputs.remove(position);
+                name = n;
+                column.push(tensor);
+            }
+            stacked.push((name, Tensor::stack_batch(&column)?));
+        }
+        stacked.reverse();
+        stacked
+    };
+
+    ensure_geometry(session, &stacked)?;
+    let refs: Vec<(&str, &Tensor)> = stacked
+        .iter()
+        .map(|(name, tensor)| (name.as_str(), tensor))
+        .collect();
+    let outputs = session.run_with(&refs)?;
+
+    if k == 1 {
+        return Ok(vec![outputs]);
+    }
+    // Scatter: split every output along the batch dimension and transpose to
+    // per-request lists.
+    let mut per_request: Vec<Vec<Tensor>> =
+        (0..k).map(|_| Vec::with_capacity(outputs.len())).collect();
+    for output in outputs {
+        let parts = output.split_batch(k)?;
+        for (request, part) in per_request.iter_mut().zip(parts) {
+            request.push(part);
+        }
+    }
+    Ok(per_request)
+}
+
+/// Resize the session's inputs to the batched geometry if it is not already
+/// there. After the first batch of a given size this is a plan-cache hit.
+fn ensure_geometry(session: &mut Session, inputs: &[(String, Tensor)]) -> Result<(), CoreError> {
+    let mut dirty = false;
+    for (name, tensor) in inputs {
+        let current = current_input_shape(session, name)?;
+        if current.as_ref() != Some(tensor.shape()) {
+            session.resize_input(name, tensor.shape().clone())?;
+            dirty = true;
+        }
+    }
+    if dirty {
+        session.resize_session()?;
+    }
+    Ok(())
+}
+
+fn current_input_shape(session: &Session, name: &str) -> Result<Option<Shape>, CoreError> {
+    let graph = session.graph();
+    let id = graph
+        .input_named(name)
+        .ok_or_else(|| CoreError::InvalidInput(format!("unknown input '{name}'")))?;
+    Ok(graph.tensor_info(id)?.shape.clone())
+}

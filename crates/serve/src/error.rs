@@ -1,0 +1,84 @@
+//! Error type for the serving runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`Server`](crate::Server) submission and response paths.
+///
+/// The type is `Clone` because one failed batched inference fans the same error
+/// out to every request that was coalesced into the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is at capacity; the caller should back off and
+    /// retry (backpressure instead of unbounded buffering).
+    QueueFull {
+        /// Configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is shutting down (or has shut down) and accepts no new work.
+    ShuttingDown,
+    /// The request itself is malformed: wrong input names, duplicated names, or
+    /// tensors the model cannot accept.
+    InvalidRequest(String),
+    /// The worker's inference failed; carries the stringified engine error.
+    Inference(String),
+    /// A configuration value is inconsistent (e.g. zero workers).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "request queue is full (capacity {capacity}); retry later"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::Inference(msg) => write!(f, "inference failed: {msg}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<mnn_core::CoreError> for ServeError {
+    fn from(value: mnn_core::CoreError) -> Self {
+        ServeError::Inference(value.to_string())
+    }
+}
+
+impl From<mnn_tensor::TensorError> for ServeError {
+    fn from(value: mnn_tensor::TensorError) -> Self {
+        ServeError::Inference(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(ServeError::QueueFull { capacity: 32 }
+            .to_string()
+            .contains("32"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+    }
+
+    #[test]
+    fn is_send_sync_clone() {
+        fn check<T: Send + Sync + Clone>() {}
+        check::<ServeError>();
+    }
+
+    #[test]
+    fn wraps_core_errors() {
+        let err: ServeError = mnn_core::CoreError::InvalidInput("bad".into()).into();
+        assert!(matches!(err, ServeError::Inference(_)));
+        assert!(err.to_string().contains("bad"));
+    }
+}

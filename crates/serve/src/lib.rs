@@ -1,0 +1,73 @@
+//! # mnn-serve — a concurrent serving runtime for the MNN-rs engine
+//!
+//! The paper (Section 3.3) treats multi-threading and pre-inference as
+//! schedule-level optimizations for a *single* request; this crate turns those
+//! primitives into a throughput-oriented serving runtime:
+//!
+//! * **Session pooling** — a [`Server`] pre-warms one
+//!   [`Session`](mnn_core::Session) per worker thread from a shared graph
+//!   (weights are `Arc`-shared, pre-inference runs once per worker at startup,
+//!   never per request).
+//! * **Bounded queue with backpressure** — [`Server::submit`] enqueues onto a
+//!   bounded MPMC queue and fails fast with [`ServeError::QueueFull`] instead
+//!   of buffering without bound; callers back off and retry.
+//! * **Dynamic micro-batching** — a worker holding a request waits up to a
+//!   configurable window for more requests with the *same input signature*,
+//!   stacks up to `max_batch` of them along the batch dimension
+//!   ([`Tensor::stack_batch`](mnn_tensor::Tensor::stack_batch)), runs **one**
+//!   inference, and scatters the outputs back to per-request handles
+//!   ([`Tensor::split_batch`](mnn_tensor::Tensor::split_batch)). Each batch
+//!   size is one input geometry, so the session's per-signature plan cache
+//!   turns the batched `resize_session` into an O(1) plan swap after first
+//!   sight. Batching amortizes per-run bookkeeping and per-kernel thread
+//!   fan-out; every sample is still computed independently, so responses stay
+//!   **bit-identical** to unbatched inference.
+//! * **Observability** — [`Server::stats`] snapshots throughput, latency
+//!   percentiles (p50/p99), the batch-size histogram and queue depth as a
+//!   [`ServerStats`].
+//!
+//! # Example
+//!
+//! ```
+//! use mnn_serve::Server;
+//! use mnn_models::{build, ModelKind};
+//! use mnn_tensor::{Shape, Tensor};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::builder()
+//!     .workers(2)
+//!     .max_batch(4)
+//!     .batch_window(Duration::from_millis(1))
+//!     .build(build(ModelKind::TinyCnn, 1, 16))?;
+//!
+//! // Blocking call:
+//! let input = Tensor::zeros(Shape::nchw(1, 3, 16, 16));
+//! let outputs = server.infer(&[("data", &input)])?;
+//! assert_eq!(outputs[0].shape().dims(), &[1, 10]);
+//!
+//! // Handle-based: submit many, wait later.
+//! let handles: Vec<_> = (0..8)
+//!     .map(|_| server.submit(&[("data", &input)]))
+//!     .collect::<Result<_, _>>()?;
+//! for handle in handles {
+//!     handle.wait()?;
+//! }
+//! println!("{}", server.stats());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod batcher;
+mod error;
+mod queue;
+mod request;
+mod server;
+mod stats;
+
+pub use error::ServeError;
+pub use request::ResponseHandle;
+pub use server::{Server, ServerBuilder};
+pub use stats::ServerStats;

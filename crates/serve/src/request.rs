@@ -1,0 +1,178 @@
+//! Queued requests, compatibility signatures and response handles.
+
+use crate::ServeError;
+use mnn_tensor::{DataLayout, DataType, Tensor};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// The result delivered to one request.
+pub(crate) type Response = Result<Vec<Tensor>, ServeError>;
+
+/// What makes two requests batchable together: identical input names, shapes,
+/// data types and layouts (in normalized name order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Signature(Vec<(String, Vec<usize>, DataType, DataLayout)>);
+
+impl Signature {
+    /// Build the signature of a normalized (name-sorted) input list.
+    pub(crate) fn of(inputs: &[(String, Tensor)]) -> Self {
+        Signature(
+            inputs
+                .iter()
+                .map(|(name, t)| {
+                    (
+                        name.clone(),
+                        t.shape().dims().to_vec(),
+                        t.data_type(),
+                        t.layout(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// One request waiting in (or drained from) the queue.
+pub(crate) struct QueuedRequest {
+    /// Normalized inputs: sorted by input name.
+    pub(crate) inputs: Vec<(String, Tensor)>,
+    pub(crate) signature: Signature,
+    /// Whether this request can join a micro-batch: every input is 4-D with a
+    /// leading batch dimension of 1.
+    pub(crate) batchable: bool,
+    pub(crate) slot: Arc<ResponseSlot>,
+    pub(crate) enqueued: Instant,
+}
+
+/// Lifecycle of a [`ResponseSlot`].
+enum SlotState {
+    /// No worker has answered yet.
+    Pending,
+    /// The response is stored, waiting to be consumed.
+    Ready(Response),
+    /// `wait()` moved the response out.
+    Taken,
+}
+
+/// Shared one-shot slot a worker fills and a waiter blocks on.
+pub(crate) struct ResponseSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Fill the slot and wake the waiter. Later fills are ignored (first write
+    /// wins), so error fan-out paths never clobber a delivered result.
+    pub(crate) fn fulfill(&self, response: Response) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Ready(response);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Move the response out (no tensor copy — `wait` consumes the handle, so
+    /// there is exactly one consumer).
+    fn wait(&self) -> Response {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if matches!(*state, SlotState::Ready(_)) {
+                match std::mem::replace(&mut *state, SlotState::Taken) {
+                    SlotState::Ready(response) => return response,
+                    _ => unreachable!("matched Ready above"),
+                }
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn try_wait(&self) -> Option<Response> {
+        match &*self.state.lock().unwrap_or_else(PoisonError::into_inner) {
+            SlotState::Ready(response) => Some(response.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Handle to an in-flight request returned by [`Server::submit`](crate::Server::submit).
+///
+/// The handle is `Send`, so a request can be submitted on one thread and
+/// awaited on another. Dropping the handle abandons the response (the
+/// inference still runs; its result is discarded).
+pub struct ResponseHandle {
+    slot: Arc<ResponseSlot>,
+}
+
+impl ResponseHandle {
+    pub(crate) fn new(slot: Arc<ResponseSlot>) -> Self {
+        ResponseHandle { slot }
+    }
+
+    /// Block until the response is ready and return the outputs in
+    /// graph-output order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Inference`] when the batched inference failed and
+    /// [`ServeError::ShuttingDown`] when the server stopped before serving the
+    /// request.
+    pub fn wait(self) -> Result<Vec<Tensor>, ServeError> {
+        self.slot.wait()
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Vec<Tensor>, ServeError>> {
+        self.slot.try_wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_tensor::Shape;
+
+    fn named(name: &str, shape: Shape) -> (String, Tensor) {
+        (name.to_string(), Tensor::zeros(shape))
+    }
+
+    #[test]
+    fn signatures_distinguish_shapes() {
+        let a = Signature::of(&[named("x", Shape::nchw(1, 3, 8, 8))]);
+        let b = Signature::of(&[named("x", Shape::nchw(1, 3, 8, 8))]);
+        let c = Signature::of(&[named("x", Shape::nchw(1, 3, 16, 16))]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn slot_first_write_wins_and_wakes_waiter() {
+        let slot = ResponseSlot::new();
+        assert!(slot.try_wait().is_none());
+        slot.fulfill(Ok(vec![]));
+        slot.fulfill(Err(ServeError::ShuttingDown)); // ignored
+        let handle = ResponseHandle::new(slot);
+        assert_eq!(handle.try_wait(), Some(Ok(vec![])));
+        assert_eq!(handle.wait(), Ok(vec![]));
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled_across_threads() {
+        let slot = ResponseSlot::new();
+        let handle = ResponseHandle::new(Arc::clone(&slot));
+        let waiter = std::thread::spawn(move || handle.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        slot.fulfill(Ok(vec![Tensor::zeros(Shape::vector(2))]));
+        let out = waiter.join().unwrap().unwrap();
+        assert_eq!(out[0].shape().dims(), &[2]);
+    }
+}

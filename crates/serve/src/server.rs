@@ -1,0 +1,351 @@
+//! The [`Server`]: worker threads, submission API and lifecycle.
+
+use crate::batcher;
+use crate::queue::RequestQueue;
+use crate::request::{QueuedRequest, ResponseHandle, ResponseSlot, Signature};
+use crate::stats::{ServerStats, StatsCollector};
+use crate::ServeError;
+use mnn_core::{Interpreter, SessionConfig, SessionPool};
+use mnn_graph::Graph;
+use mnn_tensor::Tensor;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configures and builds a [`Server`]; obtained from [`Server::builder`].
+#[derive(Debug, Clone)]
+pub struct ServerBuilder {
+    workers: usize,
+    max_batch: usize,
+    batch_window: Duration,
+    queue_capacity: Option<usize>,
+    session: SessionConfig,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder {
+            workers: 2,
+            max_batch: 8,
+            batch_window: Duration::from_millis(1),
+            queue_capacity: None,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+impl ServerBuilder {
+    /// Number of worker threads, each owning one pre-warmed session (default 2).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Largest number of compatible requests coalesced into one inference
+    /// (default 8). `1` disables micro-batching.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// How long a worker holding a partial batch waits for more compatible
+    /// requests before running it (default 1 ms). Bounds the latency cost a
+    /// request can pay for batching.
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    /// Bound on queued (not yet executing) requests; submission beyond it
+    /// fails with [`ServeError::QueueFull`]. Defaults to
+    /// `workers * max_batch * 4`.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Session configuration used by every worker (threads, backends, …).
+    ///
+    /// The plan-cache capacity is raised to at least `max_batch + 1` so each
+    /// batch size 1..=`max_batch` keeps a warm plan.
+    pub fn session_config(mut self, config: SessionConfig) -> Self {
+        self.session = config;
+        self
+    }
+
+    /// Validate the graph and start the server: builds the session pool (full
+    /// pre-inference per worker) and spawns the worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero workers/batch/queue or a
+    /// graph that fails validation or pre-inference.
+    pub fn build(self, graph: Graph) -> Result<Server, ServeError> {
+        let interpreter =
+            Interpreter::from_graph(graph).map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
+        self.build_from_interpreter(&interpreter)
+    }
+
+    /// Like [`ServerBuilder::build`], for a graph already held by an
+    /// [`Interpreter`] (the server shares it, no copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for inconsistent settings and
+    /// propagates pre-inference failures.
+    pub fn build_from_interpreter(self, interpreter: &Interpreter) -> Result<Server, ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        let queue_capacity = self
+            .queue_capacity
+            .unwrap_or(self.workers * self.max_batch * 4);
+        if queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue capacity must be >= 1".into(),
+            ));
+        }
+
+        let mut session = self.session.clone();
+        // Every batch size in 1..=max_batch is its own input geometry; keep
+        // them all warm in the plan cache.
+        session.plan_cache_capacity = session.plan_cache_capacity.max(self.max_batch + 1);
+        let pool = SessionPool::new(interpreter, session, self.workers)
+            .map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
+
+        let queue = Arc::new(RequestQueue::new(queue_capacity));
+        let stats = Arc::new(StatsCollector::new(self.max_batch));
+        let workers = (0..self.workers)
+            .map(|index| {
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                let pool = pool.clone();
+                let max_batch = self.max_batch;
+                let window = self.batch_window;
+                std::thread::Builder::new()
+                    .name(format!("mnn-serve-{index}"))
+                    .spawn(move || worker_loop(&queue, &pool, &stats, max_batch, window))
+                    .map_err(|e| ServeError::InvalidConfig(format!("spawn failed: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(Server {
+            graph: interpreter.graph_arc(),
+            queue,
+            stats,
+            workers,
+            worker_count: self.workers,
+            max_batch: self.max_batch,
+            batch_window: self.batch_window,
+            queue_capacity,
+        })
+    }
+}
+
+/// One worker: pull micro-batches until the queue closes and drains.
+fn worker_loop(
+    queue: &RequestQueue,
+    pool: &SessionPool,
+    stats: &StatsCollector,
+    max_batch: usize,
+    batch_window: Duration,
+) {
+    while let Some(batch) = queue.next_batch(max_batch, batch_window) {
+        let mut session = pool.acquire();
+        batcher::process_batch(&mut session, batch, stats);
+    }
+}
+
+/// A concurrent model server: a pool of pre-warmed sessions fed by a bounded
+/// request queue with dynamic micro-batching.
+///
+/// * [`Server::submit`] enqueues a request and returns a [`ResponseHandle`]
+///   immediately (or [`ServeError::QueueFull`] — backpressure).
+/// * [`Server::infer`] is the blocking convenience: submit + wait.
+/// * [`Server::stats`] snapshots throughput, latency percentiles, the
+///   batch-size histogram and queue depth.
+///
+/// Dropping the server shuts it down gracefully: queued requests are still
+/// served, then the workers exit and are joined.
+pub struct Server {
+    graph: Arc<Graph>,
+    queue: Arc<RequestQueue>,
+    stats: Arc<StatsCollector>,
+    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
+    max_batch: usize,
+    batch_window: Duration,
+    queue_capacity: usize,
+}
+
+impl Server {
+    /// Start configuring a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// Build a server with default settings (2 workers, micro-batching up to 8).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerBuilder::build`].
+    pub fn new(graph: Graph) -> Result<Server, ServeError> {
+        Server::builder().build(graph)
+    }
+
+    /// Enqueue one inference request (named inputs, one sample each) and
+    /// return a handle to await its outputs.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidRequest`] for unknown, missing or duplicated
+    ///   input names.
+    /// * [`ServeError::QueueFull`] when the bounded queue is at capacity —
+    ///   back off and retry.
+    /// * [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, inputs: &[(&str, &Tensor)]) -> Result<ResponseHandle, ServeError> {
+        // Fail on backpressure BEFORE cloning any tensor: rejected submissions
+        // must stay cheap precisely when the server is saturated. (`try_push`
+        // re-checks authoritatively under the same lock.)
+        self.queue.check_admission().map_err(|err| {
+            if matches!(err, ServeError::QueueFull { .. }) {
+                self.stats.record_rejected();
+            }
+            err
+        })?;
+        let expected = self.graph.inputs().len();
+        if inputs.len() != expected {
+            return Err(ServeError::InvalidRequest(format!(
+                "expected {expected} inputs, got {}",
+                inputs.len()
+            )));
+        }
+        let mut normalized: Vec<(String, Tensor)> = Vec::with_capacity(inputs.len());
+        for (name, tensor) in inputs {
+            if self.graph.input_named(name).is_none() {
+                return Err(ServeError::InvalidRequest(format!(
+                    "unknown input '{name}'; graph inputs are {:?}",
+                    self.graph.input_names()
+                )));
+            }
+            if normalized.iter().any(|(n, _)| n == name) {
+                return Err(ServeError::InvalidRequest(format!(
+                    "input '{name}' was provided more than once"
+                )));
+            }
+            normalized.push((name.to_string(), (*tensor).clone()));
+        }
+        normalized.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let batchable = normalized
+            .iter()
+            .all(|(_, t)| t.shape().is_4d() && t.shape().batch() == 1);
+        let slot = ResponseSlot::new();
+        let request = QueuedRequest {
+            signature: Signature::of(&normalized),
+            inputs: normalized,
+            batchable,
+            slot: Arc::clone(&slot),
+            enqueued: Instant::now(),
+        };
+        match self.queue.try_push(request) {
+            Ok(()) => {
+                self.stats.record_submitted();
+                Ok(ResponseHandle::new(slot))
+            }
+            Err(err) => {
+                if matches!(err, ServeError::QueueFull { .. }) {
+                    self.stats.record_rejected();
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Blocking inference: submit and wait for the outputs (graph-output
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Server::submit`] returns, plus inference failures
+    /// surfaced by the worker.
+    pub fn infer(&self, inputs: &[(&str, &Tensor)]) -> Result<Vec<Tensor>, ServeError> {
+        self.submit(inputs)?.wait()
+    }
+
+    /// Snapshot of throughput, latency percentiles, batch histogram and queue
+    /// depth.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot(self.queue.depth(), self.worker_count)
+    }
+
+    /// The model served by this server.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Configured micro-batch ceiling.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Configured batching window.
+    pub fn batch_window(&self) -> Duration {
+        self.batch_window
+    }
+
+    /// Configured queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Stop accepting requests, serve everything already queued, and join the
+    /// workers. Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            // Workers contain panics around each batch (see `process_batch`),
+            // so join errors should be impossible; if one happens anyway, do
+            // NOT resume_unwind here — this runs from Drop, and unwinding
+            // during another unwind aborts the process.
+            if worker.join().is_err() {
+                eprintln!("mnn-serve: worker thread panicked outside batch processing");
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("model", &self.graph.name())
+            .field("workers", &self.worker_count)
+            .field("max_batch", &self.max_batch)
+            .field("batch_window", &self.batch_window)
+            .field("queue_capacity", &self.queue_capacity)
+            .finish()
+    }
+}

@@ -1,0 +1,250 @@
+//! Server telemetry: counters, latency percentiles and the batch-size histogram.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Most recent per-request latencies retained for percentile estimation. A
+/// bounded ring keeps the snapshot O(1) in memory under sustained traffic and
+/// biases percentiles toward *current* behavior rather than startup noise.
+const LATENCY_WINDOW: usize = 16_384;
+
+struct StatsInner {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    /// Per-request end-to-end latencies (enqueue → response), milliseconds.
+    latencies_ms: VecDeque<f64>,
+    /// `batch_histogram[k - 1]` counts executed batches of size `k`.
+    batch_histogram: Vec<u64>,
+}
+
+/// Thread-safe collector the server and its workers write into.
+pub(crate) struct StatsCollector {
+    inner: Mutex<StatsInner>,
+    started: Instant,
+}
+
+impl StatsCollector {
+    pub(crate) fn new(max_batch: usize) -> Self {
+        StatsCollector {
+            inner: Mutex::new(StatsInner {
+                submitted: 0,
+                completed: 0,
+                failed: 0,
+                rejected: 0,
+                latencies_ms: VecDeque::new(),
+                batch_histogram: vec![0; max_batch.max(1)],
+            }),
+            started: Instant::now(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StatsInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.lock().submitted += 1;
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.lock().rejected += 1;
+    }
+
+    /// Record one executed batch: its size and each member's latency.
+    pub(crate) fn record_batch(&self, latencies_ms: &[f64], ok: bool) {
+        let mut inner = self.lock();
+        let size = latencies_ms.len();
+        if size == 0 {
+            return;
+        }
+        let slot = size.min(inner.batch_histogram.len()) - 1;
+        inner.batch_histogram[slot] += 1;
+        if ok {
+            inner.completed += size as u64;
+        } else {
+            inner.failed += size as u64;
+        }
+        for &latency in latencies_ms {
+            if inner.latencies_ms.len() == LATENCY_WINDOW {
+                inner.latencies_ms.pop_front();
+            }
+            inner.latencies_ms.push_back(latency);
+        }
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize, workers: usize) -> ServerStats {
+        let inner = self.lock();
+        let uptime_ms = self.started.elapsed().as_secs_f64() * 1000.0;
+        let mut sorted: Vec<f64> = inner.latencies_ms.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let batches: u64 = inner.batch_histogram.iter().sum();
+        let batched_requests: u64 = inner
+            .batch_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| (i as u64 + 1) * count)
+            .sum();
+        ServerStats {
+            workers,
+            submitted: inner.submitted,
+            completed: inner.completed,
+            failed: inner.failed,
+            rejected: inner.rejected,
+            queue_depth,
+            uptime_ms,
+            throughput_rps: if uptime_ms > 0.0 {
+                inner.completed as f64 / (uptime_ms / 1000.0)
+            } else {
+                0.0
+            },
+            mean_latency_ms: mean(&sorted),
+            p50_latency_ms: percentile(&sorted, 50.0),
+            p99_latency_ms: percentile(&sorted, 99.0),
+            mean_batch_size: if batches > 0 {
+                batched_requests as f64 / batches as f64
+            } else {
+                0.0
+            },
+            batch_histogram: inner
+                .batch_histogram
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(i, &count)| (i + 1, count))
+                .collect(),
+        }
+    }
+}
+
+fn mean(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A point-in-time snapshot of server behavior, returned by
+/// [`Server::stats`](crate::Server::stats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an inference error.
+    pub failed: u64,
+    /// Submissions refused with [`ServeError::QueueFull`](crate::ServeError::QueueFull).
+    pub rejected: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Milliseconds since the server started.
+    pub uptime_ms: f64,
+    /// Completed requests per second since startup.
+    pub throughput_rps: f64,
+    /// Mean end-to-end latency (enqueue → response) over the recent window.
+    pub mean_latency_ms: f64,
+    /// Median end-to-end latency over the recent window.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile end-to-end latency over the recent window.
+    pub p99_latency_ms: f64,
+    /// Mean number of requests coalesced per executed batch.
+    pub mean_batch_size: f64,
+    /// `(batch_size, executed_batches)` pairs, ascending, zero entries omitted.
+    pub batch_histogram: Vec<(usize, u64)>,
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "workers {} | submitted {} | completed {} | failed {} | rejected {} | queued {}",
+            self.workers,
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "throughput {:.1} req/s | latency mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
+            self.throughput_rps, self.mean_latency_ms, self.p50_latency_ms, self.p99_latency_ms
+        )?;
+        write!(f, "batches (size×count):")?;
+        if self.batch_histogram.is_empty() {
+            write!(f, " none")?;
+        }
+        for (size, count) in &self.batch_histogram {
+            write!(f, " {size}×{count}")?;
+        }
+        write!(f, " | mean batch {:.2}", self.mean_batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn batches_feed_histogram_and_counters() {
+        let stats = StatsCollector::new(4);
+        stats.record_submitted();
+        stats.record_submitted();
+        stats.record_submitted();
+        stats.record_batch(&[1.0, 2.0], true);
+        stats.record_batch(&[3.0], true);
+        stats.record_batch(&[4.0], false);
+        let snap = stats.snapshot(5, 2);
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.queue_depth, 5);
+        assert_eq!(snap.workers, 2);
+        assert_eq!(snap.batch_histogram, vec![(1, 2), (2, 1)]);
+        assert!((snap.mean_batch_size - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(snap.p50_latency_ms, 2.0);
+    }
+
+    #[test]
+    fn oversized_batches_fold_into_last_bucket() {
+        let stats = StatsCollector::new(2);
+        stats.record_batch(&[1.0, 1.0, 1.0], true); // size 3 with max_batch 2
+        let snap = stats.snapshot(0, 1);
+        assert_eq!(snap.batch_histogram, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let stats = StatsCollector::new(4);
+        stats.record_batch(&[1.0, 2.0, 3.0, 4.0], true);
+        let text = stats.snapshot(0, 2).to_string();
+        assert!(text.contains("throughput"));
+        assert!(text.contains("4×1"));
+    }
+}

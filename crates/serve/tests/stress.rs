@@ -1,0 +1,116 @@
+//! Stress test: 8 producer threads × 100 requests through a 4-worker server.
+//!
+//! Every response must be **bit-identical** to a single-threaded `run_with`
+//! reference — micro-batching, session pooling and the concurrent queue must
+//! not change a single bit of any answer. Producers retry on `QueueFull`, so
+//! the bounded queue's backpressure path is exercised under real contention.
+
+use mnn_core::{Interpreter, SessionConfig};
+use mnn_models::{build, ModelKind};
+use mnn_serve::{ServeError, Server};
+use mnn_tensor::{Shape, Tensor};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PRODUCERS: usize = 8;
+const REQUESTS_PER_PRODUCER: usize = 100;
+const UNIQUE_INPUTS: usize = 16;
+const INPUT_SIZE: usize = 16;
+
+fn deterministic_input(seed: u64) -> Tensor {
+    let shape = Shape::nchw(1, 3, INPUT_SIZE, INPUT_SIZE);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let data = (0..shape.num_elements())
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[test]
+fn concurrent_responses_are_bit_identical_to_single_threaded_reference() {
+    let model = || build(ModelKind::TinyCnn, 1, INPUT_SIZE);
+
+    // Single-threaded reference outputs for every distinct input.
+    let interpreter = Interpreter::from_graph(model()).unwrap();
+    let mut reference_session = interpreter.create_session(SessionConfig::cpu(1)).unwrap();
+    let inputs: Vec<Tensor> = (0..UNIQUE_INPUTS)
+        .map(|i| deterministic_input(i as u64))
+        .collect();
+    let expected: Vec<Vec<Tensor>> = inputs
+        .iter()
+        .map(|input| reference_session.run_with(&[("data", input)]).unwrap())
+        .collect();
+
+    // A small queue forces producers through the backpressure/retry path.
+    let server = Arc::new(
+        Server::builder()
+            .workers(4)
+            .max_batch(4)
+            .batch_window(Duration::from_millis(2))
+            .queue_capacity(32)
+            .session_config(SessionConfig::cpu(1))
+            .build(model())
+            .unwrap(),
+    );
+    let inputs = Arc::new(inputs);
+    let expected = Arc::new(expected);
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|producer| {
+            let server = Arc::clone(&server);
+            let inputs = Arc::clone(&inputs);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut retries = 0u32;
+                for i in 0..REQUESTS_PER_PRODUCER {
+                    let which = (producer * REQUESTS_PER_PRODUCER + i) % UNIQUE_INPUTS;
+                    let handle = loop {
+                        match server.submit(&[("data", &inputs[which])]) {
+                            Ok(handle) => break handle,
+                            Err(ServeError::QueueFull { .. }) => {
+                                retries += 1;
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(other) => panic!("producer {producer}: {other}"),
+                        }
+                    };
+                    let outputs = handle
+                        .wait()
+                        .unwrap_or_else(|e| panic!("producer {producer} request {i} failed: {e}"));
+                    let want = &expected[which];
+                    assert_eq!(outputs.len(), want.len());
+                    for (got, want) in outputs.iter().zip(want) {
+                        assert_eq!(got.shape(), want.shape());
+                        assert_eq!(
+                            got.data_f32(),
+                            want.data_f32(),
+                            "producer {producer} request {i}: bits differ from reference"
+                        );
+                    }
+                }
+                retries
+            })
+        })
+        .collect();
+
+    let total_retries: u32 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+    let stats = server.stats();
+    assert_eq!(
+        stats.completed,
+        (PRODUCERS * REQUESTS_PER_PRODUCER) as u64,
+        "every request must be answered; stats: {stats}"
+    );
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected as u32, total_retries);
+    // With 8 producers hammering 4 workers, at least some requests must have
+    // been coalesced (this is statistical but wildly below any realistic run).
+    assert!(
+        stats.mean_batch_size > 1.0,
+        "no micro-batching happened: {stats}"
+    );
+}

@@ -1,0 +1,289 @@
+//! Batch-dimension stacking and splitting.
+//!
+//! A serving runtime coalesces several single-item requests into one batched
+//! inference ("dynamic micro-batching"): inputs are stacked along the leading
+//! (batch) dimension, the model runs once, and the batched output is split back
+//! into per-request tensors. Because every layout used by the engine — `NCHW`,
+//! `NHWC` and the packed `NC4HW4` — keeps the batch dimension outermost, both
+//! operations are pure buffer concatenation/chunking and never re-order
+//! elements, so a stacked run that computes each sample independently stays
+//! bit-identical to the unbatched runs.
+
+use crate::{Tensor, TensorData, TensorError};
+
+impl Tensor {
+    /// Stack tensors along the leading (batch) dimension.
+    ///
+    /// All tensors must share the data type, physical layout, and every
+    /// dimension except the leading one; the result's leading dimension is the
+    /// sum of the inputs' leading dimensions. Stacking is a buffer
+    /// concatenation — element order within each sample is preserved exactly.
+    ///
+    /// ```
+    /// use mnn_tensor::{Shape, Tensor};
+    /// let a = Tensor::full(Shape::nchw(1, 2, 2, 2), 1.0);
+    /// let b = Tensor::full(Shape::nchw(1, 2, 2, 2), 2.0);
+    /// let stacked = Tensor::stack_batch(&[a, b]).unwrap();
+    /// assert_eq!(stacked.shape().dims(), &[2, 2, 2, 2]);
+    /// assert_eq!(stacked.at(1, 1, 1, 1), 2.0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// * [`TensorError::EmptyBatch`] for an empty slice.
+    /// * [`TensorError::NotBatchable`] for rank-0 (scalar) tensors.
+    /// * [`TensorError::DataTypeMismatch`] / [`TensorError::LayoutMismatch`] /
+    ///   [`TensorError::ShapeMismatch`] when a tensor disagrees with the first
+    ///   one.
+    pub fn stack_batch(tensors: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = tensors.first().ok_or(TensorError::EmptyBatch)?;
+        if first.shape().rank() == 0 {
+            return Err(TensorError::NotBatchable(first.shape().clone()));
+        }
+        let mut batch = 0usize;
+        for t in tensors {
+            if t.data_type() != first.data_type() {
+                return Err(TensorError::DataTypeMismatch {
+                    expected: first.data_type(),
+                    actual: t.data_type(),
+                });
+            }
+            if t.layout() != first.layout() {
+                return Err(TensorError::LayoutMismatch {
+                    expected: first.layout(),
+                    actual: t.layout(),
+                });
+            }
+            if t.shape().rank() != first.shape().rank()
+                || t.shape().dims()[1..] != first.shape().dims()[1..]
+            {
+                return Err(TensorError::ShapeMismatch {
+                    expected: first.shape().clone(),
+                    actual: t.shape().clone(),
+                });
+            }
+            batch += t.shape().dims()[0];
+        }
+
+        let mut dims = first.shape().dims().to_vec();
+        dims[0] = batch;
+        let data = match first.data() {
+            TensorData::F32(_) => TensorData::F32(concat(tensors, |t| match t.data() {
+                TensorData::F32(v) => v,
+                _ => unreachable!("dtype checked above"),
+            })),
+            TensorData::I8(_) => TensorData::I8(concat(tensors, |t| match t.data() {
+                TensorData::I8(v) => v,
+                _ => unreachable!("dtype checked above"),
+            })),
+            TensorData::U8(_) => TensorData::U8(concat(tensors, |t| match t.data() {
+                TensorData::U8(v) => v,
+                _ => unreachable!("dtype checked above"),
+            })),
+            TensorData::I32(_) => TensorData::I32(concat(tensors, |t| match t.data() {
+                TensorData::I32(v) => v,
+                _ => unreachable!("dtype checked above"),
+            })),
+        };
+        Tensor::from_parts(dims.into(), first.layout(), data)
+    }
+
+    /// Split the tensor into `parts` tensors of equal size along the leading
+    /// (batch) dimension — the inverse of [`Tensor::stack_batch`].
+    ///
+    /// ```
+    /// use mnn_tensor::{Shape, Tensor};
+    /// let t = Tensor::from_vec(Shape::matrix(4, 2), (0..8).map(|v| v as f32).collect());
+    /// let parts = t.split_batch(4).unwrap();
+    /// assert_eq!(parts.len(), 4);
+    /// assert_eq!(parts[3].data_f32(), &[6.0, 7.0]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// * [`TensorError::NotBatchable`] for rank-0 (scalar) tensors.
+    /// * [`TensorError::IndivisibleBatch`] when `parts` is zero or does not
+    ///   divide the leading dimension evenly.
+    pub fn split_batch(&self, parts: usize) -> Result<Vec<Tensor>, TensorError> {
+        if self.shape().rank() == 0 {
+            return Err(TensorError::NotBatchable(self.shape().clone()));
+        }
+        let batch = self.shape().dims()[0];
+        if parts == 0 || !batch.is_multiple_of(parts) {
+            return Err(TensorError::IndivisibleBatch { batch, parts });
+        }
+        let mut dims = self.shape().dims().to_vec();
+        dims[0] = batch / parts;
+        // Every supported layout keeps the batch dimension outermost, so each
+        // part is a contiguous chunk of the physical buffer.
+        let chunk = self.data().len() / parts;
+        let mut out = Vec::with_capacity(parts);
+        for i in 0..parts {
+            let range = i * chunk..(i + 1) * chunk;
+            let data = match self.data() {
+                TensorData::F32(v) => TensorData::F32(v[range].to_vec()),
+                TensorData::I8(v) => TensorData::I8(v[range].to_vec()),
+                TensorData::U8(v) => TensorData::U8(v[range].to_vec()),
+                TensorData::I32(v) => TensorData::I32(v[range].to_vec()),
+            };
+            out.push(Tensor::from_parts(
+                dims.clone().into(),
+                self.layout(),
+                data,
+            )?);
+        }
+        Ok(out)
+    }
+}
+
+/// Concatenate the typed buffers of `tensors` in order.
+fn concat<'a, T: Copy + 'a>(tensors: &'a [Tensor], get: impl Fn(&'a Tensor) -> &'a [T]) -> Vec<T> {
+    let total = tensors.iter().map(|t| get(t).len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for t in tensors {
+        out.extend_from_slice(get(t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DataLayout, DataType, Shape, Tensor, TensorError};
+
+    fn sample(seed: f32) -> Tensor {
+        Tensor::from_vec(
+            Shape::nchw(1, 3, 2, 2),
+            (0..12).map(|v| seed + v as f32).collect(),
+        )
+    }
+
+    #[test]
+    fn stack_then_split_roundtrips() {
+        let parts: Vec<Tensor> = (0..4).map(|i| sample(100.0 * i as f32)).collect();
+        let stacked = Tensor::stack_batch(&parts).unwrap();
+        assert_eq!(stacked.shape().dims(), &[4, 3, 2, 2]);
+        let back = stacked.split_batch(4).unwrap();
+        assert_eq!(back, parts);
+    }
+
+    #[test]
+    fn stack_preserves_logical_coordinates() {
+        let parts: Vec<Tensor> = (0..3).map(|i| sample(10.0 * i as f32)).collect();
+        let stacked = Tensor::stack_batch(&parts).unwrap();
+        for (n, part) in parts.iter().enumerate() {
+            for c in 0..3 {
+                for h in 0..2 {
+                    for w in 0..2 {
+                        assert_eq!(stacked.at(n, c, h, w), part.at(0, c, h, w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stack_sums_leading_dimensions() {
+        let a = Tensor::from_vec(Shape::matrix(2, 3), (0..6).map(|v| v as f32).collect());
+        let b = Tensor::from_vec(Shape::matrix(1, 3), vec![9.0, 10.0, 11.0]);
+        let stacked = Tensor::stack_batch(&[a, b]).unwrap();
+        assert_eq!(stacked.shape().dims(), &[3, 3]);
+        assert_eq!(stacked.data_f32()[6..], [9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn stack_rejects_empty_slice() {
+        assert_eq!(Tensor::stack_batch(&[]), Err(TensorError::EmptyBatch));
+    }
+
+    #[test]
+    fn stack_rejects_scalars() {
+        let s = Tensor::full(Shape::scalar(), 1.0);
+        assert!(matches!(
+            Tensor::stack_batch(&[s]),
+            Err(TensorError::NotBatchable(_))
+        ));
+    }
+
+    #[test]
+    fn stack_rejects_shape_mismatch() {
+        let a = sample(0.0);
+        let b = Tensor::zeros(Shape::nchw(1, 3, 2, 3));
+        assert!(matches!(
+            Tensor::stack_batch(&[a, b]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stack_rejects_dtype_mismatch() {
+        let a = Tensor::zeros(Shape::vector(4));
+        let b = Tensor::try_from_i8(Shape::vector(4), vec![0; 4]).unwrap();
+        assert_eq!(
+            Tensor::stack_batch(&[a, b]),
+            Err(TensorError::DataTypeMismatch {
+                expected: DataType::F32,
+                actual: DataType::I8,
+            })
+        );
+    }
+
+    #[test]
+    fn stack_rejects_layout_mismatch() {
+        let a = sample(0.0);
+        let b = sample(1.0).to_layout(DataLayout::Nc4hw4);
+        assert_eq!(
+            Tensor::stack_batch(&[a, b]),
+            Err(TensorError::LayoutMismatch {
+                expected: DataLayout::Nchw,
+                actual: DataLayout::Nc4hw4,
+            })
+        );
+    }
+
+    #[test]
+    fn stack_and_split_handle_packed_layout() {
+        // 3 channels pad to 4 in NC4HW4; the padded per-sample blocks must
+        // concatenate and split without mixing samples.
+        let parts: Vec<Tensor> = (0..2)
+            .map(|i| sample(50.0 * i as f32).to_layout(DataLayout::Nc4hw4))
+            .collect();
+        let stacked = Tensor::stack_batch(&parts).unwrap();
+        assert_eq!(stacked.layout(), DataLayout::Nc4hw4);
+        assert_eq!(stacked.at(1, 2, 1, 1), parts[1].at(0, 2, 1, 1));
+        let back = stacked.split_batch(2).unwrap();
+        assert_eq!(back, parts);
+    }
+
+    #[test]
+    fn stack_supports_integer_tensors() {
+        let a = Tensor::try_from_i32(Shape::vector(2), vec![1, 2]).unwrap();
+        let b = Tensor::try_from_i32(Shape::vector(2), vec![3, 4]).unwrap();
+        let stacked = Tensor::stack_batch(&[a, b]).unwrap();
+        assert_eq!(stacked.try_data_i32().unwrap(), &[1, 2, 3, 4]);
+        let back = stacked.split_batch(2).unwrap();
+        assert_eq!(back[1].try_data_i32().unwrap(), &[3, 4]);
+    }
+
+    #[test]
+    fn split_rejects_uneven_and_zero_parts() {
+        let t = Tensor::zeros(Shape::nchw(4, 1, 1, 1));
+        assert_eq!(
+            t.split_batch(3),
+            Err(TensorError::IndivisibleBatch { batch: 4, parts: 3 })
+        );
+        assert_eq!(
+            t.split_batch(0),
+            Err(TensorError::IndivisibleBatch { batch: 4, parts: 0 })
+        );
+        assert_eq!(t.split_batch(2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn split_rejects_scalars() {
+        let s = Tensor::full(Shape::scalar(), 1.0);
+        assert!(matches!(
+            s.split_batch(1),
+            Err(TensorError::NotBatchable(_))
+        ));
+    }
+}

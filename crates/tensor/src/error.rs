@@ -1,6 +1,6 @@
 //! Error type for tensor operations.
 
-use crate::{DataType, Shape};
+use crate::{DataLayout, DataType, Shape};
 use std::error::Error;
 use std::fmt;
 
@@ -30,6 +30,24 @@ pub enum TensorError {
     },
     /// The requested operation needs a 4-D (N, C, H, W) tensor.
     NotFourDimensional(Shape),
+    /// The tensor's physical layout does not match the requested operation.
+    LayoutMismatch {
+        /// Layout expected by the operation.
+        expected: DataLayout,
+        /// Layout actually present.
+        actual: DataLayout,
+    },
+    /// Batch stacking was given no tensors.
+    EmptyBatch,
+    /// A rank-0 tensor has no leading dimension to stack or split along.
+    NotBatchable(Shape),
+    /// Batch splitting cannot divide the leading dimension evenly.
+    IndivisibleBatch {
+        /// Leading (batch) dimension of the tensor.
+        batch: usize,
+        /// Requested number of parts.
+        parts: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -48,6 +66,18 @@ impl fmt::Display for TensorError {
             TensorError::NotFourDimensional(shape) => {
                 write!(f, "operation requires a 4-D tensor, found shape {shape}")
             }
+            TensorError::LayoutMismatch { expected, actual } => {
+                write!(f, "expected layout {expected}, found {actual}")
+            }
+            TensorError::EmptyBatch => write!(f, "cannot stack an empty list of tensors"),
+            TensorError::NotBatchable(shape) => write!(
+                f,
+                "shape {shape} has no leading dimension to stack or split along"
+            ),
+            TensorError::IndivisibleBatch { batch, parts } => write!(
+                f,
+                "batch dimension {batch} cannot be split into {parts} equal parts"
+            ),
         }
     }
 }

@@ -27,6 +27,7 @@
 
 #![deny(missing_docs)]
 
+mod batch;
 mod dtype;
 mod error;
 mod layout;

@@ -1,0 +1,85 @@
+//! Serving quickstart: session pooling, backpressure and dynamic micro-batching.
+//!
+//! ```text
+//! cargo run --release --example serve_throughput
+//! ```
+//!
+//! Builds a [`mnn::serve::Server`] over MobileNet-v1, drives a concurrent
+//! closed-loop load through it twice — once with micro-batching disabled
+//! (`max_batch = 1`) and once with it enabled — and prints the
+//! [`mnn::serve::ServerStats`] snapshot for each: throughput, p50/p99 latency
+//! and the batch-size histogram.
+
+use mnn::models::{build, ModelKind};
+use mnn::serve::{ServeError, Server};
+use mnn::tensor::{Shape, Tensor};
+use mnn::SessionConfig;
+use std::time::Duration;
+
+const INPUT_SIZE: usize = 64;
+const REQUESTS: usize = 48;
+const PRODUCERS: usize = 4;
+
+/// Submit `REQUESTS` single-image requests from `PRODUCERS` threads and wait
+/// for every response, backing off whenever the bounded queue pushes back.
+fn drive(server: &Server, input: &Tensor) -> Result<(), ServeError> {
+    std::thread::scope(|scope| {
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut handles = Vec::new();
+                    for _ in 0..REQUESTS / PRODUCERS {
+                        // `submit` never blocks: a full queue is a backpressure
+                        // signal, so back off and retry.
+                        let handle = loop {
+                            match server.submit(&[("data", input)]) {
+                                Ok(handle) => break handle,
+                                Err(ServeError::QueueFull { .. }) => {
+                                    std::thread::sleep(Duration::from_micros(100));
+                                }
+                                Err(other) => return Err(other),
+                            }
+                        };
+                        handles.push(handle);
+                    }
+                    for handle in handles {
+                        handle.wait()?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().expect("producer panicked")?;
+        }
+        Ok(())
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = Tensor::full(Shape::nchw(1, 3, INPUT_SIZE, INPUT_SIZE), 0.5);
+
+    for max_batch in [1usize, 8] {
+        // Two workers, each owning a pre-warmed session (pre-inference runs
+        // here, once per worker — never per request).
+        let server = Server::builder()
+            .workers(2)
+            .max_batch(max_batch)
+            .batch_window(Duration::from_millis(2))
+            .queue_capacity(REQUESTS)
+            .session_config(SessionConfig::cpu(2))
+            .build(build(ModelKind::MobileNetV1, 1, INPUT_SIZE))?;
+
+        // A single blocking call first — the simplest API.
+        let outputs = server.infer(&[("data", &input)])?;
+        assert_eq!(outputs[0].shape().dims(), &[1, 1000]);
+
+        drive(&server, &input)?;
+
+        println!(
+            "\n--- MobileNet-v1 {INPUT_SIZE}px, {REQUESTS} requests, {PRODUCERS} producers, max_batch = {max_batch} ---"
+        );
+        println!("{}", server.stats());
+    }
+    Ok(())
+}

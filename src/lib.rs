@@ -15,6 +15,8 @@
 //! * [`models`] — the model zoo (MobileNet, SqueezeNet, ResNet, Inception-v3).
 //! * [`device_sim`] — device profiles and competitor-engine cost models used by the
 //!   paper-reproduction experiments.
+//! * [`serve`] — the concurrent serving runtime: session pooling, a bounded request
+//!   queue with backpressure, and dynamic micro-batching.
 //!
 //! # The session flow
 //!
@@ -89,6 +91,54 @@
 //! prefer [`Session::run_with`] or [`Session::input_mut`] +
 //! [`Session::run_session`], which stay stable when a model's input order
 //! changes.
+//!
+//! ## Serving
+//!
+//! One owned session serves one request at a time; a [`Server`] serves many
+//! concurrently. It pre-warms one session per worker thread from a shared graph
+//! (a [`SessionPool`]), accepts requests through a **bounded** queue —
+//! [`Server::submit`] fails fast with `QueueFull` instead of buffering without
+//! bound — and **micro-batches** compatible requests: up to `max_batch`
+//! same-signature requests arriving within the batch window are stacked along
+//! the batch dimension ([`Tensor::stack_batch`](tensor::Tensor::stack_batch)),
+//! run as a single inference, and scattered back to per-request handles. Each
+//! batch size is one input geometry, so the per-signature plan cache makes the
+//! batched resize an O(1) plan swap after first sight. Responses are
+//! bit-identical to unbatched inference — samples are computed independently.
+//!
+//! ```
+//! use mnn::serve::Server;
+//! use mnn::models::{build, ModelKind};
+//! use mnn::tensor::{Shape, Tensor};
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::builder()
+//!     .workers(2)
+//!     .max_batch(4)
+//!     .batch_window(Duration::from_millis(1))
+//!     .build(build(ModelKind::TinyCnn, 1, 16))?;
+//!
+//! // Blocking call:
+//! let input = Tensor::zeros(Shape::nchw(1, 3, 16, 16));
+//! let outputs = server.infer(&[("data", &input)])?;
+//! assert_eq!(outputs[0].shape().dims(), &[1, 10]);
+//!
+//! // Handle-based: submit a burst, await later; compatible requests coalesce.
+//! let handles: Vec<_> = (0..8)
+//!     .map(|_| server.submit(&[("data", &input)]))
+//!     .collect::<Result<_, _>>()?;
+//! for handle in handles {
+//!     handle.wait()?;
+//! }
+//! println!("{}", server.stats()); // throughput, p50/p99, batch histogram
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/serve_throughput.rs` for a full closed-loop load comparing
+//! `max_batch = 1` against micro-batching, and the `table_serving` benchmark
+//! binary for the measured speedup.
 
 #![deny(missing_docs)]
 
@@ -116,9 +166,14 @@ pub use mnn_models as models;
 /// Device profiles and engine cost models (re-export of `mnn-device-sim`).
 pub use mnn_device_sim as device_sim;
 
+/// Concurrent serving runtime (re-export of `mnn-serve`).
+pub use mnn_serve as serve;
+
 pub use mnn_backend::{ConvScheme, ForwardType, GpuProfile};
 pub use mnn_core::{
-    Interpreter, PreInferenceReport, RunStats, Session, SessionConfig, SessionConfigBuilder,
+    Interpreter, PooledSession, PreInferenceReport, RunStats, Session, SessionConfig,
+    SessionConfigBuilder, SessionPool,
 };
 pub use mnn_graph::{Graph, GraphBuilder};
+pub use mnn_serve::{ServeError, Server, ServerBuilder, ServerStats};
 pub use mnn_tensor::{Shape, Tensor};
