@@ -9,7 +9,7 @@
 use crate::traits::{Backend, ForwardType};
 use crate::{CpuBackend, GpuProfile, SimGpuBackend};
 use mnn_graph::{
-    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Op, PoolAttrs, SoftmaxAttrs,
+    ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Op, PoolAttrs, QuantAttrs, SoftmaxAttrs,
 };
 
 /// Operator-count entry for one engine (one row of Table 4).
@@ -102,6 +102,21 @@ pub fn representative_ops() -> Vec<Op> {
             in_features: 8,
             out_features: 8,
             has_bias: true,
+        },
+        Op::Conv2dQuantized {
+            attrs: Conv2dAttrs::same_3x3(8, 8),
+            activation: ActivationKind::None,
+            quant: QuantAttrs {
+                weight_scales: vec![1.0; 8],
+            },
+        },
+        Op::FullyConnectedQuantized {
+            in_features: 8,
+            out_features: 8,
+            has_bias: false,
+            quant: QuantAttrs {
+                weight_scales: vec![1.0; 8],
+            },
         },
         Op::Softmax(SoftmaxAttrs::default()),
         Op::Flatten(FlattenAttrs::default()),

@@ -5,11 +5,11 @@ use crate::traits::{
     SchemeHint, StorageType,
 };
 use crate::BackendError;
-use mnn_graph::{ActivationKind, Conv2dAttrs, Graph, Node, Op, TensorId};
+use mnn_graph::{ActivationKind, Conv2dAttrs, Graph, Node, Op, QuantAttrs, TensorId};
 use mnn_kernels::activation::Activation;
 use mnn_kernels::conv::ConvParams;
 use mnn_kernels::winograd::PreparedWinogradWeights;
-use mnn_kernels::{activation, conv, elementwise, fc, norm, pool, winograd};
+use mnn_kernels::{activation, conv, elementwise, fc, norm, pool, quant, winograd};
 use mnn_tensor::{Shape, Tensor};
 use std::sync::Arc;
 
@@ -88,6 +88,18 @@ impl CpuBackend {
             ConvScheme::SlidingWindow
         }
     }
+
+    /// Default scheme for a convolution over int8 weights: the integer kernel,
+    /// except for depthwise layers, which are deterministically kept in `f32`
+    /// (one input channel per group leaves no integer-GEMM reuse to exploit; the
+    /// weights are dequantized once at preparation time instead).
+    pub fn default_quantized_conv_scheme(params: &ConvParams) -> ConvScheme {
+        if params.is_depthwise() {
+            ConvScheme::Depthwise
+        } else {
+            ConvScheme::QuantizedGemm
+        }
+    }
 }
 
 impl Backend for CpuBackend {
@@ -131,6 +143,11 @@ impl Backend for CpuBackend {
             Op::Conv2dFused { attrs, activation } => {
                 create_conv(node, graph, attrs, *activation, hint, threads)
             }
+            Op::Conv2dQuantized {
+                attrs,
+                activation,
+                quant,
+            } => create_conv_quantized(node, graph, attrs, *activation, quant, hint, threads),
             Op::Pool(attrs) => Ok(Box::new(PoolExec {
                 params: attrs.to_pool_params(),
             })),
@@ -172,6 +189,34 @@ impl Backend for CpuBackend {
                 };
                 Ok(Box::new(FullyConnectedExec {
                     weight,
+                    bias,
+                    in_features: *in_features,
+                    out_features: *out_features,
+                    threads,
+                }))
+            }
+            Op::FullyConnectedQuantized {
+                in_features,
+                out_features,
+                has_bias,
+                quant,
+            } => {
+                let weight = Self::constant(graph, node.inputs[1], "quantized fc weight")?;
+                weight.try_data_i8().map_err(|_| {
+                    BackendError::InvalidTensor(format!(
+                        "quantized fully-connected '{}' expects an i8 weight constant, got {}",
+                        node.name,
+                        weight.data_type()
+                    ))
+                })?;
+                let bias = if *has_bias {
+                    Some(Self::constant(graph, node.inputs[2], "fc bias")?)
+                } else {
+                    None
+                };
+                Ok(Box::new(QuantFullyConnectedExec {
+                    weight,
+                    scales: quant.weight_scales.clone(),
                     bias,
                     in_features: *in_features,
                     out_features: *out_features,
@@ -223,6 +268,76 @@ fn create_conv(
     let scheme = hint
         .conv_scheme
         .unwrap_or_else(|| CpuBackend::default_conv_scheme(&params));
+    build_float_conv_exec(params, scheme, weight, bias, fused, threads)
+}
+
+/// Convolution over int8 weights. The integer scheme captures the i8 weights
+/// directly; any `f32` scheme (e.g. the deterministic depthwise fallback)
+/// dequantizes the weights **once**, at preparation time, so the per-run cost of
+/// the fallback is identical to a float convolution.
+fn create_conv_quantized(
+    node: &Node,
+    graph: &Graph,
+    attrs: &Conv2dAttrs,
+    fused: ActivationKind,
+    quant: &QuantAttrs,
+    hint: &SchemeHint,
+    threads: usize,
+) -> Result<Box<dyn Execution>, BackendError> {
+    let weight = CpuBackend::constant(graph, node.inputs[1], "quantized conv weight")?;
+    let weight_q = weight.try_data_i8().map_err(|_| {
+        BackendError::InvalidTensor(format!(
+            "quantized convolution '{}' expects an i8 weight constant, got {}",
+            node.name,
+            weight.data_type()
+        ))
+    })?;
+    let params = attrs.to_conv_params();
+    if quant.weight_scales.len() != params.out_channels {
+        return Err(BackendError::InvalidTensor(format!(
+            "quantized convolution '{}' has {} weight scales for {} output channels",
+            node.name,
+            quant.weight_scales.len(),
+            params.out_channels
+        )));
+    }
+    let bias = if attrs.has_bias {
+        Some(CpuBackend::constant(graph, node.inputs[2], "conv bias")?)
+    } else {
+        None
+    };
+    let scheme = hint
+        .conv_scheme
+        .unwrap_or_else(|| CpuBackend::default_quantized_conv_scheme(&params));
+    if scheme == ConvScheme::QuantizedGemm {
+        return Ok(Box::new(QuantConvExec {
+            params,
+            weight,
+            scales: quant.weight_scales.clone(),
+            bias,
+            activation: fused.to_kernel(),
+            threads,
+        }));
+    }
+    // f32 fallback: dequantize the weights once and run the float kernels.
+    let dequantized = quant::dequantize_per_channel(weight_q, &quant.weight_scales);
+    let weight_f32 = Arc::new(Tensor::from_vec(weight.shape().clone(), dequantized));
+    build_float_conv_exec(params, scheme, weight_f32, bias, fused, threads)
+}
+
+fn build_float_conv_exec(
+    params: ConvParams,
+    scheme: ConvScheme,
+    weight: Arc<Tensor>,
+    bias: Option<Arc<Tensor>>,
+    fused: ActivationKind,
+    threads: usize,
+) -> Result<Box<dyn Execution>, BackendError> {
+    if scheme == ConvScheme::QuantizedGemm {
+        return Err(BackendError::InvalidTensor(
+            "the quantized-gemm scheme requires i8 weights (float convolution given)".into(),
+        ));
+    }
     let prepared = match scheme {
         ConvScheme::Winograd { tile } => Some(winograd::prepare_winograd_weights(
             &params,
@@ -309,6 +424,13 @@ impl Execution for ConvExec {
             ConvScheme::Depthwise => {
                 conv::conv2d_depthwise(&self.params, self.threads, batch, in_h, in_w, x, w, b)
             }
+            ConvScheme::QuantizedGemm => {
+                // Float executions are never created with the integer scheme
+                // (`build_float_conv_exec` rejects it).
+                return Err(BackendError::InvalidTensor(
+                    "float convolution execution cannot run the quantized-gemm scheme".into(),
+                ));
+            }
         };
         self.activation.apply(&mut result);
         let (oh, ow) = self.params.output_size(in_h, in_w);
@@ -321,6 +443,107 @@ impl Execution for ConvExec {
             "conv {}x{} via {}",
             self.params.kernel_h, self.params.kernel_w, self.scheme
         )
+    }
+}
+
+/// Convolution executed with the int8 integer kernel: i8 weights captured at
+/// creation, activations quantized per sample at run time, `i32` accumulation.
+struct QuantConvExec {
+    params: ConvParams,
+    weight: Arc<Tensor>,
+    scales: Vec<f32>,
+    bias: Option<Arc<Tensor>>,
+    activation: Activation,
+    threads: usize,
+}
+
+impl Execution for QuantConvExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let input = inputs.first().ok_or_else(|| {
+            BackendError::ShapeMismatch("quantized convolution needs one input".into())
+        })?;
+        let shape = input.shape();
+        if !shape.is_4d() {
+            return Err(BackendError::InvalidTensor(format!(
+                "convolution input must be 4-D, got {shape}"
+            )));
+        }
+        let (batch, in_h, in_w) = (shape.batch(), shape.height(), shape.width());
+        let empty: &[f32] = &[];
+        let b = self.bias.as_ref().map(|t| t.data_f32()).unwrap_or(empty);
+        let weight_q = self
+            .weight
+            .try_data_i8()
+            .map_err(|e| BackendError::InvalidTensor(e.to_string()))?;
+        let mut result = quant::conv2d_quantized(
+            &self.params,
+            self.threads,
+            batch,
+            in_h,
+            in_w,
+            input.data_f32(),
+            weight_q,
+            &self.scales,
+            b,
+        );
+        self.activation.apply(&mut result);
+        let (oh, ow) = self.params.output_size(in_h, in_w);
+        *output = Tensor::from_vec(Shape::nchw(batch, self.params.out_channels, oh, ow), result);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv {}x{} via quantized-gemm (int8)",
+            self.params.kernel_h, self.params.kernel_w
+        )
+    }
+}
+
+/// Fully-connected layer over int8 weights with per-output-feature scales.
+struct QuantFullyConnectedExec {
+    weight: Arc<Tensor>,
+    scales: Vec<f32>,
+    bias: Option<Arc<Tensor>>,
+    in_features: usize,
+    out_features: usize,
+    threads: usize,
+}
+
+impl Execution for QuantFullyConnectedExec {
+    fn run(&mut self, inputs: &[&Tensor], output: &mut Tensor) -> Result<(), BackendError> {
+        let input = inputs[0];
+        let total = input.shape().num_elements();
+        if !total.is_multiple_of(self.in_features) {
+            return Err(BackendError::ShapeMismatch(format!(
+                "fully-connected input {} is not divisible by in_features {}",
+                input.shape(),
+                self.in_features
+            )));
+        }
+        let batch = total / self.in_features;
+        let empty: &[f32] = &[];
+        let bias = self.bias.as_ref().map(|t| t.data_f32()).unwrap_or(empty);
+        let weight_q = self
+            .weight
+            .try_data_i8()
+            .map_err(|e| BackendError::InvalidTensor(e.to_string()))?;
+        let data = quant::fully_connected_quantized(
+            self.threads,
+            batch,
+            self.in_features,
+            self.out_features,
+            input.data_f32(),
+            weight_q,
+            &self.scales,
+            bias,
+        );
+        *output = Tensor::from_vec(Shape::matrix(batch, self.out_features), data);
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "fully-connected via quantized-gemm (int8)".to_string()
     }
 }
 

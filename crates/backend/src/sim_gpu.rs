@@ -150,6 +150,9 @@ impl Backend for SimGpuBackend {
         // GPU backends implement the compute-heavy operators; the long tail
         // (fully-connected heads, reshapes, softmax) falls back to the CPU, which is
         // exactly the hybrid-scheduling situation described in Section 3.4.
+        // Quantized (int8) operators are CPU-only too: the simulated GPUs model
+        // f32 pipelines, so hybrid scheduling routes `Conv2dQuantized` /
+        // `FullyConnectedQuantized` to the CPU's integer kernels.
         matches!(
             op,
             Op::Conv2d(_)

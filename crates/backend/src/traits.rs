@@ -111,6 +111,9 @@ pub enum ConvScheme {
     Strassen1x1,
     /// Channel-wise (depthwise) direct convolution.
     Depthwise,
+    /// Int8 integer kernel: activations quantized on the fly, `i32` accumulation,
+    /// per-output-channel rescale (selected for quantized graphs).
+    QuantizedGemm,
 }
 
 impl fmt::Display for ConvScheme {
@@ -121,6 +124,7 @@ impl fmt::Display for ConvScheme {
             ConvScheme::Winograd { tile } => write!(f, "winograd-F({tile}x{tile})"),
             ConvScheme::Strassen1x1 => write!(f, "strassen-1x1"),
             ConvScheme::Depthwise => write!(f, "depthwise"),
+            ConvScheme::QuantizedGemm => write!(f, "quantized-gemm"),
         }
     }
 }

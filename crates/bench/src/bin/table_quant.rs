@@ -1,0 +1,114 @@
+//! `table_quant` — float vs int8 end-to-end inference.
+//!
+//! The paper's engine computes in FP32/FP16/Int8 and picks the cheapest kernel
+//! per layer; this table measures what the int8 path buys on this
+//! reproduction's CPU backend for real zoo models:
+//!
+//! * **weight bytes** — the whole point of storing `i8` constants: ~3.9×
+//!   smaller weights (int8 payload + one f32 scale per output channel),
+//! * **latency** — float pre-inference schemes (Winograd/Strassen/im2col)
+//!   vs the integer `quantized-gemm` kernel (depthwise layers stay f32),
+//! * **int8 layers** — how many conv/FC layers the scheme selection actually
+//!   placed on the integer kernel,
+//! * **max |Δprob|** — float-vs-int8 output drift on a deterministic input.
+//!
+//! Run with: `cargo run --release -p mnn-bench --bin table_quant`
+
+use mnn_backend::ConvScheme;
+use mnn_bench::{deterministic_input, print_row, print_table_header};
+use mnn_converter::{optimize, quantize_weights, OptimizerOptions};
+use mnn_core::{Interpreter, Session, SessionConfig};
+use mnn_graph::Graph;
+use mnn_models::{build, ModelKind};
+use mnn_tensor::Shape;
+
+const INPUT_SIZE: usize = 64;
+const THREADS: usize = 4;
+const WARMUP: usize = 1;
+const RUNS: usize = 3;
+
+fn session(graph: Graph) -> Session {
+    Interpreter::from_graph(graph)
+        .expect("interpreter")
+        .create_session(SessionConfig::cpu(THREADS))
+        .expect("session")
+}
+
+fn mib(bytes: usize) -> String {
+    format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn main() {
+    print_table_header(
+        &format!("Quantization: float vs int8 ({INPUT_SIZE}x{INPUT_SIZE}, {THREADS} threads)"),
+        &[
+            "model",
+            "weights f32",
+            "weights int8",
+            "ratio",
+            "f32 ms",
+            "int8 ms",
+            "int8 layers",
+            "max |dprob|",
+        ],
+    );
+
+    for kind in [
+        ModelKind::MobileNetV1,
+        ModelKind::SqueezeNetV1_1,
+        ModelKind::ResNet18,
+    ] {
+        let mut float_graph = build(kind, 1, INPUT_SIZE);
+        optimize(&mut float_graph, OptimizerOptions::default());
+        let float_bytes = float_graph.constant_bytes();
+
+        let mut quant_graph = float_graph.clone();
+        let report = quantize_weights(&mut quant_graph);
+        let quant_bytes = quant_graph.constant_bytes();
+
+        let mut float_session = session(float_graph);
+        let mut quant_session = session(quant_graph);
+        let int8_layers = quant_session
+            .report()
+            .placements
+            .iter()
+            .filter(|p| p.scheme == Some(ConvScheme::QuantizedGemm))
+            .count();
+
+        let input = deterministic_input(Shape::nchw(1, 3, INPUT_SIZE, INPUT_SIZE), 42);
+        let float_out = float_session
+            .run_with(&[("data", &input)])
+            .expect("float inference");
+        let quant_out = quant_session
+            .run_with(&[("data", &input)])
+            .expect("quantized inference");
+        let drift = float_out[0].max_abs_diff(&quant_out[0]);
+
+        let inputs = [input];
+        let float_ms = float_session
+            .benchmark(&inputs, WARMUP, RUNS)
+            .expect("float benchmark")
+            .wall_ms;
+        let quant_ms = quant_session
+            .benchmark(&inputs, WARMUP, RUNS)
+            .expect("quantized benchmark")
+            .wall_ms;
+
+        print_row(&[
+            kind.name().to_string(),
+            mib(float_bytes),
+            mib(quant_bytes),
+            format!("{:.2}x", report.compression_ratio()),
+            format!("{float_ms:.2}"),
+            format!("{quant_ms:.2}"),
+            int8_layers.to_string(),
+            format!("{drift:.5}"),
+        ]);
+    }
+    println!(
+        "\nweight bytes shrink ~4x (int8 payload + per-channel scales). The int8\n\
+         im2col+GEMM path wins on GEMM-dominated models (SqueezeNet, ResNet);\n\
+         MobileNet stays ~par because its depthwise layers deterministically\n\
+         fall back to the f32 kernel."
+    );
+}

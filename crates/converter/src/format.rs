@@ -8,7 +8,11 @@ use std::fs;
 use std::path::Path;
 
 /// Version of the on-disk model format.
-pub const MODEL_FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 added the quantized operator variants (`Conv2dQuantized`,
+/// `FullyConnectedQuantized` with per-channel scales) and the `dtype` field on
+/// tensor slots, so models quantized to real `i8` constants serialize losslessly.
+pub const MODEL_FORMAT_VERSION: u32 = 2;
 
 /// Errors produced when reading or writing model files.
 #[derive(Debug)]
@@ -164,6 +168,27 @@ mod tests {
         let back = ModelFile::load(&path).unwrap();
         assert_eq!(model.graph.name(), back.graph.name());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn quantized_graph_roundtrips_with_i8_weights() {
+        let mut graph = demo_graph();
+        let report = crate::quantize_weights(&mut graph);
+        assert!(report.quantized_tensors > 0);
+        let model = ModelFile::new(graph);
+        let bytes = model.to_bytes().unwrap();
+        let back = ModelFile::from_bytes(&bytes).unwrap();
+        assert_eq!(model, back);
+        // The restored weight constant is still i8 with its scales attached.
+        let conv = back
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| n.op.is_quantized())
+            .unwrap();
+        let weight = back.graph.constant(conv.inputs[1]).unwrap();
+        assert_eq!(weight.data_type(), mnn_tensor::DataType::I8);
+        assert!(conv.op.quant_attrs().is_some());
     }
 
     #[test]

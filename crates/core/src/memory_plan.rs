@@ -12,15 +12,20 @@ use mnn_graph::{Graph, TensorId};
 use std::collections::HashMap;
 
 /// The memory plan produced by the virtual walk.
+///
+/// The walk is performed in **bytes**, honouring each slot's element type
+/// ([`TensorInfo::dtype`](mnn_graph::TensorInfo)): an int8 intermediate costs one
+/// byte per element where an `f32` costs four. The element-based accessors
+/// report `f32`-equivalent counts for continuity with the paper's tables.
 #[derive(Debug)]
 pub struct MemoryPlan {
     /// Assignment of each planned (non-constant, non-input) tensor to an arena slot.
     assignments: HashMap<TensorId, PlanId>,
-    /// Arena size in `f32` elements with live-range reuse.
-    planned_elements: usize,
-    /// Total elements that would be needed without any reuse (sum of all
+    /// Arena size in bytes with live-range reuse.
+    planned_bytes: usize,
+    /// Total bytes that would be needed without any reuse (sum of all
     /// intermediate tensor sizes).
-    unplanned_elements: usize,
+    unplanned_bytes: usize,
     planner: MemoryPlanner,
 }
 
@@ -54,21 +59,21 @@ impl MemoryPlan {
         let mut assignments = HashMap::new();
         let mut unplanned = 0usize;
 
-        let tensor_len = |id: TensorId| -> Result<usize, CoreError> {
+        let tensor_bytes = |id: TensorId| -> Result<usize, CoreError> {
             let info = graph.tensor_info(id)?;
             let shape = info.shape.as_ref().ok_or_else(|| {
                 CoreError::InvalidInput(format!("tensor {id} has no inferred shape"))
             })?;
-            Ok(shape.num_elements())
+            Ok(shape.num_elements() * info.dtype.size_of())
         };
 
         for node_id in order {
             let node = graph.node(node_id)?;
             // Acquire the output buffer.
             for output in &node.outputs {
-                let len = tensor_len(*output)?;
-                unplanned += len;
-                let plan = planner.plan_acquire(len);
+                let bytes = tensor_bytes(*output)?;
+                unplanned += bytes;
+                let plan = planner.plan_acquire(bytes);
                 assignments.insert(*output, plan);
             }
             // Release inputs whose last consumer has now run.
@@ -90,34 +95,46 @@ impl MemoryPlan {
 
         Ok(MemoryPlan {
             assignments,
-            planned_elements: planner
+            planned_bytes: planner
                 .buffers()
                 .iter()
                 .map(|b| b.offset + b.len)
                 .max()
                 .unwrap_or(0),
-            unplanned_elements: unplanned,
+            unplanned_bytes: unplanned,
             planner,
         })
     }
 
-    /// Arena size (in `f32` elements) required with reuse.
-    pub fn planned_elements(&self) -> usize {
-        self.planned_elements
+    /// Arena size in bytes required with reuse (dtype-accurate: int8 slots count
+    /// one byte per element).
+    pub fn planned_bytes(&self) -> usize {
+        self.planned_bytes
     }
 
-    /// Total elements needed if every intermediate tensor had its own buffer.
+    /// Total bytes needed if every intermediate tensor had its own buffer.
+    pub fn unplanned_bytes(&self) -> usize {
+        self.unplanned_bytes
+    }
+
+    /// Arena size in `f32`-equivalent elements required with reuse.
+    pub fn planned_elements(&self) -> usize {
+        self.planned_bytes.div_ceil(4)
+    }
+
+    /// Total `f32`-equivalent elements needed if every intermediate tensor had its
+    /// own buffer.
     pub fn unplanned_elements(&self) -> usize {
-        self.unplanned_elements
+        self.unplanned_bytes.div_ceil(4)
     }
 
     /// Memory saved by reuse, as a fraction of the unplanned total (0 when the graph
     /// has no intermediates).
     pub fn savings_ratio(&self) -> f64 {
-        if self.unplanned_elements == 0 {
+        if self.unplanned_bytes == 0 {
             return 0.0;
         }
-        1.0 - self.planned_elements as f64 / self.unplanned_elements as f64
+        1.0 - self.planned_bytes as f64 / self.unplanned_bytes as f64
     }
 
     /// The arena slot assigned to a tensor, if it was planned.

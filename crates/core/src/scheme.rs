@@ -84,6 +84,96 @@ pub fn strassen_cost(params: &ConvParams, in_h: usize, in_w: usize) -> f64 {
     strassen::strassen_mul_count(params.out_channels, params.in_channels, spatial) as f64
 }
 
+/// Relative cost of one int8 multiply-accumulate against one f32 multiply in the
+/// scheme cost model.
+///
+/// Int8 operands are 4× narrower than f32, so an integer inner loop moves a
+/// quarter of the bytes per multiply and packs 4× more lanes per SIMD register on
+/// real hardware; the paper's engine exploits exactly this when it lowers
+/// quantized layers to SDOT/SMLAL kernels. The factor is deliberately < 1 so a
+/// quantized layer deterministically selects the integer kernel over running the
+/// dequantized float path, while still producing comparable cost magnitudes for
+/// the pre-inference report.
+pub const INT8_COST_FACTOR: f64 = 0.4;
+
+/// Estimated cost of the int8 integer kernel for the layer: the direct
+/// multiplication count discounted by [`INT8_COST_FACTOR`], plus the per-run
+/// activation quantization pass (one operation per input element).
+pub fn quantized_gemm_cost(params: &ConvParams, in_h: usize, in_w: usize) -> f64 {
+    let quantize_pass = (params.in_channels * in_h * in_w) as f64;
+    params.mul_count(in_h, in_w) as f64 * INT8_COST_FACTOR + quantize_pass
+}
+
+/// Select the computation scheme for a convolution whose weights are int8
+/// (an [`Op::Conv2dQuantized`](mnn_graph::Op::Conv2dQuantized) node).
+///
+/// Non-depthwise layers deterministically choose the integer kernel
+/// ([`ConvScheme::QuantizedGemm`]); the float candidates stay in the pool so the
+/// report shows what the cost model compared. Depthwise layers are
+/// deterministically kept in `f32` ([`ConvScheme::Depthwise`], weights
+/// dequantized once at preparation time): with one input channel per group there
+/// is no integer-GEMM reuse to exploit, and the per-run activation-quantization
+/// pass would dominate the memory-bound channel-wise loop.
+pub fn select_quantized_conv_scheme(
+    params: &ConvParams,
+    in_h: usize,
+    in_w: usize,
+) -> SchemeDecision {
+    if params.is_depthwise() {
+        let cost = sliding_window_cost(params, in_h, in_w);
+        // The selection is deterministic (not min-cost): the pool reports the
+        // integer candidate at its honestly-modelled cost purely for inspection.
+        let pool = vec![
+            SchemeChoice {
+                scheme: ConvScheme::Depthwise,
+                cost,
+            },
+            SchemeChoice {
+                scheme: ConvScheme::QuantizedGemm,
+                cost: quantized_gemm_cost(params, in_h, in_w),
+            },
+        ];
+        return SchemeDecision {
+            selected: ConvScheme::Depthwise,
+            cost,
+            pool,
+        };
+    }
+    let quantized = SchemeChoice {
+        scheme: ConvScheme::QuantizedGemm,
+        cost: quantized_gemm_cost(params, in_h, in_w),
+    };
+    let float_direct = SchemeChoice {
+        scheme: ConvScheme::SlidingWindow,
+        cost: sliding_window_cost(params, in_h, in_w),
+    };
+    SchemeDecision {
+        selected: quantized.scheme,
+        cost: quantized.cost,
+        pool: vec![quantized, float_direct],
+    }
+}
+
+/// Scheme decision for a quantized fully-connected layer (reported alongside the
+/// convolution decisions so [`PreInferenceReport`](crate::PreInferenceReport)
+/// shows which nodes run integer kernels). `muls` is the layer's multiplication
+/// count from [`Graph::node_mul_count`](mnn_graph::Graph::node_mul_count).
+pub fn quantized_fc_decision(muls: u64) -> SchemeDecision {
+    let quantized = SchemeChoice {
+        scheme: ConvScheme::QuantizedGemm,
+        cost: muls as f64 * INT8_COST_FACTOR,
+    };
+    let float_gemm = SchemeChoice {
+        scheme: ConvScheme::SlidingWindow,
+        cost: muls as f64,
+    };
+    SchemeDecision {
+        selected: quantized.scheme,
+        cost: quantized.cost,
+        pool: vec![quantized, float_gemm],
+    }
+}
+
 /// Select the computation scheme for a convolution layer (Eq. 3).
 ///
 /// `max_tile` bounds the Winograd tile-size search (use
@@ -284,6 +374,48 @@ mod tests {
         assert!(matches!(d.selected, ConvScheme::Winograd { .. }));
         let sliding = sliding_window_cost(&p, 16, 16);
         assert!(d.cost < sliding * 0.8);
+    }
+
+    #[test]
+    fn quantized_convs_select_the_integer_kernel() {
+        let p = conv(3, 32, 64);
+        let d = select_quantized_conv_scheme(&p, 28, 28);
+        assert_eq!(d.selected, ConvScheme::QuantizedGemm);
+        // The integer kernel must be modelled as cheaper than the float direct
+        // path (that is what makes the selection deterministic)…
+        assert!(d.cost < sliding_window_cost(&p, 28, 28));
+        // …and the float candidate stays in the pool for the report.
+        assert!(d.pool.iter().any(|c| c.scheme == ConvScheme::SlidingWindow));
+    }
+
+    #[test]
+    fn quantized_depthwise_convs_fall_back_to_f32() {
+        let p = ConvParams::square(32, 32, 3, 1).depthwise();
+        let d = select_quantized_conv_scheme(&p, 56, 56);
+        // Deterministic fallback: Depthwise is selected even though the pool
+        // reports the integer candidate at its honestly-modelled cost (the
+        // arithmetic model cannot see the memory-bound nature of the
+        // channel-wise loop, which is why the selection is not min-cost here).
+        assert_eq!(d.selected, ConvScheme::Depthwise);
+        assert!(d
+            .pool
+            .iter()
+            .any(|c| c.scheme == ConvScheme::QuantizedGemm && c.cost.is_finite()));
+    }
+
+    #[test]
+    fn quantized_pointwise_convs_select_the_integer_kernel() {
+        let p = conv(1, 256, 256);
+        let d = select_quantized_conv_scheme(&p, 14, 14);
+        assert_eq!(d.selected, ConvScheme::QuantizedGemm);
+    }
+
+    #[test]
+    fn quantized_fc_decision_discounts_the_float_cost() {
+        let d = quantized_fc_decision(1_000_000);
+        assert_eq!(d.selected, ConvScheme::QuantizedGemm);
+        assert!((d.cost - 1_000_000.0 * INT8_COST_FACTOR).abs() < 1e-6);
+        assert!(d.pool.iter().any(|c| c.cost > d.cost));
     }
 
     proptest! {

@@ -8,7 +8,9 @@
 use super::config::SessionConfig;
 use crate::cost::{hybrid_schedule, placement_cost_ms, Placement};
 use crate::memory_plan::MemoryPlan;
-use crate::scheme::{select_conv_scheme, SchemeDecision};
+use crate::scheme::{
+    quantized_fc_decision, select_conv_scheme, select_quantized_conv_scheme, SchemeDecision,
+};
 use crate::CoreError;
 use mnn_backend::{Backend, ConvScheme, Execution, ForwardType, SchemeHint};
 use mnn_graph::{Graph, NodeId, Op};
@@ -190,6 +192,23 @@ pub(super) fn build_plan(
                     config.max_winograd_tile,
                 ))
             }
+            Op::Conv2dQuantized { attrs, .. } => {
+                let input_shape = graph
+                    .tensor_info(node.inputs[0])?
+                    .shape
+                    .clone()
+                    .ok_or_else(|| {
+                        CoreError::InvalidInput(format!("no shape for input of {}", node.name))
+                    })?;
+                Some(select_quantized_conv_scheme(
+                    &attrs.to_conv_params(),
+                    input_shape.height(),
+                    input_shape.width(),
+                ))
+            }
+            Op::FullyConnectedQuantized { .. } => Some(quantized_fc_decision(
+                graph.node_mul_count(node).unwrap_or(0),
+            )),
             _ => None,
         };
         let hint = SchemeHint {

@@ -1,7 +1,7 @@
 //! The computational graph data structure.
 
 use crate::{GraphError, Op};
-use mnn_tensor::{Shape, Tensor};
+use mnn_tensor::{DataType, Shape, Tensor};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
@@ -37,6 +37,11 @@ pub struct TensorInfo {
     pub shape: Option<Shape>,
     /// Whether the slot holds constant data (weights, biases, BN statistics).
     pub is_constant: bool,
+    /// Element type of the slot. Activations are computed in `f32`; constants
+    /// carry their stored type (`i8` for quantized weights), so byte-accurate
+    /// size accounting — e.g. the memory planner's arena and the quantizer's
+    /// compression report — can use 1-byte element sizes where they apply.
+    pub dtype: DataType,
 }
 
 /// One operator instance.
@@ -173,6 +178,7 @@ impl Graph {
             name: name.into(),
             shape,
             is_constant: false,
+            dtype: DataType::F32,
         });
         id
     }
@@ -184,6 +190,7 @@ impl Graph {
             name: name.into(),
             shape: Some(data.shape().clone()),
             is_constant: true,
+            dtype: data.data_type(),
         });
         self.constants.insert(id.0, Arc::new(data));
         id
@@ -283,11 +290,12 @@ impl Graph {
     }
 
     /// Replace the constant stored in a slot (used by optimizer passes that fold
-    /// weights) and update the recorded shape.
+    /// weights and by the quantizer) and update the recorded shape and dtype.
     pub fn replace_constant(&mut self, id: TensorId, data: Tensor) {
         if let Some(info) = self.tensors.get_mut(id.0) {
             info.shape = Some(data.shape().clone());
             info.is_constant = true;
+            info.dtype = data.data_type();
         }
         self.constants.insert(id.0, Arc::new(data));
     }
@@ -363,7 +371,9 @@ impl Graph {
     pub fn validate(&self) -> Result<(), GraphError> {
         for node in &self.nodes {
             let expected = match &node.op {
-                Op::Conv2d(a) | Op::Conv2dFused { attrs: a, .. } => {
+                Op::Conv2d(a)
+                | Op::Conv2dFused { attrs: a, .. }
+                | Op::Conv2dQuantized { attrs: a, .. } => {
                     if a.has_bias {
                         3
                     } else {
@@ -379,7 +389,8 @@ impl Graph {
                 Op::Concat => node.inputs.len().max(1),
                 Op::BatchNorm { .. } => 5,
                 Op::Scale => 3,
-                Op::FullyConnected { has_bias, .. } => {
+                Op::FullyConnected { has_bias, .. }
+                | Op::FullyConnectedQuantized { has_bias, .. } => {
                     if *has_bias {
                         3
                     } else {
@@ -393,6 +404,35 @@ impl Graph {
                     expected,
                     actual: node.inputs.len(),
                 });
+            }
+            // Quantized operators: the per-channel scale list must match the output
+            // channel count and the weight constant must actually be int8.
+            if let Some(quant) = node.op.quant_attrs() {
+                let channels = match &node.op {
+                    Op::Conv2dQuantized { attrs, .. } => attrs.out_channels,
+                    Op::FullyConnectedQuantized { out_features, .. } => *out_features,
+                    _ => unreachable!("quant_attrs is only Some for quantized ops"),
+                };
+                if quant.weight_scales.len() != channels {
+                    return Err(GraphError::ShapeInference {
+                        node: node.name.clone(),
+                        reason: format!(
+                            "{} weight scales for {channels} output channels",
+                            quant.weight_scales.len()
+                        ),
+                    });
+                }
+                if let Some(weight) = node.inputs.get(1).and_then(|id| self.constant(*id)) {
+                    if weight.data_type() != DataType::I8 {
+                        return Err(GraphError::ShapeInference {
+                            node: node.name.clone(),
+                            reason: format!(
+                                "quantized weight constant must be i8, found {}",
+                                weight.data_type()
+                            ),
+                        });
+                    }
+                }
             }
             for id in node.inputs.iter().chain(&node.outputs) {
                 if id.0 >= self.tensors.len() {
@@ -441,6 +481,14 @@ impl Graph {
             .sum()
     }
 
+    /// Total bytes of stored constant data (weights, biases, statistics),
+    /// honouring each constant's element type — int8 weights count one byte per
+    /// element, so this is the number the quantizer's compression ratio is
+    /// measured against.
+    pub fn constant_bytes(&self) -> usize {
+        self.constants.values().map(|t| t.byte_size()).sum()
+    }
+
     /// Number of scalar multiplications the node performs, using inferred shapes.
     ///
     /// This is the `MUL` term of the paper's backend cost model (Eq. 5). Returns 0
@@ -458,7 +506,9 @@ impl Graph {
             .and_then(|id| self.tensors.get(id.0))
             .and_then(|t| t.shape.as_ref());
         let muls = match &node.op {
-            Op::Conv2d(attrs) | Op::Conv2dFused { attrs, .. } => {
+            Op::Conv2d(attrs)
+            | Op::Conv2dFused { attrs, .. }
+            | Op::Conv2dQuantized { attrs, .. } => {
                 let input = in_shape(0)?;
                 attrs
                     .to_conv_params()
@@ -466,6 +516,11 @@ impl Graph {
                     * input.batch() as u64
             }
             Op::FullyConnected {
+                in_features,
+                out_features,
+                ..
+            }
+            | Op::FullyConnectedQuantized {
                 in_features,
                 out_features,
                 ..

@@ -37,5 +37,5 @@ pub use error::GraphError;
 pub use graph::{Graph, Node, NodeId, TensorId, TensorInfo};
 pub use ops::{
     ActivationKind, BinaryKind, Conv2dAttrs, FlattenAttrs, Op, PadKind, PoolAttrs, PoolKind,
-    SoftmaxAttrs,
+    QuantAttrs, SoftmaxAttrs,
 };

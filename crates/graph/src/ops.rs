@@ -288,6 +288,20 @@ pub struct FlattenAttrs {
     pub start_axis: usize,
 }
 
+/// Per-output-channel symmetric int8 quantization attributes carried by the
+/// quantized operator variants.
+///
+/// The weight constant referenced by the node is stored as `DataType::I8`; each
+/// output channel `o` dequantizes as `w_f32 = weight_scales[o] * w_i8`.
+/// Activations are quantized on the fly at run time (per sample, so batched and
+/// unbatched runs stay bit-identical) and the output is produced in `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantAttrs {
+    /// One scale per output channel (convolution) or output feature
+    /// (fully-connected) mapping int8 weights back to `f32`.
+    pub weight_scales: Vec<f32>,
+}
+
 /// A graph operator.
 ///
 /// Tensor operands (weights, biases) are separate graph inputs referenced by the
@@ -327,6 +341,29 @@ pub enum Op {
         /// Whether a bias input is present.
         has_bias: bool,
     },
+    /// Convolution over int8 weights (produced by the model compressor); inputs
+    /// like [`Op::Conv2d`] but the weight constant is `i8` with per-output-channel
+    /// scales. Carries an optional fused activation epilogue so quantization
+    /// composes with the optimizer's Conv+Activation fusion.
+    Conv2dQuantized {
+        /// Convolution attributes.
+        attrs: Conv2dAttrs,
+        /// Fused activation applied to the (f32) convolution output.
+        activation: ActivationKind,
+        /// Weight quantization parameters.
+        quant: QuantAttrs,
+    },
+    /// Fully-connected layer over int8 weights; inputs like [`Op::FullyConnected`].
+    FullyConnectedQuantized {
+        /// Input feature count.
+        in_features: usize,
+        /// Output feature count.
+        out_features: usize,
+        /// Whether a bias input is present (bias stays `f32`).
+        has_bias: bool,
+        /// Weight quantization parameters.
+        quant: QuantAttrs,
+    },
     /// Softmax; inputs: `[data]`.
     Softmax(SoftmaxAttrs),
     /// Flatten trailing axes; inputs: `[data]`.
@@ -351,15 +388,20 @@ impl Op {
             Op::BatchNorm { .. } => "BatchNorm",
             Op::Scale => "Scale",
             Op::FullyConnected { .. } => "FullyConnected",
+            Op::Conv2dQuantized { .. } => "Conv2dQuantized",
+            Op::FullyConnectedQuantized { .. } => "FullyConnectedQuantized",
             Op::Softmax(_) => "Softmax",
             Op::Flatten(_) => "Flatten",
             Op::Reshape { .. } => "Reshape",
         }
     }
 
-    /// Whether this operator is a (possibly fused) convolution.
+    /// Whether this operator is a (possibly fused or quantized) convolution.
     pub fn is_conv(&self) -> bool {
-        matches!(self, Op::Conv2d(_) | Op::Conv2dFused { .. })
+        matches!(
+            self,
+            Op::Conv2d(_) | Op::Conv2dFused { .. } | Op::Conv2dQuantized { .. }
+        )
     }
 
     /// Convolution attributes, when this is a convolution.
@@ -367,6 +409,24 @@ impl Op {
         match self {
             Op::Conv2d(attrs) => Some(attrs),
             Op::Conv2dFused { attrs, .. } => Some(attrs),
+            Op::Conv2dQuantized { attrs, .. } => Some(attrs),
+            _ => None,
+        }
+    }
+
+    /// Whether this operator computes over int8-quantized weights.
+    pub fn is_quantized(&self) -> bool {
+        matches!(
+            self,
+            Op::Conv2dQuantized { .. } | Op::FullyConnectedQuantized { .. }
+        )
+    }
+
+    /// The per-output-channel quantization attributes, for quantized operators.
+    pub fn quant_attrs(&self) -> Option<&QuantAttrs> {
+        match self {
+            Op::Conv2dQuantized { quant, .. } => Some(quant),
+            Op::FullyConnectedQuantized { quant, .. } => Some(quant),
             _ => None,
         }
     }
@@ -436,10 +496,51 @@ mod tests {
             Op::Activation(ActivationKind::Relu6),
             Op::Binary(BinaryKind::Add),
             Op::Softmax(SoftmaxAttrs { axis: 1 }),
+            Op::Conv2dQuantized {
+                attrs: Conv2dAttrs::same_3x3(8, 16),
+                activation: ActivationKind::Relu,
+                quant: QuantAttrs {
+                    weight_scales: vec![0.5; 16],
+                },
+            },
+            Op::FullyConnectedQuantized {
+                in_features: 16,
+                out_features: 4,
+                has_bias: true,
+                quant: QuantAttrs {
+                    weight_scales: vec![0.25; 4],
+                },
+            },
         ];
         let json = serde_json::to_string(&ops).unwrap();
         let back: Vec<Op> = serde_json::from_str(&json).unwrap();
         assert_eq!(ops, back);
+    }
+
+    #[test]
+    fn quantized_op_predicates() {
+        let conv = Op::Conv2dQuantized {
+            attrs: Conv2dAttrs::same_3x3(3, 8),
+            activation: ActivationKind::None,
+            quant: QuantAttrs {
+                weight_scales: vec![1.0; 8],
+            },
+        };
+        assert!(conv.is_conv());
+        assert!(conv.is_quantized());
+        assert_eq!(conv.name(), "Conv2dQuantized");
+        assert_eq!(conv.conv_attrs().unwrap().out_channels, 8);
+        assert_eq!(conv.quant_attrs().unwrap().weight_scales.len(), 8);
+        assert!(!Op::Conv2d(Conv2dAttrs::same_3x3(3, 8)).is_quantized());
+        assert!(Op::FullyConnectedQuantized {
+            in_features: 4,
+            out_features: 2,
+            has_bias: false,
+            quant: QuantAttrs {
+                weight_scales: vec![1.0; 2],
+            },
+        }
+        .is_quantized());
     }
 
     #[test]

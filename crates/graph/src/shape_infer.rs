@@ -43,7 +43,9 @@ impl Graph {
             reason,
         };
         match &node.op {
-            Op::Conv2d(attrs) | Op::Conv2dFused { attrs, .. } => {
+            Op::Conv2d(attrs)
+            | Op::Conv2dFused { attrs, .. }
+            | Op::Conv2dQuantized { attrs, .. } => {
                 let input = self.input_shape(&node.name, node.inputs[0])?;
                 if !input.is_4d() {
                     return Err(err(format!("convolution input must be 4-D, got {input}")));
@@ -102,6 +104,11 @@ impl Graph {
                 ))
             }
             Op::FullyConnected {
+                in_features,
+                out_features,
+                ..
+            }
+            | Op::FullyConnectedQuantized {
                 in_features,
                 out_features,
                 ..

@@ -4,7 +4,13 @@
 //! reference — micro-batching, session pooling and the concurrent queue must
 //! not change a single bit of any answer. Producers retry on `QueueFull`, so
 //! the bounded queue's backpressure path is exercised under real contention.
+//!
+//! The suite runs twice: once on the float graph and once on its int8-quantized
+//! counterpart. The quantized variant additionally guards the kernel-level
+//! batch-invariance contract — activations are quantized with per-sample
+//! scales, so stacking requests into a micro-batch must not move a single bit.
 
+use mnn_converter::quantize_weights;
 use mnn_core::{Interpreter, SessionConfig};
 use mnn_models::{build, ModelKind};
 use mnn_serve::{ServeError, Server};
@@ -33,8 +39,31 @@ fn deterministic_input(seed: u64) -> Tensor {
 
 #[test]
 fn concurrent_responses_are_bit_identical_to_single_threaded_reference() {
-    let model = || build(ModelKind::TinyCnn, 1, INPUT_SIZE);
+    run_stress(
+        || build(ModelKind::TinyCnn, 1, INPUT_SIZE),
+        REQUESTS_PER_PRODUCER,
+    );
+}
 
+/// Quantized-graph variant: micro-batched int8 responses must be bit-identical
+/// to unbatched quantized runs. This fails if activation quantization ever
+/// derives a scale from the whole stacked batch instead of per sample. (Fewer
+/// requests per producer than the float run: the scalar int8 kernels are slower
+/// in debug builds, and the batching/backpressure paths saturate long before.)
+#[test]
+fn quantized_concurrent_responses_are_bit_identical_to_single_threaded_reference() {
+    run_stress(
+        || {
+            let mut graph = build(ModelKind::TinyCnn, 1, INPUT_SIZE);
+            let report = quantize_weights(&mut graph);
+            assert!(report.quantized_tensors > 0, "model must actually quantize");
+            graph
+        },
+        REQUESTS_PER_PRODUCER / 2,
+    );
+}
+
+fn run_stress(model: impl Fn() -> mnn_graph::Graph, requests_per_producer: usize) {
     // Single-threaded reference outputs for every distinct input.
     let interpreter = Interpreter::from_graph(model()).unwrap();
     let mut reference_session = interpreter.create_session(SessionConfig::cpu(1)).unwrap();
@@ -67,8 +96,8 @@ fn concurrent_responses_are_bit_identical_to_single_threaded_reference() {
             let expected = Arc::clone(&expected);
             std::thread::spawn(move || {
                 let mut retries = 0u32;
-                for i in 0..REQUESTS_PER_PRODUCER {
-                    let which = (producer * REQUESTS_PER_PRODUCER + i) % UNIQUE_INPUTS;
+                for i in 0..requests_per_producer {
+                    let which = (producer * requests_per_producer + i) % UNIQUE_INPUTS;
                     let handle = loop {
                         match server.submit(&[("data", &inputs[which])]) {
                             Ok(handle) => break handle,
@@ -102,7 +131,7 @@ fn concurrent_responses_are_bit_identical_to_single_threaded_reference() {
     let stats = server.stats();
     assert_eq!(
         stats.completed,
-        (PRODUCERS * REQUESTS_PER_PRODUCER) as u64,
+        (PRODUCERS * requests_per_producer) as u64,
         "every request must be answered; stats: {stats}"
     );
     assert_eq!(stats.failed, 0);

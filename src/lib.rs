@@ -92,6 +92,60 @@
 //! [`Session::run_session`], which stay stable when a model's input order
 //! changes.
 //!
+//! ## Quantization
+//!
+//! The model compressor quantizes convolution and fully-connected weights to
+//! symmetric int8 with **per-output-channel** scales, stores them as real `i8`
+//! constants (≈4× smaller weights), and rewrites the nodes to quantized
+//! operator variants. The runtime then executes those layers on **integer
+//! kernels**: pre-inference selects the `quantized-gemm` scheme (visible in the
+//! [`PreInferenceReport`]), activations are quantized on the fly — per sample,
+//! so micro-batched serving stays bit-identical to unbatched runs — and
+//! accumulation is exact in `i32` with an `f32` rescale at each layer output.
+//!
+//! Run [`converter::optimize`](mnn_converter::optimize) *before*
+//! [`converter::quantize_weights`](mnn_converter::quantize_weights) so BN
+//! folding and activation fusion happen on the float graph; the fused
+//! activation is carried into the quantized node. Depthwise convolutions are
+//! the deliberate exception: they deterministically stay on the f32 depthwise
+//! kernel (their weights are dequantized once at preparation time) because one
+//! input channel per group leaves no integer-GEMM reuse to exploit. Everything
+//! else — dynamic resizing, the per-signature plan cache, [`SessionPool`] and
+//! `mnn-serve` micro-batching — composes with quantized graphs unchanged.
+//!
+//! Expected accuracy: symmetric per-channel int8 keeps each quantized operand
+//! within 1/254 relative error; the conformance suite
+//! (`tests/quant_conformance.rs`) checks top-1 agreement with the float model
+//! across the zoo. Size/speed: ~3.9–4.0× smaller weights, and the int8
+//! im2col+GEMM path outruns the float schemes on GEMM-dominated models (see
+//! the `table_quant` bench bin).
+//!
+//! ```
+//! use mnn::converter::{optimize, quantize_weights, OptimizerOptions};
+//! use mnn::models::{build, ModelKind};
+//! use mnn::tensor::{Shape, Tensor};
+//! use mnn::{ConvScheme, Interpreter, SessionConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut graph = build(ModelKind::TinyCnn, 1, 16);
+//! optimize(&mut graph, OptimizerOptions::default());
+//! let report = quantize_weights(&mut graph);
+//! assert!(report.compression_ratio() > 3.5); // i8 payload + per-channel scales
+//!
+//! let interpreter = Interpreter::from_graph(graph)?;
+//! let mut session = interpreter.create_session(SessionConfig::cpu(2))?;
+//! // Conv/FC layers run the integer kernel:
+//! assert!(session
+//!     .report()
+//!     .placements
+//!     .iter()
+//!     .any(|p| p.scheme == Some(ConvScheme::QuantizedGemm)));
+//! let out = session.run_with(&[("data", &Tensor::zeros(Shape::nchw(1, 3, 16, 16)))])?;
+//! assert_eq!(out[0].shape().dims(), &[1, 10]);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! ## Serving
 //!
 //! One owned session serves one request at a time; a [`Server`] serves many
