@@ -63,14 +63,7 @@ impl CpuBackend {
             ConvScheme::Depthwise
         } else if params.is_pointwise() {
             ConvScheme::Strassen1x1
-        } else if params.kernel_h == params.kernel_w
-            && params.kernel_h >= 2
-            && params.stride_h == 1
-            && params.stride_w == 1
-            && params.dilation_h == 1
-            && params.dilation_w == 1
-            && params.groups == 1
-        {
+        } else if params.winograd_applicable() {
             let tile = winograd::optimal_tile_size(
                 params.kernel_h,
                 params.in_channels,

@@ -16,6 +16,8 @@
 //! * [`memory`] — the memory pool / static memory planner behind the paper's
 //!   preparation–execution decoupling (Fig. 3).
 //! * [`capability`] — per-backend operator support and the Table 4 statistics.
+//! * [`timing`] — wall-clock micro-benchmarking of prepared executions, the
+//!   measurement primitive used by the `mnn-tune` auto-tuner.
 
 #![deny(missing_docs)]
 
@@ -24,6 +26,7 @@ mod cpu;
 mod error;
 pub mod memory;
 mod sim_gpu;
+pub mod timing;
 mod traits;
 
 pub use cpu::CpuBackend;

@@ -129,6 +129,58 @@ impl fmt::Display for ConvScheme {
     }
 }
 
+impl ConvScheme {
+    /// Parse the canonical [`Display`](fmt::Display) form back into a scheme —
+    /// the inverse used by the persistent tuning cache, whose entries store
+    /// schemes as their display strings.
+    pub fn parse(key: &str) -> Option<ConvScheme> {
+        match key {
+            "sliding-window" => Some(ConvScheme::SlidingWindow),
+            "im2col" => Some(ConvScheme::Im2col),
+            "strassen-1x1" => Some(ConvScheme::Strassen1x1),
+            "depthwise" => Some(ConvScheme::Depthwise),
+            "quantized-gemm" => Some(ConvScheme::QuantizedGemm),
+            other => {
+                let body = other.strip_prefix("winograd-F(")?.strip_suffix(')')?;
+                let (n, m) = body.split_once('x')?;
+                let tile: usize = n.parse().ok()?;
+                if m != n || tile < 2 {
+                    return None;
+                }
+                Some(ConvScheme::Winograd { tile })
+            }
+        }
+    }
+
+    /// Every float scheme the CPU backend can execute for `params` — the
+    /// candidate pool the auto-tuner measures (a superset of what the cost
+    /// model would shortlist). `max_tile` bounds the Winograd tile-size
+    /// candidates. The order is deterministic so tuned plans are reproducible
+    /// under an injected timer.
+    pub fn float_conv_pool(
+        params: &mnn_kernels::conv::ConvParams,
+        max_tile: usize,
+    ) -> Vec<ConvScheme> {
+        if params.is_depthwise() {
+            return vec![ConvScheme::Depthwise];
+        }
+        let mut pool = Vec::new();
+        if params.is_pointwise() {
+            pool.push(ConvScheme::Strassen1x1);
+        }
+        pool.push(ConvScheme::SlidingWindow);
+        if params.im2col_applicable() {
+            pool.push(ConvScheme::Im2col);
+        }
+        if params.winograd_applicable() {
+            for tile in 2..=max_tile.max(2) {
+                pool.push(ConvScheme::Winograd { tile });
+            }
+        }
+        pool
+    }
+}
+
 /// Per-node hints passed from pre-inference to [`Backend::on_create`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SchemeHint {

@@ -20,4 +20,4 @@ pub mod quantize;
 
 pub use format::{ConverterError, ModelFile, MODEL_FORMAT_VERSION};
 pub use optimizer::{optimize, OptimizerOptions, OptimizerReport};
-pub use quantize::{quantize_weights, QuantizationReport};
+pub use quantize::{quantize_weights, quantized_conv_candidates, QuantizationReport};

@@ -12,10 +12,32 @@
 //! and Conv+Activation fusion operate on float convolutions, and the fused
 //! activation is carried into the quantized variant.
 
+use mnn_backend::ConvScheme;
 use mnn_graph::{Graph, Op, QuantAttrs, TensorId};
+use mnn_kernels::conv::ConvParams;
 use mnn_kernels::quant::{dequantize_per_channel, per_channel_scales, quantize_per_channel};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// The runtime scheme candidates for a convolution whose weights this quantizer
+/// stored as int8 — the pool the auto-tuner measures for an
+/// [`Op::Conv2dQuantized`] node.
+///
+/// Non-depthwise layers can run either the integer kernel
+/// ([`ConvScheme::QuantizedGemm`], activations quantized on the fly) or any
+/// float scheme over weights dequantized once at preparation time, so the pool
+/// is the integer kernel plus the full float pool. Depthwise layers have no
+/// integer-GEMM reuse to exploit and deterministically stay on the f32
+/// depthwise kernel — a single candidate, which the tuner therefore never
+/// measures.
+pub fn quantized_conv_candidates(params: &ConvParams, max_tile: usize) -> Vec<ConvScheme> {
+    if params.is_depthwise() {
+        return vec![ConvScheme::Depthwise];
+    }
+    let mut pool = vec![ConvScheme::QuantizedGemm];
+    pool.extend(ConvScheme::float_conv_pool(params, max_tile));
+    pool
+}
 
 /// Result of quantizing a model's weights.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

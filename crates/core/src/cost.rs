@@ -16,15 +16,52 @@
 use mnn_backend::{Backend, BackendDescriptor};
 use mnn_graph::{Graph, NodeId};
 
-/// Estimated cost of running every node of `graph` on the backend described by
-/// `descriptor` (Eq. 4). Nodes whose shapes are unknown are skipped.
-pub fn graph_cost_ms(graph: &Graph, descriptor: &BackendDescriptor) -> f64 {
+/// A whole-graph cost estimate, together with how complete it is.
+///
+/// `skipped_nodes` counts nodes whose multiplication count could not be
+/// estimated (unknown shapes): their cost is **missing from the sum**, so a
+/// placement decided on a partial sum should be treated with suspicion. The
+/// count is surfaced in `PreInferenceReport` so hybrid placement is never
+/// silently decided on incomplete information.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphCost {
+    /// Sum of per-node cost estimates, in milliseconds (Eq. 4).
+    pub cost_ms: f64,
+    /// Nodes excluded from the sum because their shapes are unknown.
+    pub skipped_nodes: usize,
+}
+
+/// Number of nodes in `graph` whose cost cannot be estimated (unknown
+/// shapes) — the nodes every Eq. 4 sum over this graph silently excludes.
+pub fn skipped_cost_nodes(graph: &Graph) -> usize {
     graph
+        .nodes()
+        .iter()
+        .filter(|node| graph.node_mul_count(node).is_none())
+        .count()
+}
+
+/// Estimated cost of running every node of `graph` on the backend described by
+/// `descriptor` (Eq. 4), reporting how many nodes had to be skipped for
+/// unknown shapes.
+pub fn graph_cost(graph: &Graph, descriptor: &BackendDescriptor) -> GraphCost {
+    let cost_ms = graph
         .nodes()
         .iter()
         .filter_map(|node| graph.node_mul_count(node))
         .map(|muls| descriptor.op_cost_ms(muls))
-        .sum()
+        .sum();
+    GraphCost {
+        cost_ms,
+        skipped_nodes: skipped_cost_nodes(graph),
+    }
+}
+
+/// Estimated cost of running every node of `graph` on the backend described by
+/// `descriptor` (Eq. 4). Thin wrapper over [`graph_cost`] that discards the
+/// skipped-node count; prefer [`graph_cost`] where completeness matters.
+pub fn graph_cost_ms(graph: &Graph, descriptor: &BackendDescriptor) -> f64 {
+    graph_cost(graph, descriptor).cost_ms
 }
 
 /// Pick the index of the backend with the smallest whole-graph cost (Eq. 4).
@@ -32,8 +69,8 @@ pub fn graph_cost_ms(graph: &Graph, descriptor: &BackendDescriptor) -> f64 {
 /// Returns `None` when `backends` is empty.
 pub fn select_backend(graph: &Graph, backends: &[&dyn Backend]) -> Option<usize> {
     (0..backends.len()).min_by(|&a, &b| {
-        let ca = graph_cost_ms(graph, &backends[a].descriptor());
-        let cb = graph_cost_ms(graph, &backends[b].descriptor());
+        let ca = graph_cost(graph, &backends[a].descriptor()).cost_ms;
+        let cb = graph_cost(graph, &backends[b].descriptor()).cost_ms;
         ca.partial_cmp(&cb).unwrap()
     })
 }
@@ -121,6 +158,24 @@ mod tests {
         let slow = CpuBackend::new(1).descriptor();
         let fast = CpuBackend::new(4).descriptor();
         assert!(graph_cost_ms(&g, &slow) > graph_cost_ms(&g, &fast));
+    }
+
+    #[test]
+    fn graph_cost_reports_skipped_nodes_instead_of_hiding_them() {
+        let g = conv_heavy_graph();
+        let d = CpuBackend::new(1).descriptor();
+        // Fully-inferred graph: nothing skipped.
+        assert_eq!(graph_cost(&g, &d).skipped_nodes, 0);
+
+        // Erase an intermediate shape: the node's cost drops out of the sum
+        // and the skip is counted rather than silently swallowed.
+        let mut partial = g.clone();
+        let conv2_input = partial.nodes()[1].inputs[0];
+        partial.tensor_info_mut(conv2_input).unwrap().shape = None;
+        let cost = graph_cost(&partial, &d);
+        assert!(cost.skipped_nodes >= 1);
+        assert!(cost.cost_ms < graph_cost(&g, &d).cost_ms);
+        assert_eq!(graph_cost_ms(&partial, &d), cost.cost_ms);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   interpreter from a graph, create a session (which runs pre-inference once), then
 //!   run inferences repeatedly against pre-selected schemes, backends and memory.
 //!
+//! Scheme selection can additionally be **measured** instead of modelled: with
+//! `SessionConfig::builder().tuning(TuningMode::Full)` pre-inference
+//! micro-benchmarks every viable kernel per convolution via `mnn-tune` and
+//! records the winners in a process-shared, device-keyed cache (persistable to
+//! disk), with the cost model as fallback.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -46,10 +52,12 @@ mod pool;
 pub mod scheme;
 mod session;
 
+pub use cost::GraphCost;
 pub use error::CoreError;
 pub use memory_plan::MemoryPlan;
+pub use mnn_tune::{TuningMode, TuningStats};
 pub use pool::{PooledSession, SessionPool};
-pub use scheme::{SchemeChoice, SchemeDecision};
+pub use scheme::{CostModel, SchemeChoice, SchemeDecision};
 pub use session::{
     Interpreter, NodePlacement, PreInferenceReport, RunStats, Session, SessionConfig,
     SessionConfigBuilder, DEFAULT_PLAN_CACHE_CAPACITY,

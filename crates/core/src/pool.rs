@@ -10,6 +10,13 @@
 //! pooled session keeps its own per-geometry plan cache warm across checkouts,
 //! so a server alternating between batch sizes re-plans only on first sight of
 //! a geometry.
+//!
+//! With auto-tuning enabled
+//! ([`SessionConfig::builder().tuning(...)`](crate::SessionConfig::builder)),
+//! the pool's sessions share the process-wide device-keyed tuning cache: the
+//! first session measures, the remaining `size - 1` find every signature
+//! already tuned — pre-warm cost stays one tuning pass regardless of pool
+//! size.
 
 use crate::{CoreError, Interpreter, Session, SessionConfig};
 use mnn_graph::Graph;

@@ -1,6 +1,9 @@
 //! Session configuration and its builder.
 
+use crate::scheme::CostModel;
 use mnn_backend::{ForwardType, GpuProfile};
+use mnn_tune::TuningMode;
+use std::path::PathBuf;
 
 /// Configuration of a session, chosen by the application developer.
 ///
@@ -31,6 +34,17 @@ pub struct SessionConfig {
     /// that alternate between many batch sizes should size this at least
     /// `max_batch + 1`.
     pub plan_cache_capacity: usize,
+    /// How convolution schemes are resolved: pure cost model
+    /// ([`TuningMode::Off`], the default), cached measurements only
+    /// ([`TuningMode::Cached`]), or measure-on-miss ([`TuningMode::Full`]).
+    pub tuning: TuningMode,
+    /// Where the device-keyed tuning cache persists. `None` falls back to the
+    /// `MNN_TUNE_CACHE` environment variable; if that is unset too, tuning
+    /// results are shared in-process only.
+    pub tune_cache_path: Option<PathBuf>,
+    /// Constants of the scheme cost model (overridable for reproducible tests
+    /// or re-calibrated devices; see `mnn_tune::calibrate`).
+    pub cost_model: CostModel,
 }
 
 impl Default for SessionConfig {
@@ -43,6 +57,9 @@ impl Default for SessionConfig {
             gpu_profile: GpuProfile::GENERIC,
             cpu_flops: None,
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            tuning: TuningMode::Off,
+            tune_cache_path: None,
+            cost_model: CostModel::default(),
         }
     }
 }
@@ -133,6 +150,32 @@ impl SessionConfigBuilder {
         self
     }
 
+    /// Select the kernel auto-tuning mode (default [`TuningMode::Off`]).
+    ///
+    /// With [`TuningMode::Full`] session preparation micro-benchmarks every
+    /// viable convolution scheme on the node's real geometry and keeps the
+    /// fastest; results are shared in-process (one tuning pass per
+    /// `SessionPool`) and persisted when a cache path is configured.
+    pub fn tuning(mut self, mode: TuningMode) -> Self {
+        self.config.tuning = mode;
+        self
+    }
+
+    /// Persist the tuning cache at `path` (overrides the `MNN_TUNE_CACHE`
+    /// environment variable). A warm file lets a fresh process prepare
+    /// sessions with zero measurements.
+    pub fn tune_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.tune_cache_path = Some(path.into());
+        self
+    }
+
+    /// Override the scheme cost-model constants (e.g. with the output of
+    /// `mnn_tune::calibrate`, or pinned values for reproducible tests).
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.config.cost_model = model;
+        self
+    }
+
     /// Finish building the configuration.
     pub fn build(mut self) -> SessionConfig {
         if !self.forward_types.is_empty() {
@@ -161,6 +204,32 @@ mod tests {
     fn builder_defaults_to_cpu_when_no_forward_given() {
         let config = SessionConfig::builder().threads(2).build();
         assert_eq!(config.forward_types, vec![ForwardType::Cpu]);
+    }
+
+    #[test]
+    fn builder_sets_tuning_knobs() {
+        let config = SessionConfig::builder()
+            .tuning(TuningMode::Full)
+            .tune_cache_path("/tmp/tune.json")
+            .cost_model(CostModel {
+                int8_cost_factor: 0.5,
+                ..CostModel::default()
+            })
+            .build();
+        assert_eq!(config.tuning, TuningMode::Full);
+        assert_eq!(
+            config.tune_cache_path.as_deref(),
+            Some(std::path::Path::new("/tmp/tune.json"))
+        );
+        assert_eq!(config.cost_model.int8_cost_factor, 0.5);
+    }
+
+    #[test]
+    fn tuning_defaults_to_off() {
+        let config = SessionConfig::default();
+        assert_eq!(config.tuning, TuningMode::Off);
+        assert!(config.tune_cache_path.is_none());
+        assert_eq!(config.cost_model, CostModel::default());
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::CoreError;
 use mnn_backend::{Backend, CpuBackend, ForwardType, SimGpuBackend};
 use mnn_graph::{Graph, NodeId, TensorId};
 use mnn_tensor::{Shape, Tensor};
+use mnn_tune::{DeviceFingerprint, Tuner, TuningStats};
 use plan::ExecutionPlan;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -118,6 +119,9 @@ pub struct Session {
     plan_cache: HashMap<Vec<Shape>, CachedPlan>,
     cache_hits: usize,
     last_stats: RunStats,
+    /// Measured scheme selection over the process-shared, device-keyed tuning
+    /// cache; `None` when tuning is off.
+    tuner: Option<Tuner>,
 }
 
 // Sessions must stay movable across threads; this fails to compile if a
@@ -159,7 +163,24 @@ impl Session {
         }
         let cpu_index = cpu_index.expect("CPU backend is always present");
 
-        let plan = plan::build_plan(&graph, &config, &mut backends, None)?;
+        // --- Tuning ---------------------------------------------------------
+        // The shared cache is keyed by device fingerprint (+ path), so every
+        // session of this process with the same configuration — e.g. all
+        // workers of a SessionPool — shares one tuning pass.
+        let tuner = if config.tuning.is_enabled() {
+            let fingerprint =
+                DeviceFingerprint::detect(config.threads, &backends[cpu_index].descriptor());
+            let path = config
+                .tune_cache_path
+                .clone()
+                .or_else(mnn_tune::default_cache_path);
+            Some(Tuner::new(mnn_tune::shared_cache(fingerprint, path)))
+        } else {
+            None
+        };
+
+        let plan = plan::build_plan(&graph, &config, &mut backends, None, tuner.as_ref())?;
+        Self::persist_tuning(tuner.as_ref());
         let inputs = Self::fresh_inputs(&graph)?;
 
         Ok(Session {
@@ -174,7 +195,19 @@ impl Session {
             plan_cache: HashMap::new(),
             cache_hits: 0,
             last_stats: RunStats::default(),
+            tuner,
         })
+    }
+
+    /// Best-effort persistence of freshly measured tuning entries: a
+    /// filesystem failure must never fail session preparation, but it should
+    /// not be silent either.
+    fn persist_tuning(tuner: Option<&Tuner>) {
+        if let Some(tuner) = tuner {
+            if let Err(e) = tuner.persist() {
+                eprintln!("mnn-tune: failed to persist tuning cache: {e}");
+            }
+        }
     }
 
     /// Zero-filled staged input tensors matching the graph's current input shapes.
@@ -218,6 +251,17 @@ impl Session {
     /// Index of the CPU fallback backend in this session's backend list.
     pub fn cpu_backend_index(&self) -> usize {
         self.cpu_index
+    }
+
+    /// Counters of the process-shared tuning cache this session uses, or
+    /// `None` when tuning is off ([`TuningMode::Off`](mnn_tune::TuningMode)).
+    ///
+    /// The counters are cumulative over every session sharing the cache —
+    /// that is the point: a `SessionPool` of N workers shows **one** tuning
+    /// pass, and a session warm-started from a persisted cache shows **zero**
+    /// measured candidates.
+    pub fn tuning_stats(&self) -> Option<TuningStats> {
+        self.tuner.as_ref().map(Tuner::stats)
     }
 
     /// Execution order used by the session (topological).

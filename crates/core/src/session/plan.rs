@@ -9,11 +9,13 @@ use super::config::SessionConfig;
 use crate::cost::{hybrid_schedule, placement_cost_ms, Placement};
 use crate::memory_plan::MemoryPlan;
 use crate::scheme::{
-    quantized_fc_decision, select_conv_scheme, select_quantized_conv_scheme, SchemeDecision,
+    quantized_fc_decision_with, select_conv_scheme_with, select_quantized_conv_scheme_with,
+    SchemeDecision,
 };
 use crate::CoreError;
 use mnn_backend::{Backend, ConvScheme, Execution, ForwardType, SchemeHint};
 use mnn_graph::{Graph, NodeId, Op};
+use mnn_tune::{candidates_for_node, OpSignature, Tuner};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
@@ -33,6 +35,18 @@ pub struct NodePlacement {
     pub scheme: Option<ConvScheme>,
     /// Estimated cost on the chosen backend, in milliseconds.
     pub estimated_cost_ms: f64,
+    /// Measured cost of the selected scheme, when the node was auto-tuned
+    /// (fresh measurement or a tuning-cache hit). `None` for cost-model
+    /// placements.
+    pub measured_cost_ms: Option<f64>,
+}
+
+impl NodePlacement {
+    /// Whether this node's scheme came from measurements rather than the cost
+    /// model.
+    pub fn is_tuned(&self) -> bool {
+        self.measured_cost_ms.is_some()
+    }
 }
 
 /// Summary of everything pre-inference decided, for inspection and experiments.
@@ -55,6 +69,16 @@ pub struct PreInferenceReport {
     /// Whether this plan was restored from the per-shape-signature pre-inference
     /// cache instead of being recomputed.
     pub from_cache: bool,
+    /// Nodes whose scheme was resolved from tuning measurements (fresh or from
+    /// the device-keyed tuning cache).
+    pub tuned_nodes: usize,
+    /// Candidate kernels micro-benchmarked while building *this* plan (0 when
+    /// every tuned node hit the cache — the warm-start guarantee).
+    pub tuning_measured_candidates: usize,
+    /// Nodes the backend cost estimate had to skip for unknown shapes. When
+    /// non-zero, hybrid placement was decided on a partial cost sum (see
+    /// [`graph_cost`](crate::cost::graph_cost)).
+    pub cost_skipped_nodes: usize,
 }
 
 impl PreInferenceReport {
@@ -79,7 +103,7 @@ impl fmt::Display for PreInferenceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "pre-inference: {:.2} ms ({}{}), estimated run cost {:.3} ms",
+            "pre-inference: {:.2} ms ({}{}{}), estimated run cost {:.3} ms",
             self.pre_inference_ms,
             if self.from_cache {
                 "cached plan"
@@ -91,8 +115,23 @@ impl fmt::Display for PreInferenceReport {
             } else {
                 String::new()
             },
+            if self.tuned_nodes > 0 {
+                format!(
+                    ", {} nodes tuned ({} candidates measured)",
+                    self.tuned_nodes, self.tuning_measured_candidates
+                )
+            } else {
+                String::new()
+            },
             self.estimated_total_ms
         )?;
+        if self.cost_skipped_nodes > 0 {
+            writeln!(
+                f,
+                "warning: cost model skipped {} node(s) with unknown shapes; placement used a partial sum",
+                self.cost_skipped_nodes
+            )?;
+        }
         writeln!(
             f,
             "memory: {} -> {} elements ({:.0}% saved)",
@@ -102,22 +141,25 @@ impl fmt::Display for PreInferenceReport {
         )?;
         writeln!(
             f,
-            "{:<20} {:<16} {:<8} {:<18} {:>9}",
-            "node", "op", "backend", "scheme", "est ms"
+            "{:<20} {:<16} {:<8} {:<18} {:>9} {:>9}",
+            "node", "op", "backend", "scheme", "est ms", "meas ms"
         )?;
         for p in &self.placements {
             writeln!(
                 f,
                 // `ForwardType`'s Display ignores width flags (write_str), so
                 // render it to a string before padding.
-                "{:<20} {:<16} {:<8} {:<18} {:>9.4}",
+                "{:<20} {:<16} {:<8} {:<18} {:>9.4} {:>9}",
                 p.name,
                 p.op,
                 p.forward_type.to_string(),
                 p.scheme
                     .map(|s| s.to_string())
                     .unwrap_or_else(|| "-".to_string()),
-                p.estimated_cost_ms
+                p.estimated_cost_ms,
+                p.measured_cost_ms
+                    .map(|ms| format!("{ms:.4}"))
+                    .unwrap_or_else(|| "-".to_string()),
             )?;
         }
         Ok(())
@@ -154,8 +196,10 @@ pub(super) fn build_plan(
     config: &SessionConfig,
     backends: &mut [Box<dyn Backend>],
     reuse: Option<&mut ExecutionPlan>,
+    tuner: Option<&Tuner>,
 ) -> Result<ExecutionPlan, CoreError> {
     let start = Instant::now();
+    let tuning_baseline = tuner.map(|t| t.stats().measured_candidates).unwrap_or(0);
 
     // --- Hybrid scheduling (Eq. 4–5) -------------------------------------
     let backend_refs: Vec<&dyn Backend> = backends.iter().map(|b| b.as_ref()).collect();
@@ -166,10 +210,15 @@ pub(super) fn build_plan(
     let placements: Vec<Placement> = hybrid_schedule(graph, &backend_refs, cpu_index);
     let estimated_total_ms = placement_cost_ms(&placements);
 
-    // --- Scheme selection (Eq. 2–3) --------------------------------------
+    // --- Scheme selection (Eq. 2–3), with measured override ---------------
     let order = graph.topological_order()?;
     let mut scheduled = Vec::with_capacity(order.len());
     let mut report_placements = Vec::with_capacity(order.len());
+    let mut tuned_nodes = 0usize;
+    // Executions prepared as tuning winners, installed into the plan below so
+    // the measured kernel (including its Winograd weight transform) is not
+    // re-created.
+    let mut tuned_executions: HashMap<NodeId, Box<dyn Execution>> = HashMap::new();
     for node_id in &order {
         let node = graph.node(*node_id)?;
         let placement = placements
@@ -185,11 +234,12 @@ pub(super) fn build_plan(
                     .ok_or_else(|| {
                         CoreError::InvalidInput(format!("no shape for input of {}", node.name))
                     })?;
-                Some(select_conv_scheme(
+                Some(select_conv_scheme_with(
                     &attrs.to_conv_params(),
                     input_shape.height(),
                     input_shape.width(),
                     config.max_winograd_tile,
+                    &config.cost_model,
                 ))
             }
             Op::Conv2dQuantized { attrs, .. } => {
@@ -200,19 +250,80 @@ pub(super) fn build_plan(
                     .ok_or_else(|| {
                         CoreError::InvalidInput(format!("no shape for input of {}", node.name))
                     })?;
-                Some(select_quantized_conv_scheme(
+                Some(select_quantized_conv_scheme_with(
                     &attrs.to_conv_params(),
                     input_shape.height(),
                     input_shape.width(),
+                    &config.cost_model,
                 ))
             }
-            Op::FullyConnectedQuantized { .. } => Some(quantized_fc_decision(
+            Op::FullyConnectedQuantized { .. } => Some(quantized_fc_decision_with(
                 graph.node_mul_count(node).unwrap_or(0),
+                &config.cost_model,
             )),
             _ => None,
         };
+        let mut selected_scheme = scheme_decision.as_ref().map(|d| d.selected);
+        let mut measured_cost_ms = None;
+
+        // Measured override: only meaningful where wall-clock time is real —
+        // nodes placed on the CPU backend (simulated GPU executions tick a
+        // virtual clock). The cost-model choice above stays the fallback for
+        // non-tunable nodes, `Cached`-mode misses and measurement failures.
+        if let Some(tuner) = tuner {
+            let on_cpu = backends[placement.backend_index].forward_type() == ForwardType::Cpu;
+            if on_cpu && selected_scheme.is_some() {
+                let candidates = candidates_for_node(node, config.max_winograd_tile);
+                if !candidates.is_empty() {
+                    if let Some(sig) = OpSignature::for_node(node, graph) {
+                        // A cache hit is only usable when its scheme is in
+                        // *this* session's candidate pool: a cache tuned under
+                        // a larger `max_winograd_tile` (or a doctored file)
+                        // must not smuggle in a scheme the current
+                        // configuration forbids. An unusable hit degrades to a
+                        // miss: re-measure in Full mode, cost model otherwise.
+                        let cached = tuner.lookup(&sig).and_then(|entry| {
+                            ConvScheme::parse(&entry.scheme)
+                                .filter(|scheme| candidates.contains(scheme))
+                                .map(|scheme| (scheme, entry.measured_ms))
+                        });
+                        let tuned = match cached {
+                            Some(hit) => Some(hit),
+                            None if config.tuning.measures() => {
+                                match tuner.measure_node(
+                                    backends[placement.backend_index].as_ref(),
+                                    node,
+                                    graph,
+                                    &sig,
+                                    &candidates,
+                                    config.threads,
+                                ) {
+                                    Ok((entry, execution)) => {
+                                        if config.decouple_preparation {
+                                            tuned_executions.insert(*node_id, execution);
+                                        }
+                                        ConvScheme::parse(&entry.scheme)
+                                            .map(|scheme| (scheme, entry.measured_ms))
+                                    }
+                                    // A failed measurement falls back to the
+                                    // cost model; nothing is cached.
+                                    Err(_) => None,
+                                }
+                            }
+                            None => None,
+                        };
+                        if let Some((scheme, measured_ms)) = tuned {
+                            selected_scheme = Some(scheme);
+                            measured_cost_ms = Some(measured_ms);
+                            tuned_nodes += 1;
+                        }
+                    }
+                }
+            }
+        }
+
         let hint = SchemeHint {
-            conv_scheme: scheme_decision.as_ref().map(|d| d.selected),
+            conv_scheme: selected_scheme,
             threads: Some(config.threads),
         };
         report_placements.push(NodePlacement {
@@ -222,6 +333,7 @@ pub(super) fn build_plan(
             forward_type: backends[placement.backend_index].forward_type(),
             scheme: hint.conv_scheme,
             estimated_cost_ms: placement.cost_ms,
+            measured_cost_ms,
         });
         scheduled.push(ScheduledNode {
             node: *node_id,
@@ -245,6 +357,12 @@ pub(super) fn build_plan(
             }
         }
         for entry in &mut scheduled {
+            // The tuning winner was already prepared (and validated) by the
+            // measurement pass; install it instead of re-creating it.
+            if let Some(execution) = tuned_executions.remove(&entry.node) {
+                entry.execution = Some(execution);
+                continue;
+            }
             if let Some(old) = previous.get_mut(&entry.node) {
                 // Executions may only carry over when the placement and scheme are
                 // unchanged AND the backend's executions are geometry-invariant —
@@ -266,6 +384,7 @@ pub(super) fn build_plan(
         }
     }
 
+    let cost_skipped_nodes = crate::cost::skipped_cost_nodes(graph);
     let report = PreInferenceReport {
         placements: report_placements,
         estimated_total_ms,
@@ -274,6 +393,11 @@ pub(super) fn build_plan(
         pre_inference_ms: start.elapsed().as_secs_f64() * 1000.0,
         reused_executions,
         from_cache: false,
+        tuned_nodes,
+        tuning_measured_candidates: tuner
+            .map(|t| (t.stats().measured_candidates - tuning_baseline) as usize)
+            .unwrap_or(0),
+        cost_skipped_nodes,
     };
 
     Ok(ExecutionPlan {

@@ -112,6 +112,7 @@ impl Session {
                 &self.config,
                 &mut self.backends,
                 Some(&mut self.plan),
+                self.tuner.as_ref(),
             ) {
                 Ok(plan) => plan,
                 Err(e) => {
@@ -126,6 +127,7 @@ impl Session {
                     return Err(e);
                 }
             };
+            Self::persist_tuning(self.tuner.as_ref());
             new_plan.report.pre_inference_ms = start.elapsed().as_secs_f64() * 1000.0;
             let old_plan = std::mem::replace(&mut self.plan, new_plan);
             let old_graph = std::mem::replace(&mut self.graph, new_graph);

@@ -178,6 +178,26 @@ impl ConvParams {
         self.groups > 1 && self.groups == self.in_channels && self.groups == self.out_channels
     }
 
+    /// Whether the Winograd family `F(n×n, k×k)` applies to this convolution:
+    /// square kernel of size ≥ 2, unit stride and dilation, no grouping.
+    ///
+    /// This is the applicability rule shared by the cost model, the backend's
+    /// default scheme choice and the auto-tuner's candidate enumeration.
+    pub fn winograd_applicable(&self) -> bool {
+        self.kernel_h == self.kernel_w
+            && self.stride_h == 1
+            && self.stride_w == 1
+            && self.dilation_h == 1
+            && self.dilation_w == 1
+            && self.groups == 1
+            && self.kernel_h >= 2
+    }
+
+    /// Whether the im2col + GEMM lowering applies (any ungrouped convolution).
+    pub fn im2col_applicable(&self) -> bool {
+        self.groups == 1
+    }
+
     /// Length of the weight buffer: `oc * ic/groups * kh * kw`.
     pub fn weight_len(&self) -> usize {
         self.out_channels * (self.in_channels / self.groups) * self.kernel_h * self.kernel_w

@@ -5,7 +5,7 @@ use crate::queue::RequestQueue;
 use crate::request::{QueuedRequest, ResponseHandle, ResponseSlot, Signature};
 use crate::stats::{ServerStats, StatsCollector};
 use crate::ServeError;
-use mnn_core::{Interpreter, SessionConfig, SessionPool};
+use mnn_core::{Interpreter, SessionConfig, SessionPool, TuningMode};
 use mnn_graph::Graph;
 use mnn_tensor::Tensor;
 use std::sync::Arc;
@@ -70,6 +70,22 @@ impl ServerBuilder {
     /// batch size 1..=`max_batch` keeps a warm plan.
     pub fn session_config(mut self, config: SessionConfig) -> Self {
         self.session = config;
+        self
+    }
+
+    /// Kernel auto-tuning mode for the pooled sessions (default
+    /// [`TuningMode::Off`]); shorthand for setting it on
+    /// [`ServerBuilder::session_config`].
+    ///
+    /// With [`TuningMode::Full`] the **first** pre-warmed worker measures each
+    /// convolution's candidate kernels once; the remaining workers find the
+    /// results in the process-shared, device-keyed tuning cache and perform
+    /// zero measurements — pre-warm cost stays one tuning pass regardless of
+    /// pool size. Configure `SessionConfig::tune_cache_path` (or
+    /// `MNN_TUNE_CACHE`) to persist the measurements so the next process
+    /// starts warm.
+    pub fn tuning(mut self, mode: TuningMode) -> Self {
+        self.session.tuning = mode;
         self
     }
 

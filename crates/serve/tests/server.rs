@@ -242,3 +242,71 @@ fn handles_can_cross_threads() {
     let joined = std::thread::spawn(move || handle.wait()).join().unwrap();
     assert_eq!(joined.unwrap()[0].shape().dims(), &[1, 10]);
 }
+
+#[test]
+fn tuned_server_prewarms_with_one_shared_tuning_pass() {
+    // Unique cache path so this test's counters are isolated from any other
+    // tuning in the process.
+    let path = std::env::temp_dir().join(format!(
+        "mnn-serve-tuned-prewarm-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let config = SessionConfig::builder()
+        .threads(1)
+        .tuning(mnn_core::TuningMode::Full)
+        .tune_cache_path(&path)
+        .build();
+    let server = Server::builder()
+        .workers(3)
+        .max_batch(1)
+        .session_config(config.clone())
+        .build(build(ModelKind::TinyCnn, 1, 16))
+        .unwrap();
+
+    // All three workers were pre-warmed; the shared cache shows exactly one
+    // tuning pass (one set of measured candidates, not three).
+    let interpreter = Interpreter::from_graph(build(ModelKind::TinyCnn, 1, 16)).unwrap();
+    let session = interpreter.create_session(config).unwrap();
+    let stats = session.tuning_stats().unwrap();
+    assert!(stats.tuned_nodes > 0, "TinyCnn has tunable convolutions");
+    let after_pool = stats.measured_candidates;
+    // The extra (4th) session above measured nothing either: every signature
+    // was already tuned by the server's first worker.
+    assert_eq!(session.report().tuning_measured_candidates, 0);
+
+    // Tuned responses still match an untuned reference session bit-for-bit is
+    // not required (different schemes round differently); they must agree
+    // within kernel tolerance.
+    let input = deterministic_input(16, 9);
+    let mut reference = Interpreter::from_graph(build(ModelKind::TinyCnn, 1, 16))
+        .unwrap()
+        .create_session(SessionConfig::cpu(1))
+        .unwrap();
+    let want = reference.run_with(&[("data", &input)]).unwrap();
+    let got = server.infer(&[("data", &input)]).unwrap();
+    assert_eq!(got[0].shape(), want[0].shape());
+    assert!(got[0].max_abs_diff(&want[0]) < 1e-2);
+
+    // The pre-warm persisted the measurements for the next process.
+    assert!(path.exists(), "tuning cache file was persisted");
+    drop(server);
+    let stats_after = mnn_core::Interpreter::from_graph(build(ModelKind::TinyCnn, 1, 16))
+        .unwrap()
+        .create_session(
+            SessionConfig::builder()
+                .threads(1)
+                .tuning(mnn_core::TuningMode::Full)
+                .tune_cache_path(&path)
+                .build(),
+        )
+        .unwrap()
+        .tuning_stats()
+        .unwrap();
+    assert_eq!(
+        stats_after.measured_candidates, after_pool,
+        "no further measurements after the pool's single pass"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,125 @@
+//! Device fingerprinting: the key that scopes tuning measurements to the
+//! machine (and configuration) they were taken on.
+//!
+//! A tuning cache is only valid for the hardware and thread budget that
+//! produced it — a Winograd tile that wins on an AVX2 laptop with 8 threads may
+//! lose on a 2-thread container. The fingerprint captures exactly the inputs
+//! that change kernel timings: CPU architecture, detected SIMD features, the
+//! worker thread count, and the backend descriptor the measurements ran
+//! against. A persisted cache whose fingerprint differs from the current
+//! process is ignored (re-tuned), never trusted.
+
+use mnn_backend::BackendDescriptor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of the device + configuration a set of tuning measurements is
+/// valid for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceFingerprint {
+    /// Target architecture (`x86_64`, `aarch64`, …).
+    pub arch: String,
+    /// Detected CPU SIMD features relevant to kernel speed, comma-separated
+    /// (empty when detection is unavailable for the architecture).
+    pub cpu_features: String,
+    /// Worker thread count the measurements were taken with.
+    pub threads: usize,
+    /// Canonical description of the backend the candidates ran on (forward
+    /// type + estimated FLOPS).
+    pub backend: String,
+}
+
+impl DeviceFingerprint {
+    /// Fingerprint the current process for measurements taken with `threads`
+    /// workers on the backend described by `descriptor`.
+    pub fn detect(threads: usize, descriptor: &BackendDescriptor) -> Self {
+        DeviceFingerprint {
+            arch: std::env::consts::ARCH.to_string(),
+            cpu_features: detected_cpu_features(),
+            threads,
+            backend: format!(
+                "{}@{:.0}mflops",
+                descriptor.forward_type,
+                descriptor.flops / 1e6
+            ),
+        }
+    }
+
+    /// Canonical single-string form, used as the in-process registry key.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.arch, self.cpu_features, self.threads, self.backend
+        )
+    }
+}
+
+impl fmt::Display for DeviceFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+/// SIMD features that materially change kernel timings, probed at run time
+/// where the standard library supports it.
+fn detected_cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut features = Vec::new();
+        for (name, present) in [
+            ("sse4.1", std::arch::is_x86_feature_detected!("sse4.1")),
+            ("avx", std::arch::is_x86_feature_detected!("avx")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+        ] {
+            if present {
+                features.push(name);
+            }
+        }
+        features.join(",")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is baseline on aarch64.
+        "neon".to_string()
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_backend::{Backend, CpuBackend};
+
+    #[test]
+    fn detection_is_stable_within_a_process() {
+        let d = CpuBackend::new(4).descriptor();
+        assert_eq!(
+            DeviceFingerprint::detect(4, &d),
+            DeviceFingerprint::detect(4, &d)
+        );
+    }
+
+    #[test]
+    fn thread_count_and_backend_change_the_fingerprint() {
+        let d2 = CpuBackend::new(2).descriptor();
+        let d4 = CpuBackend::new(4).descriptor();
+        let f2 = DeviceFingerprint::detect(2, &d2);
+        let f4 = DeviceFingerprint::detect(4, &d4);
+        assert_ne!(f2, f4);
+        assert_ne!(f2.key(), f4.key());
+    }
+
+    #[test]
+    fn fingerprint_round_trips_through_serde() {
+        let d = CpuBackend::new(3).descriptor();
+        let fp = DeviceFingerprint::detect(3, &d);
+        let json = serde_json::to_string(&fp).unwrap();
+        let back: DeviceFingerprint = serde_json::from_str(&json).unwrap();
+        assert_eq!(fp, back);
+    }
+}

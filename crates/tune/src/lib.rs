@@ -1,0 +1,154 @@
+//! # `mnn-tune` — runtime kernel auto-tuning with a persistent, device-keyed cache
+//!
+//! The paper's core claim is that *semi-automated search* at pre-inference time
+//! beats both hand-picked kernels and offline auto-tuning: the engine should
+//! decide per layer, per device, per geometry which kernel to run — without
+//! TVM-style minutes-to-hours tuning loops. `mnn-core`'s scheme selection
+//! (Eq. 2–3) answers that with a closed-form cost model; this crate supplies
+//! the *measured* alternative:
+//!
+//! * [`candidates_for_node`] — enumerate the kernels a node can actually run
+//!   (float pool, integer pool for quantized convolutions).
+//! * [`Tuner::measure_node`] — prepare each candidate through the real backend
+//!   (`on_create`, so weight transforms stay outside the timed region), run it
+//!   on the node's real geometry, and record the fastest.
+//! * [`SharedTuneCache`] — one set of measurements per
+//!   [`DeviceFingerprint`], shared by every session of the process (a
+//!   `SessionPool` / `mnn-serve` deployment tunes **once**) and persisted to a
+//!   versioned file so the *next* process performs **zero** measurements.
+//! * [`calibrate`] — derive the cost model's constants (e.g. the int8
+//!   discount) from the same measurement harness, so untuned sessions benefit
+//!   too.
+//!
+//! Sessions opt in through `SessionConfig::builder().tuning(TuningMode::Full)`
+//! in `mnn-core`; this crate is engine-agnostic plumbing and depends only on
+//! the backend/graph layers.
+//!
+//! ## Cache validity
+//!
+//! Measurements are only meaningful on the machine (and thread budget) that
+//! produced them, so every cache is keyed by a [`DeviceFingerprint`]
+//! (architecture, detected SIMD features, thread count, backend descriptor) and
+//! the persisted file embeds both that fingerprint and a format version.
+//! Loading is forgiving by design: missing, corrupt, version-stale or
+//! foreign-device files degrade to an empty cache (the engine re-tunes) —
+//! never a panic, never an error that could down a serving process.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod calibrate;
+mod candidates;
+mod fingerprint;
+mod signature;
+mod timer;
+mod tuner;
+
+pub use cache::{CacheLoad, CandidateMeasurement, TuneCache, TuneEntry, TUNE_CACHE_VERSION};
+pub use candidates::candidates_for_node;
+pub use fingerprint::DeviceFingerprint;
+pub use signature::OpSignature;
+pub use timer::{CandidateTimer, FakeTimer, WallTimer};
+pub use tuner::{
+    clear_process_caches, default_cache_path, shared_cache, SharedTuneCache, Tuner, TuningStats,
+};
+
+use std::fmt;
+
+/// How a session resolves convolution schemes (wired through
+/// `SessionConfig::builder().tuning(...)` in `mnn-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TuningMode {
+    /// Pure cost-model selection (Eq. 2–3); no measurements, no cache.
+    #[default]
+    Off,
+    /// Use tuned schemes when the device-keyed cache (in-memory or persisted)
+    /// already holds the node's signature; fall back to the cost model on a
+    /// miss. Never measures — bounded, predictable preparation time.
+    Cached,
+    /// Like [`TuningMode::Cached`], but a miss micro-benchmarks every
+    /// candidate on the node's real geometry and records the winner, so later
+    /// sessions (and processes, via the persistent cache) skip the work.
+    Full,
+}
+
+impl TuningMode {
+    /// Whether this mode consults the tuning cache at all.
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, TuningMode::Off)
+    }
+
+    /// Whether this mode may run measurements on a cache miss.
+    pub fn measures(self) -> bool {
+        matches!(self, TuningMode::Full)
+    }
+}
+
+impl fmt::Display for TuningMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TuningMode::Off => "off",
+            TuningMode::Cached => "cached",
+            TuningMode::Full => "full",
+        })
+    }
+}
+
+/// Errors surfaced by the measurement harness.
+#[derive(Debug)]
+pub enum TuneError {
+    /// The node's input shape is unknown, so no measurement input can be built.
+    MissingShape(String),
+    /// No candidate could be prepared and validated for the node.
+    NoCandidates(String),
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::MissingShape(node) => {
+                write!(f, "node '{node}' has no input shape to measure against")
+            }
+            TuneError::NoCandidates(node) => {
+                write!(f, "no viable scheme candidate for node '{node}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_backend::ConvScheme;
+
+    #[test]
+    fn tuning_mode_semantics() {
+        assert!(!TuningMode::Off.is_enabled());
+        assert!(TuningMode::Cached.is_enabled());
+        assert!(!TuningMode::Cached.measures());
+        assert!(TuningMode::Full.is_enabled());
+        assert!(TuningMode::Full.measures());
+        assert_eq!(TuningMode::default(), TuningMode::Off);
+        assert_eq!(TuningMode::Full.to_string(), "full");
+    }
+
+    #[test]
+    fn scheme_keys_round_trip_for_every_scheme() {
+        for scheme in [
+            ConvScheme::SlidingWindow,
+            ConvScheme::Im2col,
+            ConvScheme::Winograd { tile: 2 },
+            ConvScheme::Winograd { tile: 6 },
+            ConvScheme::Strassen1x1,
+            ConvScheme::Depthwise,
+            ConvScheme::QuantizedGemm,
+        ] {
+            assert_eq!(ConvScheme::parse(&scheme.to_string()), Some(scheme));
+        }
+        assert_eq!(ConvScheme::parse("winograd-F(1x1)"), None);
+        assert_eq!(ConvScheme::parse("winograd-F(4x5)"), None);
+        assert_eq!(ConvScheme::parse("nonsense"), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Canonical operator signatures: the per-node key of the tuning cache.
+//!
+//! Two nodes that would compile to identical kernel invocations must produce
+//! identical signatures — that is what lets one measurement serve every session
+//! of a process (and, through the persistent cache, every future process on the
+//! same device). The signature therefore encodes exactly the inputs the kernels
+//! depend on: operator variant (float / fused / quantized), the full
+//! convolution hyper-parameters, the fused activation, and the node's concrete
+//! input geometry. Node *names* are deliberately excluded, so two layers with
+//! the same shape share one measurement.
+
+use mnn_graph::{Graph, Node, Op};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Canonical signature of a tunable operator at a concrete input geometry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpSignature(String);
+
+impl OpSignature {
+    /// Wrap an already-canonical signature string (used when deserializing
+    /// cache files).
+    pub fn from_key(key: impl Into<String>) -> Self {
+        OpSignature(key.into())
+    }
+
+    /// The canonical string form (the cache file key).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Build the signature for `node`, or `None` when the node is not tunable
+    /// (not a convolution) or its input shape is unknown.
+    pub fn for_node(node: &Node, graph: &Graph) -> Option<OpSignature> {
+        let (attrs, activation, quantized) = match &node.op {
+            Op::Conv2d(attrs) => (attrs, None, false),
+            Op::Conv2dFused { attrs, activation } => (attrs, Some(*activation), false),
+            Op::Conv2dQuantized {
+                attrs, activation, ..
+            } => (attrs, Some(*activation), true),
+            _ => return None,
+        };
+        let input = graph.tensor_info(*node.inputs.first()?).ok()?;
+        let shape = input.shape.as_ref()?;
+        if !shape.is_4d() {
+            return None;
+        }
+        let key = format!(
+            "conv{}:ic{}oc{},k{}x{},s{}x{},p{}x{}({:?}),d{}x{},g{},bias{},act{:?},in{}x{}x{}",
+            if quantized { "-q" } else { "" },
+            attrs.in_channels,
+            attrs.out_channels,
+            attrs.kernel.0,
+            attrs.kernel.1,
+            attrs.stride.0,
+            attrs.stride.1,
+            attrs.pad.0,
+            attrs.pad.1,
+            attrs.pad_kind,
+            attrs.dilation.0,
+            attrs.dilation.1,
+            attrs.groups,
+            u8::from(attrs.has_bias),
+            activation,
+            shape.batch(),
+            shape.height(),
+            shape.width(),
+        );
+        Some(OpSignature(key))
+    }
+}
+
+impl fmt::Display for OpSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_graph::{Conv2dAttrs, GraphBuilder};
+    use mnn_tensor::Shape;
+
+    fn conv_graph(size: usize) -> Graph {
+        let mut b = GraphBuilder::new("sig");
+        let x = b.input("x", Shape::nchw(1, 3, size, size));
+        let a = b.conv2d_auto("conv_a", x, Conv2dAttrs::same_3x3(3, 8), true);
+        let _ = b.conv2d_auto("conv_b", a, Conv2dAttrs::same_3x3(8, 8), true);
+        let y = b.conv2d_auto("conv_c", a, Conv2dAttrs::same_3x3(8, 8), true);
+        let mut g = b.build(vec![y]);
+        g.infer_shapes().unwrap();
+        g
+    }
+
+    #[test]
+    fn identical_geometry_shares_a_signature_regardless_of_name() {
+        let g = conv_graph(16);
+        let sig_b = OpSignature::for_node(&g.nodes()[1], &g).unwrap();
+        let sig_c = OpSignature::for_node(&g.nodes()[2], &g).unwrap();
+        assert_eq!(sig_b, sig_c);
+        // …but the first layer (different channels) differs.
+        let sig_a = OpSignature::for_node(&g.nodes()[0], &g).unwrap();
+        assert_ne!(sig_a, sig_b);
+    }
+
+    #[test]
+    fn geometry_changes_the_signature() {
+        let g16 = conv_graph(16);
+        let g32 = conv_graph(32);
+        assert_ne!(
+            OpSignature::for_node(&g16.nodes()[0], &g16).unwrap(),
+            OpSignature::for_node(&g32.nodes()[0], &g32).unwrap()
+        );
+    }
+
+    #[test]
+    fn non_convolutions_are_not_tunable() {
+        let mut b = GraphBuilder::new("sig");
+        let x = b.input("x", Shape::nchw(1, 3, 8, 8));
+        let y = b.activation("relu", x, mnn_graph::ActivationKind::Relu);
+        let mut g = b.build(vec![y]);
+        g.infer_shapes().unwrap();
+        assert!(OpSignature::for_node(&g.nodes()[0], &g).is_none());
+    }
+}

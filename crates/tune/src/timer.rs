@@ -1,0 +1,136 @@
+//! Candidate timing abstraction: wall-clock by default, injectable for
+//! deterministic tests.
+//!
+//! The tuner never calls `Instant::now` directly — it asks a [`CandidateTimer`]
+//! how long a candidate takes. Production uses [`WallTimer`] (real
+//! micro-benchmarks via `mnn_backend::timing`); tests inject a [`FakeTimer`]
+//! with scripted costs, which makes tuned plans a pure function of the script
+//! and lets the determinism tests assert byte-stable outcomes.
+
+use crate::signature::OpSignature;
+use mnn_backend::timing::time_runs;
+use mnn_backend::ConvScheme;
+use std::collections::HashMap;
+
+/// Times one tuning candidate. `run` performs a single execution of the
+/// candidate kernel on the node's real geometry; implementations may invoke it
+/// any number of times (including zero, for scripted timers) and return the
+/// candidate's latency in milliseconds.
+pub trait CandidateTimer: Send + Sync {
+    /// Return the candidate's latency in milliseconds.
+    fn time_candidate(
+        &self,
+        signature: &OpSignature,
+        scheme: ConvScheme,
+        run: &mut dyn FnMut(),
+    ) -> f64;
+}
+
+/// The production timer: `warmup` untimed runs, then the minimum of `runs`
+/// timed ones (least-noise estimator under background load).
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    /// Untimed warm-up runs per candidate.
+    pub warmup: usize,
+    /// Timed runs per candidate (the minimum is reported).
+    pub runs: usize,
+}
+
+impl Default for WallTimer {
+    fn default() -> Self {
+        WallTimer { warmup: 1, runs: 3 }
+    }
+}
+
+impl CandidateTimer for WallTimer {
+    fn time_candidate(
+        &self,
+        _signature: &OpSignature,
+        _scheme: ConvScheme,
+        run: &mut dyn FnMut(),
+    ) -> f64 {
+        time_runs(self.warmup, self.runs, run)
+    }
+}
+
+/// A scripted timer for tests: every scheme key maps to a fixed latency, so the
+/// tuned plan is deterministic and independent of the host machine. Unknown
+/// schemes get `default_ms`. The kernel is *not* executed.
+#[derive(Debug, Clone, Default)]
+pub struct FakeTimer {
+    costs: HashMap<String, f64>,
+    default_ms: f64,
+}
+
+impl FakeTimer {
+    /// Script explicit costs per scheme key; unknown schemes cost `default_ms`.
+    pub fn new(costs: &[(&str, f64)], default_ms: f64) -> Self {
+        FakeTimer {
+            costs: costs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            default_ms,
+        }
+    }
+
+    /// Convenience: make the listed scheme keys win in order (cost 1.0, 2.0, …)
+    /// with everything else at 1000.0.
+    pub fn preferring(keys: &[&str]) -> Self {
+        FakeTimer {
+            costs: keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (k.to_string(), (i + 1) as f64))
+                .collect(),
+            default_ms: 1000.0,
+        }
+    }
+}
+
+impl CandidateTimer for FakeTimer {
+    fn time_candidate(
+        &self,
+        _signature: &OpSignature,
+        scheme: ConvScheme,
+        _run: &mut dyn FnMut(),
+    ) -> f64 {
+        self.costs
+            .get(&scheme.to_string())
+            .copied()
+            .unwrap_or(self.default_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_timer_is_scripted_and_never_runs_the_kernel() {
+        let timer = FakeTimer::preferring(&["im2col", "sliding-window"]);
+        let sig = OpSignature::from_key("x");
+        let mut runs = 0usize;
+        let mut bump = || runs += 1;
+        assert_eq!(
+            timer.time_candidate(&sig, ConvScheme::Im2col, &mut bump),
+            1.0
+        );
+        assert_eq!(
+            timer.time_candidate(&sig, ConvScheme::SlidingWindow, &mut bump),
+            2.0
+        );
+        assert_eq!(
+            timer.time_candidate(&sig, ConvScheme::Strassen1x1, &mut bump),
+            1000.0
+        );
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn wall_timer_runs_the_kernel() {
+        let timer = WallTimer { warmup: 1, runs: 2 };
+        let sig = OpSignature::from_key("x");
+        let mut runs = 0usize;
+        let ms = timer.time_candidate(&sig, ConvScheme::Im2col, &mut || runs += 1);
+        assert_eq!(runs, 3); // 1 warmup + 2 timed
+        assert!(ms >= 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Kernel auto-tuning: measure every viable convolution scheme on this
+//! machine, pick the fastest per layer, and warm-start the next session (or
+//! process) from the persistent, device-keyed tuning cache.
+//!
+//! ```sh
+//! cargo run --release --example tuned_inference
+//! ```
+//!
+//! Prints the measured-vs-estimated placement table (the `meas ms` column is
+//! filled for every tuned layer), compares cost-model and tuned execution
+//! latency, then demonstrates the two warm-start guarantees:
+//!
+//! * a second session in the *same process* shares the in-memory cache —
+//!   zero further measurements;
+//! * a session in a *fresh process* (simulated here by dropping the in-process
+//!   registry) loads the persisted file — zero measurements again.
+
+use mnn::models::{build, ModelKind};
+use mnn::tensor::{Shape, Tensor};
+use mnn::{tune, Interpreter, SessionConfig, TuningMode};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = ModelKind::SqueezeNetV1_1;
+    let size = 64;
+    let threads = 2;
+    let cache_path = std::env::temp_dir().join(format!(
+        "mnn-tuned-inference-example-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_path);
+
+    println!("model: {kind} at {size}x{size}, {threads} threads");
+    println!("tuning cache: {}\n", cache_path.display());
+
+    let interpreter = Interpreter::from_graph(build(kind, 1, size))?;
+    let input = Tensor::full(Shape::nchw(1, 3, size, size), 0.1);
+
+    // --- Baseline: pure cost-model selection (TuningMode::Off) -------------
+    let start = Instant::now();
+    let mut cost_session =
+        interpreter.create_session(SessionConfig::builder().threads(threads).build())?;
+    let cost_prepare_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let cost_run = cost_session.benchmark(std::slice::from_ref(&input), 1, 5)?;
+
+    // --- Cold tuned session: measure every candidate ------------------------
+    let tuned_config = SessionConfig::builder()
+        .threads(threads)
+        .tuning(TuningMode::Full)
+        .tune_cache_path(&cache_path)
+        .build();
+    let start = Instant::now();
+    let mut tuned_session = interpreter.create_session(tuned_config.clone())?;
+    let cold_prepare_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let tuned_run = tuned_session.benchmark(std::slice::from_ref(&input), 1, 5)?;
+
+    println!("== measured-vs-estimated placement table (tuned session) ==");
+    println!("{}", tuned_session.report());
+    println!("tuning stats: {}\n", tuned_session.tuning_stats().unwrap());
+
+    // --- Warm starts --------------------------------------------------------
+    // Same process: the registry hands the second session the same cache.
+    let start = Instant::now();
+    let warm_session = interpreter.create_session(tuned_config.clone())?;
+    let warm_prepare_ms = start.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(
+        warm_session.report().tuning_measured_candidates,
+        0,
+        "in-process warm start must not measure"
+    );
+
+    // Fresh process (simulated): only the persisted file survives.
+    tune::clear_process_caches();
+    let start = Instant::now();
+    let fresh_session = interpreter.create_session(tuned_config)?;
+    let fresh_prepare_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let fresh_stats = fresh_session.tuning_stats().unwrap();
+    assert!(fresh_stats.loaded_from_disk);
+    assert_eq!(
+        fresh_stats.measured_candidates, 0,
+        "persistent warm start must not measure"
+    );
+
+    println!("== prepare / execute summary ==");
+    println!(
+        "cost-model session : prepare {cost_prepare_ms:8.2} ms, run {:7.3} ms",
+        cost_run.wall_ms
+    );
+    println!(
+        "tuned (cold)       : prepare {cold_prepare_ms:8.2} ms, run {:7.3} ms",
+        tuned_run.wall_ms
+    );
+    println!("tuned (warm, proc) : prepare {warm_prepare_ms:8.2} ms, 0 measurements");
+    println!("tuned (warm, file) : prepare {fresh_prepare_ms:8.2} ms, 0 measurements");
+    println!(
+        "\ntuned vs cost-model run latency: {:.2}x",
+        cost_run.wall_ms / tuned_run.wall_ms.max(1e-9)
+    );
+
+    let _ = std::fs::remove_file(&cache_path);
+    Ok(())
+}

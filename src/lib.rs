@@ -146,6 +146,56 @@
 //! # }
 //! ```
 //!
+//! ## Auto-tuning
+//!
+//! Scheme selection normally comes from the closed-form cost model (Eq. 2–3).
+//! With **auto-tuning** the engine instead *measures*: at session preparation
+//! time each convolution's viable kernels (sliding-window, im2col, every
+//! Winograd tile, Strassen-1×1, the int8 GEMM for quantized layers) are
+//! micro-benchmarked on the node's real geometry through the real backend, and
+//! the fastest wins — the paper's semi-automated-search idea taken from
+//! "estimate" to "measure", without TVM-style offline tuning loops.
+//!
+//! Results land in a **device-keyed cache** (architecture + SIMD features +
+//! thread count + backend): all sessions of a process share it — a
+//! [`SessionPool`] or [`serve::Server`] pre-warms N workers with **one**
+//! tuning pass — and with a cache path
+//! ([`SessionConfigBuilder::tune_cache_path`](SessionConfig) or the
+//! `MNN_TUNE_CACHE` environment variable) it persists, so the *next process*
+//! prepares sessions with **zero** measurements. Stale, corrupt or
+//! foreign-device files are ignored (re-tuned), never fatal. Modes:
+//! [`TuningMode::Off`] (cost model only, the default), [`TuningMode::Cached`]
+//! (use cached measurements, never measure) and [`TuningMode::Full`]
+//! (measure on miss). [`PreInferenceReport`] shows measured-vs-estimated cost
+//! per layer, and [`Session::tuning_stats`] exposes the cache counters.
+//!
+//! ```
+//! use mnn::models::{build, ModelKind};
+//! use mnn::{Interpreter, SessionConfig, TuningMode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let interpreter = Interpreter::from_graph(build(ModelKind::TinyCnn, 1, 16))?;
+//! let session = interpreter.create_session(
+//!     SessionConfig::builder()
+//!         .threads(1)
+//!         .tuning(TuningMode::Full) // add .tune_cache_path(...) to persist
+//!         .build(),
+//! )?;
+//! let report = session.report();
+//! assert!(report.tuned_nodes > 0);
+//! // Per-layer measured-vs-estimated table:
+//! println!("{report}");
+//! println!("{}", session.tuning_stats().unwrap());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The cost model itself is calibrated from the same harness
+//! ([`tune::calibrate`]): the int8-vs-float discount shipped as
+//! [`core::scheme::INT8_COST_FACTOR`](mnn_core::scheme::INT8_COST_FACTOR) is a
+//! measured value, and [`CostModel`] lets a session override any constant
+//! (e.g. with a re-calibration for its device, or pinned values in tests).
+//!
 //! ## Serving
 //!
 //! One owned session serves one request at a time; a [`Server`] serves many
@@ -223,10 +273,13 @@ pub use mnn_device_sim as device_sim;
 /// Concurrent serving runtime (re-export of `mnn-serve`).
 pub use mnn_serve as serve;
 
+/// Kernel auto-tuning: device-keyed measurement cache (re-export of `mnn-tune`).
+pub use mnn_tune as tune;
+
 pub use mnn_backend::{ConvScheme, ForwardType, GpuProfile};
 pub use mnn_core::{
-    Interpreter, PooledSession, PreInferenceReport, RunStats, Session, SessionConfig,
-    SessionConfigBuilder, SessionPool,
+    CostModel, Interpreter, PooledSession, PreInferenceReport, RunStats, Session, SessionConfig,
+    SessionConfigBuilder, SessionPool, TuningMode, TuningStats,
 };
 pub use mnn_graph::{Graph, GraphBuilder};
 pub use mnn_serve::{ServeError, Server, ServerBuilder, ServerStats};

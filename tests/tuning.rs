@@ -1,0 +1,355 @@
+//! Integration tests for `mnn-tune`: measured scheme selection wired through
+//! sessions, pools and the persistent device-keyed cache.
+//!
+//! Every test that asserts on tuning-stats counters uses its own unique cache
+//! path: the shared cache registry is keyed by (fingerprint, path), so a
+//! unique path isolates a test's counters from everything else running in the
+//! process.
+
+use mnn::converter::{optimize, quantize_weights, OptimizerOptions};
+use mnn::core::{Interpreter, SessionConfig, SessionPool, TuningMode};
+use mnn::models::{build, ModelKind};
+use mnn::tensor::{Shape, Tensor};
+use mnn::tune;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The shared-cache registry (and its counters) are process-global, and some
+/// tests below clear it to simulate a fresh process. Serialize every test in
+/// this file so a mid-test `clear_process_caches` can never hand a sibling
+/// test a re-opened cache with zeroed counters.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn registry_guard() -> std::sync::MutexGuard<'static, ()> {
+    REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn unique_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mnn-tuning-it-{}-{tag}.json", std::process::id()))
+}
+
+fn tuned_config(path: &PathBuf, mode: TuningMode) -> SessionConfig {
+    SessionConfig::builder()
+        .threads(1)
+        .tuning(mode)
+        .tune_cache_path(path)
+        .build()
+}
+
+fn deterministic_input(size: usize, seed: u64) -> Tensor {
+    let shape = Shape::nchw(1, 3, size, size);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let data = (0..shape.num_elements())
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[test]
+fn full_tuning_produces_valid_outputs_and_a_measured_report() {
+    let _serialized = registry_guard();
+    let path = unique_path("valid-outputs");
+    let _ = std::fs::remove_file(&path);
+    let graph = build(ModelKind::TinyCnn, 1, 16);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+
+    let mut untuned = interpreter.create_session(SessionConfig::cpu(1)).unwrap();
+    let mut tuned = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+
+    let report = tuned.report().clone();
+    assert!(report.tuned_nodes > 0, "TinyCnn has tunable convolutions");
+    assert!(report.tuning_measured_candidates > 0);
+    assert_eq!(report.cost_skipped_nodes, 0);
+    let measured: Vec<_> = report.placements.iter().filter(|p| p.is_tuned()).collect();
+    assert_eq!(measured.len(), report.tuned_nodes);
+    for p in &measured {
+        let ms = p.measured_cost_ms.unwrap();
+        assert!(ms.is_finite() && ms >= 0.0);
+    }
+    // The rendered table carries the measured column.
+    let rendered = report.to_string();
+    assert!(rendered.contains("meas ms"));
+    assert!(rendered.contains("nodes tuned"));
+
+    // Outputs agree with the untuned reference within kernel tolerance
+    // (different schemes round differently, so not bit-identical).
+    let input = deterministic_input(16, 5);
+    let want = untuned.run_with(&[("data", &input)]).unwrap();
+    let got = tuned.run_with(&[("data", &input)]).unwrap();
+    assert_eq!(got[0].shape(), want[0].shape());
+    assert!(got[0].max_abs_diff(&want[0]) < 1e-2);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warm_persistent_cache_performs_zero_measurements() {
+    let _serialized = registry_guard();
+    let path = unique_path("warm-start");
+    let _ = std::fs::remove_file(&path);
+    let graph = build(ModelKind::TinyCnn, 1, 16);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+
+    // "Process" 1: tunes and persists.
+    let cold = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+    let cold_stats = cold.tuning_stats().unwrap();
+    assert!(cold_stats.measured_candidates > 0);
+    assert!(!cold_stats.loaded_from_disk);
+    let cold_schemes: Vec<_> = cold.report().placements.iter().map(|p| p.scheme).collect();
+    let cold_tuned_nodes = cold.report().tuned_nodes;
+    drop(cold);
+
+    // Simulate a fresh process: drop the in-process shared caches so the next
+    // session must re-open — and therefore re-load — the persisted file.
+    tune::clear_process_caches();
+
+    let warm = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+    let warm_stats = warm.tuning_stats().unwrap();
+    assert!(warm_stats.loaded_from_disk, "cache file was loaded");
+    assert_eq!(
+        warm_stats.measured_candidates, 0,
+        "a warm persistent cache must skip measurement entirely"
+    );
+    assert_eq!(warm.report().tuning_measured_candidates, 0);
+    assert_eq!(warm.report().tuned_nodes, cold_tuned_nodes);
+    let warm_schemes: Vec<_> = warm.report().placements.iter().map(|p| p.scheme).collect();
+    assert_eq!(
+        cold_schemes, warm_schemes,
+        "warm plan equals the tuned plan"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn session_pool_workers_share_one_tuning_pass() {
+    let _serialized = registry_guard();
+    // Reference: how many candidates ONE session measures on its own path.
+    let solo_path = unique_path("pool-solo");
+    let _ = std::fs::remove_file(&solo_path);
+    let graph = build(ModelKind::TinyCnn, 1, 16);
+    let interpreter = Interpreter::from_graph(graph.clone()).unwrap();
+    let solo = interpreter
+        .create_session(tuned_config(&solo_path, TuningMode::Full))
+        .unwrap();
+    let solo_measured = solo.tuning_stats().unwrap().measured_candidates;
+    assert!(solo_measured > 0);
+    drop(solo);
+
+    // A pool of 4 workers on its own path: same measurement count as one
+    // session — the later workers hit the shared in-memory cache.
+    let pool_path = unique_path("pool-shared");
+    let _ = std::fs::remove_file(&pool_path);
+    let pool =
+        SessionPool::new(&interpreter, tuned_config(&pool_path, TuningMode::Full), 4).unwrap();
+    let worker = pool.acquire();
+    let pool_stats = worker.tuning_stats().unwrap();
+    assert_eq!(
+        pool_stats.measured_candidates, solo_measured,
+        "4 pooled workers must tune exactly once, not 4 times"
+    );
+    assert!(
+        pool_stats.cache_hits > 0,
+        "later workers hit the shared cache"
+    );
+    let _ = std::fs::remove_file(&solo_path);
+    let _ = std::fs::remove_file(&pool_path);
+}
+
+#[test]
+fn cached_mode_never_measures_and_falls_back_to_the_cost_model() {
+    let _serialized = registry_guard();
+    let path = unique_path("cached-mode");
+    let _ = std::fs::remove_file(&path);
+    let graph = build(ModelKind::TinyCnn, 1, 16);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+
+    // Empty cache + Cached mode: zero measurements, cost-model plan.
+    let mut session = interpreter
+        .create_session(tuned_config(&path, TuningMode::Cached))
+        .unwrap();
+    let stats = session.tuning_stats().unwrap();
+    assert_eq!(stats.measured_candidates, 0);
+    assert_eq!(session.report().tuned_nodes, 0);
+    assert!(stats.cache_misses > 0, "lookups happened, all missed");
+    let out = session
+        .run_with(&[("data", &deterministic_input(16, 1))])
+        .unwrap();
+    assert_eq!(out[0].shape().dims(), &[1, 10]);
+
+    // Warm the cache with a Full session, then Cached mode uses it.
+    let _full = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+    let warm_cached = interpreter
+        .create_session(tuned_config(&path, TuningMode::Cached))
+        .unwrap();
+    assert!(warm_cached.report().tuned_nodes > 0);
+    assert_eq!(warm_cached.report().tuning_measured_candidates, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fingerprint_mismatch_forces_a_retune() {
+    let _serialized = registry_guard();
+    let path = unique_path("fingerprint-mismatch");
+    let _ = std::fs::remove_file(&path);
+    let graph = build(ModelKind::TinyCnn, 1, 16);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+
+    // Tune with 1 thread and persist.
+    let one = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+    assert!(one.tuning_stats().unwrap().measured_candidates > 0);
+    drop(one);
+    tune::clear_process_caches();
+
+    // A 2-thread session has a different device fingerprint: the persisted
+    // file is ignored and the engine re-tunes rather than trusting foreign
+    // measurements.
+    let two = interpreter
+        .create_session(
+            SessionConfig::builder()
+                .threads(2)
+                .tuning(TuningMode::Full)
+                .tune_cache_path(&path)
+                .build(),
+        )
+        .unwrap();
+    let stats = two.tuning_stats().unwrap();
+    assert!(!stats.loaded_from_disk);
+    assert!(stats.measured_candidates > 0, "foreign cache => re-tune");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_cache_file_degrades_to_a_retune_not_a_panic() {
+    let _serialized = registry_guard();
+    let path = unique_path("corrupt");
+    std::fs::write(&path, "not json at all {{{").unwrap();
+    let graph = build(ModelKind::TinyCnn, 1, 16);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let session = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+    let stats = session.tuning_stats().unwrap();
+    assert!(!stats.loaded_from_disk);
+    assert!(stats.measured_candidates > 0);
+    // The re-tune overwrote the corrupt file with a valid one.
+    drop(session);
+    tune::clear_process_caches();
+    let warm = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+    assert!(warm.tuning_stats().unwrap().loaded_from_disk);
+    assert_eq!(warm.tuning_stats().unwrap().measured_candidates, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resize_retunes_the_new_geometry_and_caches_plans() {
+    let _serialized = registry_guard();
+    let path = unique_path("resize");
+    let _ = std::fs::remove_file(&path);
+    let mut b = mnn::GraphBuilder::new("fcn");
+    let x = b.input("x", Shape::nchw(1, 3, 16, 16));
+    let y = b.conv2d_auto("conv", x, mnn::graph::Conv2dAttrs::same_3x3(3, 8), true);
+    let interpreter = Interpreter::from_graph(b.build(vec![y])).unwrap();
+    let mut session = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+    let first = session.tuning_stats().unwrap().measured_candidates;
+    assert!(first > 0);
+
+    // New geometry = new signatures: the resize re-plans AND re-tunes.
+    session
+        .resize_input("x", Shape::nchw(1, 3, 24, 24))
+        .unwrap();
+    session.resize_session().unwrap();
+    let after_resize = session.tuning_stats().unwrap().measured_candidates;
+    assert!(after_resize > first, "new geometry was measured");
+    assert!(session.report().tuned_nodes > 0);
+
+    // Back to the original geometry: plan cache hit, no further measurements.
+    session
+        .resize_input("x", Shape::nchw(1, 3, 16, 16))
+        .unwrap();
+    session.resize_session().unwrap();
+    assert_eq!(session.plan_cache_hits(), 1);
+    assert_eq!(
+        session.tuning_stats().unwrap().measured_candidates,
+        after_resize
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn quantized_graphs_tune_over_integer_and_float_candidates() {
+    let _serialized = registry_guard();
+    let path = unique_path("quantized");
+    let _ = std::fs::remove_file(&path);
+    let mut graph = build(ModelKind::TinyCnn, 1, 16);
+    optimize(&mut graph, OptimizerOptions::default());
+    quantize_weights(&mut graph);
+    let interpreter = Interpreter::from_graph(graph).unwrap();
+    let session = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+    let report = session.report();
+    assert!(report.tuned_nodes > 0);
+    // Every tuned quantized conv picked SOME measured scheme and reports it.
+    for p in report.placements.iter().filter(|p| p.is_tuned()) {
+        assert!(p.scheme.is_some());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn cache_hits_are_validated_against_the_current_candidate_pool() {
+    let _serialized = registry_guard();
+    // Tune under the default Winograd cap (tiles up to 6)...
+    let path = unique_path("pool-validation");
+    let _ = std::fs::remove_file(&path);
+    let mut b = mnn::GraphBuilder::new("wino");
+    let x = b.input("x", Shape::nchw(1, 16, 32, 32));
+    let y = b.conv2d_auto("conv", x, mnn::graph::Conv2dAttrs::same_3x3(16, 16), true);
+    let interpreter = Interpreter::from_graph(b.build(vec![y])).unwrap();
+    let wide = interpreter
+        .create_session(tuned_config(&path, TuningMode::Full))
+        .unwrap();
+    assert!(wide.tuning_stats().unwrap().measured_candidates > 0);
+    drop(wide);
+    tune::clear_process_caches();
+
+    // ...then plan with a tighter cap: a cached winograd-F(n>2) entry must not
+    // leak through — the restricted session re-tunes within its own pool.
+    let narrow = interpreter
+        .create_session(
+            SessionConfig::builder()
+                .threads(1)
+                .max_winograd_tile(2)
+                .tuning(TuningMode::Full)
+                .tune_cache_path(&path)
+                .build(),
+        )
+        .unwrap();
+    for p in &narrow.report().placements {
+        if let Some(mnn::ConvScheme::Winograd { tile }) = p.scheme {
+            assert!(
+                tile <= 2,
+                "cache hit bypassed max_winograd_tile: F({tile}x{tile})"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
