@@ -1,0 +1,240 @@
+//! Multi-model manifests: named collections of model files for serving.
+//!
+//! A manifest is a small JSON file mapping **model names** to **model-file
+//! paths** — the unit a serving registry loads at startup. Relative paths are
+//! resolved against the manifest's own directory, so a manifest and its models
+//! can be shipped as one directory tree:
+//!
+//! ```json
+//! {"version":1,"models":[{"name":"squeezenet","path":"zoo/squeezenet.mnnr"}]}
+//! ```
+
+use crate::{ConverterError, ModelFile};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Version of the manifest format.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One named model inside a [`ModelManifest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Registry name the model is served under (e.g. the `{name}` of
+    /// `POST /v1/models/{name}/infer`).
+    pub name: String,
+    /// Path of the model file; relative paths resolve against the manifest's
+    /// directory.
+    pub path: String,
+}
+
+/// A named collection of model files (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelManifest {
+    /// Manifest format version.
+    pub version: u32,
+    /// The models, in registration order.
+    pub models: Vec<ManifestEntry>,
+}
+
+impl Default for ModelManifest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelManifest {
+    /// An empty manifest at the current format version.
+    pub fn new() -> Self {
+        ModelManifest {
+            version: MANIFEST_VERSION,
+            models: Vec::new(),
+        }
+    }
+
+    /// Append one named model.
+    pub fn push(&mut self, name: impl Into<String>, path: impl Into<String>) {
+        self.models.push(ManifestEntry {
+            name: name.into(),
+            path: path.into(),
+        });
+    }
+
+    /// Validate structural invariants: supported version, non-empty unique
+    /// names, non-empty paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConverterError::VersionMismatch`] or [`ConverterError::Parse`].
+    pub fn validate(&self) -> Result<(), ConverterError> {
+        if self.version != MANIFEST_VERSION {
+            return Err(ConverterError::VersionMismatch {
+                found: self.version,
+                supported: MANIFEST_VERSION,
+            });
+        }
+        let mut seen = BTreeSet::new();
+        for entry in &self.models {
+            if entry.name.is_empty() {
+                return Err(ConverterError::Parse(
+                    "manifest entry with empty name".into(),
+                ));
+            }
+            if entry.path.is_empty() {
+                return Err(ConverterError::Parse(format!(
+                    "manifest entry '{}' has an empty path",
+                    entry.name
+                )));
+            }
+            if !seen.insert(entry.name.as_str()) {
+                return Err(ConverterError::Parse(format!(
+                    "duplicate model name '{}' in manifest",
+                    entry.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Read and validate a manifest file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O, parse, version and validation errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ConverterError> {
+        let text = fs::read_to_string(path)?;
+        let manifest: ModelManifest =
+            serde_json::from_str(&text).map_err(|e| ConverterError::Parse(e.to_string()))?;
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Validate and write the manifest as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation and I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ConverterError> {
+        self.validate()?;
+        let text = serde_json::to_string(self).map_err(|e| ConverterError::Parse(e.to_string()))?;
+        fs::write(path, text)?;
+        Ok(())
+    }
+
+    /// Each entry's name with its path resolved against `base` (normally the
+    /// directory containing the manifest file). Absolute paths pass through.
+    pub fn resolved_paths(&self, base: &Path) -> Vec<(String, PathBuf)> {
+        self.models
+            .iter()
+            .map(|entry| {
+                let path = Path::new(&entry.path);
+                let resolved = if path.is_absolute() {
+                    path.to_path_buf()
+                } else {
+                    base.join(path)
+                };
+                (entry.name.clone(), resolved)
+            })
+            .collect()
+    }
+
+    /// Load every model the manifest names, resolving relative paths against
+    /// `base`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unreadable or malformed model file, naming it.
+    pub fn load_models(&self, base: &Path) -> Result<Vec<(String, ModelFile)>, ConverterError> {
+        self.resolved_paths(base)
+            .into_iter()
+            .map(|(name, path)| {
+                let model = ModelFile::load(&path).map_err(|e| {
+                    ConverterError::Parse(format!("model '{name}' ({}): {e}", path.display()))
+                })?;
+                Ok((name, model))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_graph::{Conv2dAttrs, GraphBuilder};
+    use mnn_tensor::Shape;
+
+    fn demo_model() -> ModelFile {
+        let mut b = GraphBuilder::new("demo");
+        let x = b.input("x", Shape::nchw(1, 3, 8, 8));
+        let y = b.conv2d_auto("conv", x, Conv2dAttrs::same_3x3(3, 4), true);
+        ModelFile::new(b.build(vec![y]))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mnn-manifest-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips_and_loads_models() {
+        let dir = temp_dir("roundtrip");
+        demo_model().save(dir.join("demo.mnnr")).unwrap();
+
+        let mut manifest = ModelManifest::new();
+        manifest.push("demo", "demo.mnnr");
+        let manifest_path = dir.join("manifest.json");
+        manifest.save(&manifest_path).unwrap();
+
+        let back = ModelManifest::load(&manifest_path).unwrap();
+        assert_eq!(back, manifest);
+        let models = back.load_models(&dir).unwrap();
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].0, "demo");
+        assert_eq!(models[0].1.graph.name(), "demo");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn duplicate_and_empty_names_are_rejected() {
+        let mut manifest = ModelManifest::new();
+        manifest.push("a", "a.mnnr");
+        manifest.push("a", "b.mnnr");
+        assert!(matches!(manifest.validate(), Err(ConverterError::Parse(_))));
+
+        let mut empty = ModelManifest::new();
+        empty.push("", "a.mnnr");
+        assert!(matches!(empty.validate(), Err(ConverterError::Parse(_))));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut manifest = ModelManifest::new();
+        manifest.version = 999;
+        assert!(matches!(
+            manifest.validate(),
+            Err(ConverterError::VersionMismatch { found: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn absolute_paths_bypass_the_base_directory() {
+        let mut manifest = ModelManifest::new();
+        manifest.push("abs", "/somewhere/model.mnnr");
+        manifest.push("rel", "model.mnnr");
+        let resolved = manifest.resolved_paths(Path::new("/base"));
+        assert_eq!(resolved[0].1, Path::new("/somewhere/model.mnnr"));
+        assert_eq!(resolved[1].1, Path::new("/base/model.mnnr"));
+    }
+
+    #[test]
+    fn missing_model_file_is_a_named_error() {
+        let mut manifest = ModelManifest::new();
+        manifest.push("ghost", "nope.mnnr");
+        let err = manifest
+            .load_models(Path::new("/nonexistent-base"))
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"), "got: {err}");
+    }
+}

@@ -1,0 +1,247 @@
+//! `mnn_http` — serve models over HTTP.
+//!
+//! ```text
+//! mnn_http --zoo tiny-cnn=32 --port 8080
+//! mnn_http --models ./zoo --workers 4 --tuning cached
+//! mnn_http --manifest ./zoo/manifest.json
+//! ```
+//!
+//! The process serves until it receives `POST /admin/shutdown`, then drains
+//! gracefully and exits 0.
+
+use mnn_core::{SessionConfig, TuningMode};
+use mnn_http::{HttpConfig, HttpServer, ModelRegistry, ServeOptions};
+use mnn_models::ModelKind;
+use std::time::Duration;
+
+struct Args {
+    host: String,
+    port: u16,
+    models_dir: Option<String>,
+    manifest: Option<String>,
+    zoo: Vec<(ModelKind, usize)>,
+    workers: usize,
+    max_batch: usize,
+    batch_window_ms: u64,
+    queue_capacity: Option<usize>,
+    threads: usize,
+    tuning: TuningMode,
+    tune_cache: Option<String>,
+    max_connections: usize,
+    drain_deadline_ms: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            host: "127.0.0.1".into(),
+            port: 8080,
+            models_dir: None,
+            manifest: None,
+            zoo: Vec::new(),
+            workers: 2,
+            max_batch: 8,
+            batch_window_ms: 1,
+            queue_capacity: None,
+            threads: 1,
+            tuning: TuningMode::Off,
+            tune_cache: None,
+            max_connections: 64,
+            drain_deadline_ms: 10_000,
+        }
+    }
+}
+
+const USAGE: &str = "mnn_http — serve MNN-rs models over HTTP/1.1
+
+USAGE:
+    mnn_http [OPTIONS]
+
+MODEL SOURCES (at least one):
+    --zoo NAME=SIZE        serve a zoo model at the given input resolution
+                           (repeatable; e.g. --zoo tiny-cnn=32 --zoo squeezenet=64)
+    --models DIR           serve every .mnnr file in DIR, named by file stem
+    --manifest FILE        serve the models a manifest JSON names
+
+SERVING OPTIONS:
+    --host HOST            bind address          [default: 127.0.0.1]
+    --port PORT            bind port, 0=ephemeral [default: 8080]
+    --workers N            worker threads per model      [default: 2]
+    --max-batch N          micro-batch size cap          [default: 8]
+    --batch-window-ms MS   batching window               [default: 1]
+    --queue-capacity N     bounded queue per model  [default: workers*max_batch*4]
+    --threads N            intra-op threads per worker   [default: 1]
+    --tuning MODE          kernel tuning: off|cached|full [default: off]
+    --tune-cache FILE      persistent tuning cache path
+    --max-connections N    concurrent connection cap     [default: 64]
+    --drain-deadline-ms MS graceful-drain deadline       [default: 10000]
+    --help                 print this message
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--host" => args.host = value("--host")?.clone(),
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--models" => args.models_dir = Some(value("--models")?.clone()),
+            "--manifest" => args.manifest = Some(value("--manifest")?.clone()),
+            "--zoo" => {
+                let spec = value("--zoo")?;
+                let (name, size) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--zoo '{spec}': expected NAME=SIZE"))?;
+                let kind = ModelKind::from_name(name)
+                    .ok_or_else(|| format!("--zoo: unknown model '{name}'"))?;
+                let size: usize = size
+                    .parse()
+                    .map_err(|e| format!("--zoo '{spec}': bad size: {e}"))?;
+                args.zoo.push((kind, size));
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-batch" => {
+                args.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?
+            }
+            "--batch-window-ms" => {
+                args.batch_window_ms = value("--batch-window-ms")?
+                    .parse()
+                    .map_err(|e| format!("--batch-window-ms: {e}"))?
+            }
+            "--queue-capacity" => {
+                args.queue_capacity = Some(
+                    value("--queue-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--queue-capacity: {e}"))?,
+                )
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--tuning" => args.tuning = value("--tuning")?.parse()?,
+            "--tune-cache" => args.tune_cache = Some(value("--tune-cache")?.clone()),
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--drain-deadline-ms" => {
+                args.drain_deadline_ms = value("--drain-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--drain-deadline-ms: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if args.models_dir.is_none() && args.manifest.is_none() && args.zoo.is_empty() {
+        return Err("no models: pass --zoo, --models or --manifest (try --help)".into());
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let mut session = SessionConfig::builder()
+        .threads(args.threads)
+        .tuning(args.tuning);
+    if let Some(path) = &args.tune_cache {
+        session = session.tune_cache_path(path);
+    }
+    let options = ServeOptions {
+        workers: args.workers,
+        max_batch: args.max_batch,
+        batch_window: Duration::from_millis(args.batch_window_ms),
+        queue_capacity: args.queue_capacity,
+        session: session.build(),
+    };
+
+    let mut registry = ModelRegistry::new();
+    for &(kind, size) in &args.zoo {
+        eprintln!("loading zoo model {kind} at {size}px ...");
+        registry
+            .register_zoo(kind, size, &options)
+            .map_err(|e| e.to_string())?;
+    }
+    if let Some(dir) = &args.models_dir {
+        let loaded = registry
+            .load_dir(dir, &options)
+            .map_err(|e| e.to_string())?;
+        eprintln!("loaded {loaded} model(s) from {dir}");
+    }
+    if let Some(manifest) = &args.manifest {
+        let loaded = registry
+            .load_manifest(manifest, &options)
+            .map_err(|e| e.to_string())?;
+        eprintln!("loaded {loaded} model(s) from manifest {manifest}");
+    }
+    if registry.is_empty() {
+        return Err("no models were loaded".into());
+    }
+    let names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
+
+    let config = HttpConfig {
+        max_connections: args.max_connections,
+        drain_deadline: Duration::from_millis(args.drain_deadline_ms),
+        ..HttpConfig::default()
+    };
+    let server = HttpServer::bind((args.host.as_str(), args.port), registry, config)
+        .map_err(|e| e.to_string())?;
+
+    // The startup line scripts grep for; flushed so pipes see it immediately.
+    use std::io::Write;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(
+        stdout,
+        "mnn-http listening on http://{}",
+        server.local_addr()
+    );
+    for name in &names {
+        let _ = writeln!(stdout, "  serving model '{name}'");
+    }
+    let _ = stdout.flush();
+
+    server.wait_shutdown_requested();
+    eprintln!("shutdown requested; draining ...");
+    let summary = server.shutdown();
+    eprintln!(
+        "drained: {} (aborted {} request(s))",
+        summary.drained, summary.aborted_requests
+    );
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) if message.is_empty() => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(args) {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
+}

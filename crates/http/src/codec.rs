@@ -1,0 +1,169 @@
+//! JSON wire types for the serving API.
+//!
+//! Tensors travel as `{"shape": [...], "data": [...]}` with row-major f32
+//! data. f32 → f64 widening (what JSON numbers are) is exact, so values
+//! round-trip bit-identically — responses over the wire match in-process
+//! [`mnn_serve::Server::infer`] results exactly.
+
+use mnn_serve::ServerStats;
+use mnn_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A tensor on the wire: shape plus row-major data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorJson {
+    /// Tensor dimensions, outermost first.
+    pub shape: Vec<usize>,
+    /// Row-major f32 elements; its length must equal the shape's product.
+    pub data: Vec<f32>,
+}
+
+impl TensorJson {
+    /// Convert to an engine tensor, validating that the element count matches
+    /// the shape product (overflow-checked).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for a `400` response body.
+    pub fn to_tensor(&self) -> Result<Tensor, String> {
+        let mut product: usize = 1;
+        for &dim in &self.shape {
+            product = product
+                .checked_mul(dim)
+                .ok_or_else(|| format!("tensor shape {:?} overflows", self.shape))?;
+        }
+        if product != self.data.len() {
+            return Err(format!(
+                "shape {:?} implies {} elements but {} were provided",
+                self.shape,
+                product,
+                self.data.len()
+            ));
+        }
+        Tensor::try_from_vec(Shape::new(self.shape.clone()), self.data.clone())
+            .map_err(|e| e.to_string())
+    }
+
+    /// Convert an engine tensor to its wire form.
+    pub fn from_tensor(tensor: &Tensor) -> TensorJson {
+        TensorJson {
+            shape: tensor.shape().dims().to_vec(),
+            data: tensor.data_f32().to_vec(),
+        }
+    }
+}
+
+/// Body of `POST /v1/models/{name}/infer`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferRequest {
+    /// Input tensors keyed by the graph's input names.
+    pub inputs: BTreeMap<String, TensorJson>,
+}
+
+/// One named output tensor in an [`InferResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedTensorJson {
+    /// The graph output's name.
+    pub name: String,
+    /// Tensor dimensions, outermost first.
+    pub shape: Vec<usize>,
+    /// Row-major f32 elements.
+    pub data: Vec<f32>,
+}
+
+/// Body of a successful infer response: outputs in graph output order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferResponse {
+    /// The model's outputs, in the graph's output order.
+    pub outputs: Vec<NamedTensorJson>,
+}
+
+/// One model's description in `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSummary {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Model-file format version the model was loaded from.
+    pub format_version: u32,
+    /// Bytes of constant (weight) data in the graph.
+    pub constant_bytes: u64,
+    /// Whether the graph contains quantized (int8) operators.
+    pub quantized: bool,
+    /// The graph's input names, in declaration order.
+    pub inputs: Vec<String>,
+    /// The graph's output names, in declaration order.
+    pub outputs: Vec<String>,
+}
+
+/// Body of `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelsResponse {
+    /// Every registered model, in name order.
+    pub models: Vec<ModelSummary>,
+}
+
+/// Body of `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// `"ok"` while serving, `"draining"` once shutdown has begun.
+    pub status: String,
+    /// Number of registered models.
+    pub models: usize,
+}
+
+/// Body of `GET /v1/models/{name}/stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// The serving runtime's counters and latency percentiles.
+    pub stats: ServerStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_json_round_trips_bit_exactly() {
+        let tensor = Tensor::from_vec(
+            Shape::new(vec![2, 2]),
+            vec![1.25, f32::MIN_POSITIVE, -0.0, 3.4e38],
+        );
+        let wire = TensorJson::from_tensor(&tensor);
+        let text = serde_json::to_string(&wire).unwrap();
+        let back: TensorJson = serde_json::from_str(&text).unwrap();
+        let restored = back.to_tensor().unwrap();
+        let (a, b) = (tensor.data_f32(), restored.data_f32());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn mismatched_shape_is_rejected() {
+        let bad = TensorJson {
+            shape: vec![2, 3],
+            data: vec![0.0; 5],
+        };
+        let err = bad.to_tensor().unwrap_err();
+        assert!(err.contains("6 elements"), "{err}");
+
+        let overflow = TensorJson {
+            shape: vec![usize::MAX, 2],
+            data: vec![],
+        };
+        assert!(overflow.to_tensor().unwrap_err().contains("overflows"));
+    }
+
+    #[test]
+    fn infer_request_parses_from_literal_json() {
+        let text = r#"{"inputs":{"data":{"shape":[1,2],"data":[0.5,1.5]}}}"#;
+        let request: InferRequest = serde_json::from_str(text).unwrap();
+        assert_eq!(request.inputs.len(), 1);
+        assert_eq!(request.inputs["data"].shape, vec![1, 2]);
+        assert_eq!(request.inputs["data"].data, vec![0.5, 1.5]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for the HTTP serving frontend.
+
+use std::fmt;
+
+/// Failures configuring, loading models into, or running the HTTP server.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket or filesystem I/O failed.
+    Io(std::io::Error),
+    /// A configuration value is invalid (e.g. a bad flag).
+    Config(String),
+    /// A model could not be loaded or registered.
+    Model(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Config(msg) => write!(f, "configuration error: {msg}"),
+            HttpError::Model(msg) => write!(f, "model error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}

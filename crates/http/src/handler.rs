@@ -1,0 +1,320 @@
+//! Request routing: maps parsed HTTP requests onto the serving API.
+
+use crate::codec::{
+    HealthResponse, InferRequest, InferResponse, ModelsResponse, NamedTensorJson, StatsResponse,
+};
+use crate::parser::HttpRequest;
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::response::HttpResponse;
+use mnn_serve::ServeError;
+use mnn_tensor::Tensor;
+
+/// The router's verdict on one request.
+#[derive(Debug)]
+pub enum Routed {
+    /// Send this response and continue serving the connection.
+    Response(HttpResponse),
+    /// Send this response, then begin graceful shutdown of the whole server.
+    Shutdown(HttpResponse),
+}
+
+/// Route one parsed request against the registry.
+///
+/// `draining` marks a server that has begun graceful shutdown; it only
+/// changes what `/healthz` reports (admission control happens before routing).
+pub fn route(request: &HttpRequest, registry: &ModelRegistry, draining: bool) -> Routed {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => expect_method(request, "GET", || {
+            HttpResponse::json(
+                200,
+                &HealthResponse {
+                    status: if draining { "draining" } else { "ok" }.to_string(),
+                    models: registry.len(),
+                },
+            )
+        }),
+        ["v1", "models"] => expect_method(request, "GET", || {
+            HttpResponse::json(
+                200,
+                &ModelsResponse {
+                    models: registry.summaries(),
+                },
+            )
+        }),
+        ["v1", "models", name, "stats"] => with_model(request, registry, name, "GET", |entry| {
+            HttpResponse::json(
+                200,
+                &StatsResponse {
+                    name: name.to_string(),
+                    stats: entry.server.stats(),
+                },
+            )
+        }),
+        ["v1", "models", name, "infer"] => with_model(request, registry, name, "POST", |entry| {
+            infer(request, entry)
+        }),
+        ["admin", "shutdown"] => match request.method.as_str() {
+            "POST" => Routed::Shutdown(HttpResponse::json(
+                200,
+                &HealthResponse {
+                    status: "draining".to_string(),
+                    models: registry.len(),
+                },
+            )),
+            _ => Routed::Response(method_not_allowed("POST")),
+        },
+        _ => Routed::Response(HttpResponse::error(
+            404,
+            format!("no route for {}", request.path),
+        )),
+    }
+}
+
+fn expect_method(
+    request: &HttpRequest,
+    method: &str,
+    respond: impl FnOnce() -> HttpResponse,
+) -> Routed {
+    if request.method == method {
+        Routed::Response(respond())
+    } else {
+        Routed::Response(method_not_allowed(method))
+    }
+}
+
+fn with_model(
+    request: &HttpRequest,
+    registry: &ModelRegistry,
+    name: &str,
+    method: &str,
+    respond: impl FnOnce(&ModelEntry) -> HttpResponse,
+) -> Routed {
+    if request.method != method {
+        return Routed::Response(method_not_allowed(method));
+    }
+    match registry.get(name) {
+        Some(entry) => Routed::Response(respond(entry)),
+        None => Routed::Response(HttpResponse::error(404, format!("unknown model '{name}'"))),
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> HttpResponse {
+    HttpResponse::error(405, format!("method not allowed; use {allowed}"))
+        .with_header("allow", allowed)
+}
+
+/// Decode the infer body, run it through the model's serving runtime, and
+/// encode the outputs. Backpressure surfaces as `429` with a `Retry-After`
+/// hint; shutdown races surface as `503`.
+fn infer(request: &HttpRequest, entry: &ModelEntry) -> HttpResponse {
+    let body: InferRequest = match serde_json::from_slice(&request.body) {
+        Ok(body) => body,
+        Err(e) => return HttpResponse::error(400, format!("invalid JSON body: {e}")),
+    };
+    let mut tensors: Vec<(String, Tensor)> = Vec::with_capacity(body.inputs.len());
+    for (name, wire) in &body.inputs {
+        match wire.to_tensor() {
+            Ok(tensor) => tensors.push((name.clone(), tensor)),
+            Err(message) => return HttpResponse::error(400, format!("input '{name}': {message}")),
+        }
+    }
+    let borrowed: Vec<(&str, &Tensor)> = tensors
+        .iter()
+        .map(|(name, tensor)| (name.as_str(), tensor))
+        .collect();
+    match entry.server.infer(&borrowed) {
+        Ok(outputs) => HttpResponse::json(
+            200,
+            &InferResponse {
+                outputs: entry
+                    .outputs
+                    .iter()
+                    .zip(&outputs)
+                    .map(|(name, tensor)| NamedTensorJson {
+                        name: name.clone(),
+                        shape: tensor.shape().dims().to_vec(),
+                        data: tensor.data_f32().to_vec(),
+                    })
+                    .collect(),
+            },
+        ),
+        Err(e) => serve_error_response(&e),
+    }
+}
+
+/// Map a serving-runtime error onto an HTTP status.
+pub fn serve_error_response(error: &ServeError) -> HttpResponse {
+    match error {
+        ServeError::QueueFull { .. } => {
+            HttpResponse::error(429, error.to_string()).with_header("retry-after", "1")
+        }
+        ServeError::ShuttingDown => {
+            HttpResponse::error(503, error.to_string()).with_header("retry-after", "1")
+        }
+        ServeError::InvalidRequest(_) => HttpResponse::error(400, error.to_string()),
+        ServeError::Inference(_) | ServeError::InvalidConfig(_) => {
+            HttpResponse::error(500, error.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ServeOptions;
+    use mnn_core::SessionConfig;
+    use mnn_models::ModelKind;
+
+    fn request(method: &str, path: &str, body: &[u8]) -> HttpRequest {
+        HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: None,
+            headers: Vec::new(),
+            body: body.to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn tiny_registry() -> ModelRegistry {
+        let mut registry = ModelRegistry::new();
+        let options = ServeOptions {
+            workers: 1,
+            max_batch: 1,
+            session: SessionConfig::cpu(1),
+            ..ServeOptions::default()
+        };
+        registry
+            .register_zoo(ModelKind::TinyCnn, 16, &options)
+            .unwrap();
+        registry
+    }
+
+    fn response_of(routed: Routed) -> HttpResponse {
+        match routed {
+            Routed::Response(r) => r,
+            Routed::Shutdown(r) => r,
+        }
+    }
+
+    #[test]
+    fn routes_cover_the_api_surface() {
+        let registry = tiny_registry();
+        let health = response_of(route(&request("GET", "/healthz", b""), &registry, false));
+        assert_eq!(health.status, 200);
+        assert_eq!(
+            String::from_utf8(health.body).unwrap(),
+            r#"{"status":"ok","models":1}"#
+        );
+
+        let models = response_of(route(&request("GET", "/v1/models", b""), &registry, false));
+        assert_eq!(models.status, 200);
+        let text = String::from_utf8(models.body).unwrap();
+        assert!(text.contains(r#""name":"tiny-cnn""#), "{text}");
+        assert!(text.contains(r#""quantized":false"#), "{text}");
+
+        let stats = response_of(route(
+            &request("GET", "/v1/models/tiny-cnn/stats", b""),
+            &registry,
+            false,
+        ));
+        assert_eq!(stats.status, 200);
+        assert!(String::from_utf8(stats.body)
+            .unwrap()
+            .contains(r#""submitted":"#));
+
+        let missing = response_of(route(
+            &request("GET", "/v1/models/ghost/stats", b""),
+            &registry,
+            false,
+        ));
+        assert_eq!(missing.status, 404);
+
+        let wrong_method =
+            response_of(route(&request("DELETE", "/healthz", b""), &registry, false));
+        assert_eq!(wrong_method.status, 405);
+
+        let nowhere = response_of(route(&request("GET", "/nope", b""), &registry, false));
+        assert_eq!(nowhere.status, 404);
+
+        registry.drain_with_deadline(std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn infer_round_trip_and_bad_bodies() {
+        let registry = tiny_registry();
+        let entry = registry.get("tiny-cnn").unwrap();
+        let input_name = entry.inputs[0].clone();
+        let zeros = vec![0.0f32; 3 * 16 * 16];
+        let body = serde_json::to_string(&InferRequest {
+            inputs: [(
+                input_name.clone(),
+                crate::codec::TensorJson {
+                    shape: vec![1, 3, 16, 16],
+                    data: zeros,
+                },
+            )]
+            .into_iter()
+            .collect(),
+        })
+        .unwrap();
+
+        let ok = response_of(route(
+            &request("POST", "/v1/models/tiny-cnn/infer", body.as_bytes()),
+            &registry,
+            false,
+        ));
+        assert_eq!(ok.status, 200, "{}", String::from_utf8_lossy(&ok.body));
+        let parsed: InferResponse = serde_json::from_slice(&ok.body).unwrap();
+        assert_eq!(parsed.outputs.len(), 1);
+
+        let bad_json = response_of(route(
+            &request("POST", "/v1/models/tiny-cnn/infer", b"not json"),
+            &registry,
+            false,
+        ));
+        assert_eq!(bad_json.status, 400);
+
+        let wrong_input = response_of(route(
+            &request(
+                "POST",
+                "/v1/models/tiny-cnn/infer",
+                br#"{"inputs":{"nope":{"shape":[1],"data":[0.0]}}}"#,
+            ),
+            &registry,
+            false,
+        ));
+        assert_eq!(wrong_input.status, 400);
+
+        registry.drain_with_deadline(std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn shutdown_route_is_a_shutdown_verdict() {
+        let registry = ModelRegistry::new();
+        assert!(matches!(
+            route(&request("POST", "/admin/shutdown", b""), &registry, false),
+            Routed::Shutdown(_)
+        ));
+        let get = route(&request("GET", "/admin/shutdown", b""), &registry, false);
+        assert_eq!(response_of(get).status, 405);
+    }
+
+    #[test]
+    fn serve_errors_map_to_statuses() {
+        let cases = [
+            (ServeError::QueueFull { capacity: 4 }, 429),
+            (ServeError::ShuttingDown, 503),
+            (ServeError::InvalidRequest("x".into()), 400),
+            (ServeError::Inference("x".into()), 500),
+        ];
+        for (error, status) in cases {
+            let response = serve_error_response(&error);
+            assert_eq!(response.status, status, "{error}");
+            if status == 429 || status == 503 {
+                assert!(response.headers.iter().any(|(n, _)| n == "retry-after"));
+            }
+        }
+    }
+}

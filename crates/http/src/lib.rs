@@ -1,0 +1,72 @@
+//! HTTP serving frontend for MNN-rs: a network face for the paper's
+//! inference engine.
+//!
+//! The MNN paper (MLSys 2020) targets on-device inference; this crate puts
+//! the same engine behind a wire protocol so one process can serve many
+//! models to many clients — the deployment shape of an inference service.
+//! Everything is built on `std::net` and threads (no async runtime, no
+//! external HTTP dependency):
+//!
+//! * [`parser`] — an incremental HTTP/1.1 request parser that tolerates
+//!   arbitrary read boundaries, enforces header/body limits, and never
+//!   panics on malformed input (fuzzed in `tests/parser_fuzz.rs`).
+//! * [`codec`] — the JSON wire types; f32 tensors round-trip bit-exactly.
+//! * [`registry`] — a [`ModelRegistry`] mapping names to per-model
+//!   [`mnn_serve::Server`] runtimes, loaded from a manifest, a directory of
+//!   `.mnnr` files, or the built-in zoo.
+//! * [`handler`] — routing: `GET /healthz`, `GET /v1/models`,
+//!   `GET /v1/models/{name}/stats`, `POST /v1/models/{name}/infer`,
+//!   `POST /admin/shutdown`.
+//! * [`server`] — the [`HttpServer`]: accept loop, connection threads,
+//!   admission control (connection cap → `503`, queue backpressure → `429`,
+//!   both with `Retry-After`), and deadline-bounded graceful drain in which
+//!   every accepted request is answered.
+//!
+//! ```
+//! use mnn_http::{HttpConfig, HttpServer, ModelRegistry, ServeOptions};
+//! use std::io::{Read, Write};
+//!
+//! let mut registry = ModelRegistry::new();
+//! let options = ServeOptions {
+//!     workers: 1,
+//!     session: mnn_core::SessionConfig::cpu(1),
+//!     ..ServeOptions::default()
+//! };
+//! registry
+//!     .register_zoo(mnn_models::ModelKind::TinyCnn, 16, &options)
+//!     .unwrap();
+//!
+//! let server = HttpServer::bind("127.0.0.1:0", registry, HttpConfig::default()).unwrap();
+//! let mut client = std::net::TcpStream::connect(server.local_addr()).unwrap();
+//! client
+//!     .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+//!     .unwrap();
+//! let mut reply = String::new();
+//! client.read_to_string(&mut reply).unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//! assert!(reply.contains(r#"{"status":"ok","models":1}"#));
+//!
+//! let summary = server.shutdown();
+//! assert!(summary.drained);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod error;
+pub mod handler;
+pub mod parser;
+pub mod registry;
+pub mod response;
+pub mod server;
+
+pub use codec::{
+    HealthResponse, InferRequest, InferResponse, ModelSummary, ModelsResponse, NamedTensorJson,
+    StatsResponse, TensorJson,
+};
+pub use error::HttpError;
+pub use parser::{HttpRequest, ParseError, ParseOutcome, RequestParser};
+pub use registry::{ModelEntry, ModelRegistry, ServeOptions};
+pub use response::HttpResponse;
+pub use server::{DrainSummary, HttpConfig, HttpServer};

@@ -1,0 +1,353 @@
+//! The HTTP server: listener, connection threads, admission control and
+//! graceful drain.
+//!
+//! Built directly on `std::net` (no async runtime): a nonblocking accept
+//! loop hands each connection to its own thread, which reads with a short
+//! timeout so it can notice drain requests while idle. Admission control is
+//! two-layered — a connection cap here (`503` + `Retry-After` at accept
+//! time) and the per-model bounded queue underneath (`429` + `Retry-After`
+//! from the router).
+
+use crate::handler::{route, Routed};
+use crate::parser::{ParseOutcome, RequestParser};
+use crate::registry::ModelRegistry;
+use crate::response::HttpResponse;
+use crate::HttpError;
+use mnn_serve::DrainReport;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop and idle connections poll for drain requests.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Tunables for the HTTP frontend.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Maximum concurrently served connections; further accepts get `503`
+    /// with `Retry-After` (default 64).
+    pub max_connections: usize,
+    /// Time allowed for graceful drain: in-flight and queued requests get
+    /// this long to finish before being failed with `503` (default 10 s).
+    pub drain_deadline: Duration,
+    /// Bound on a request's header section, bytes (default 16 KiB).
+    pub max_header_bytes: usize,
+    /// Bound on a request body, bytes (default 64 MiB).
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            max_connections: 64,
+            drain_deadline: Duration::from_secs(10),
+            max_header_bytes: crate::parser::DEFAULT_MAX_HEADER_BYTES,
+            max_body_bytes: crate::parser::DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// Outcome of a graceful shutdown.
+#[derive(Debug)]
+pub struct DrainSummary {
+    /// Whether every model drained fully within the deadline.
+    pub drained: bool,
+    /// Requests that were failed with `ShuttingDown` instead of served.
+    pub aborted_requests: usize,
+    /// Per-model drain reports, in name order.
+    pub models: Vec<(String, DrainReport)>,
+}
+
+/// State shared between the accept loop, connection threads and the owner.
+struct Shared {
+    registry: RwLock<ModelRegistry>,
+    config: HttpConfig,
+    draining: AtomicBool,
+    drain_deadline_at: Mutex<Option<Instant>>,
+    active_connections: AtomicUsize,
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+impl Shared {
+    /// Wake anyone blocked in [`HttpServer::wait_shutdown_requested`].
+    fn request_shutdown(&self) {
+        let mut requested = self
+            .shutdown_requested
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *requested = true;
+        self.shutdown_cv.notify_all();
+    }
+
+    /// Whether the drain deadline (if any) has passed.
+    fn past_drain_deadline(&self) -> bool {
+        self.drain_deadline_at
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+/// A running HTTP serving frontend (see the [module docs](self)).
+pub struct HttpServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (port `0` picks an ephemeral port) and start accepting
+    /// connections against `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind/configuration I/O errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: ModelRegistry,
+        config: HttpConfig,
+    ) -> Result<HttpServer, HttpError> {
+        if config.max_connections == 0 {
+            return Err(HttpError::Config(
+                "max_connections must be at least 1".into(),
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            registry: RwLock::new(registry),
+            config,
+            draining: AtomicBool::new(false),
+            drain_deadline_at: Mutex::new(None),
+            active_connections: AtomicUsize::new(0),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = std::thread::Builder::new()
+            .name("mnn-http-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_connections))
+            .map_err(HttpError::Io)?;
+
+        Ok(HttpServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_connections.load(Ordering::SeqCst)
+    }
+
+    /// Ask the owner blocked in [`HttpServer::wait_shutdown_requested`] to
+    /// shut the server down. Also triggered by `POST /admin/shutdown`.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Block until someone calls [`HttpServer::request_shutdown`] or a client
+    /// hits `POST /admin/shutdown`.
+    pub fn wait_shutdown_requested(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Gracefully shut down: stop accepting, let connection threads finish
+    /// the requests they hold, then drain every model's queue within the
+    /// configured deadline. Every accepted request is answered — served if it
+    /// finishes in time, failed with `503` otherwise; none are abandoned.
+    pub fn shutdown(mut self) -> DrainSummary {
+        let deadline = self.shared.config.drain_deadline;
+        *self
+            .shared
+            .drain_deadline_at
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(Instant::now() + deadline);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.request_shutdown();
+
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Connection threads observe `draining` within one poll interval,
+        // finish their buffered requests and exit.
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut connections = self.connections.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *connections)
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
+        }
+
+        // No connection threads remain, so nothing holds the registry lock.
+        let registry = {
+            let mut guard = self
+                .shared
+                .registry
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        let remaining = self
+            .shared
+            .drain_deadline_at
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|at| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(deadline);
+        let models = registry.drain_with_deadline(remaining);
+        DrainSummary {
+            drained: models.iter().all(|(_, report)| report.drained),
+            aborted_requests: models.iter().map(|(_, report)| report.aborted).sum(),
+            models,
+        }
+    }
+}
+
+/// Accept connections until drain begins; enforce the connection cap.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.active_connections.load(Ordering::SeqCst) >= shared.config.max_connections
+                {
+                    reject_over_capacity(stream);
+                    continue;
+                }
+                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("mnn-http-conn".into())
+                    .spawn(move || {
+                        serve_connection(stream, &conn_shared);
+                        conn_shared
+                            .active_connections
+                            .fetch_sub(1, Ordering::SeqCst);
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        let mut held = connections.lock().unwrap_or_else(|e| e.into_inner());
+                        held.retain(|h| !h.is_finished());
+                        held.push(handle);
+                    }
+                    Err(_) => {
+                        shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Answer an over-capacity connection with `503` and close it.
+fn reject_over_capacity(mut stream: TcpStream) {
+    let response =
+        HttpResponse::error(503, "connection limit reached").with_header("retry-after", "1");
+    let _ = response.write_to(&mut stream, false);
+}
+
+/// Serve one connection until it closes, errors, or the server drains.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut parser =
+        RequestParser::with_limits(shared.config.max_header_bytes, shared.config.max_body_bytes);
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        // Serve everything already buffered (pipelining) before reading more.
+        loop {
+            match parser.next_request() {
+                ParseOutcome::Request(request) => {
+                    let draining = shared.draining.load(Ordering::SeqCst);
+                    let routed = {
+                        let registry = shared.registry.read().unwrap_or_else(|e| e.into_inner());
+                        route(&request, &registry, draining)
+                    };
+                    let (response, is_shutdown) = match routed {
+                        Routed::Response(response) => (response, false),
+                        Routed::Shutdown(response) => (response, true),
+                    };
+                    let keep_alive = request.keep_alive && !draining && !is_shutdown;
+                    if response.write_to(&mut stream, keep_alive).is_err() {
+                        return;
+                    }
+                    if is_shutdown {
+                        shared.request_shutdown();
+                    }
+                    if !keep_alive {
+                        return;
+                    }
+                }
+                ParseOutcome::Error(error) => {
+                    let response = HttpResponse::error(error.status, error.message);
+                    let _ = response.write_to(&mut stream, false);
+                    return;
+                }
+                ParseOutcome::NeedMore => break,
+            }
+        }
+
+        if shared.draining.load(Ordering::SeqCst)
+            && (!parser.has_partial() || shared.past_drain_deadline())
+        {
+            // Idle (or out of time): close. A request whose bytes are still
+            // arriving gets until the drain deadline to complete.
+            return;
+        }
+
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => parser.feed(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read timeout: loop to re-check the drain flag.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! End-to-end tests over real TCP sockets: bit-identical responses under
+//! concurrency, admission control under overload, and graceful drain under
+//! load.
+
+use mnn_core::SessionConfig;
+use mnn_http::{
+    HttpConfig, HttpServer, InferRequest, InferResponse, ModelRegistry, ServeOptions, TensorJson,
+};
+use mnn_models::ModelKind;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A minimal blocking HTTP/1.1 client response.
+#[derive(Debug)]
+struct ClientResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl ClientResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read exactly one HTTP response off `stream` (Content-Length framing).
+fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("connection closed mid-response ({} bytes)", buf.len()),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line '{status_line}'"),
+            )
+        })?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Send one request on a fresh connection and read the response.
+fn send(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    write_request(&mut stream, method, path, body, false)?;
+    read_response(&mut stream)
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Deterministic, value-varied input for a tiny-cnn at `size` px.
+fn test_input(size: usize, seed: usize) -> TensorJson {
+    let elements = 3 * size * size;
+    TensorJson {
+        shape: vec![1, 3, size, size],
+        data: (0..elements)
+            .map(|i| ((i + seed * 7) % 251) as f32 * 0.013 - 1.6)
+            .collect(),
+    }
+}
+
+fn infer_body(input: TensorJson) -> Vec<u8> {
+    let request = InferRequest {
+        inputs: BTreeMap::from([("data".to_string(), input)]),
+    };
+    serde_json::to_vec(&request).unwrap()
+}
+
+fn tiny_options(workers: usize) -> ServeOptions {
+    ServeOptions {
+        workers,
+        max_batch: 4,
+        session: SessionConfig::cpu(1),
+        ..ServeOptions::default()
+    }
+}
+
+/// Two models, concurrent clients over real sockets: every response must be
+/// bit-identical to what the same `Server::infer` returns in-process.
+#[test]
+fn concurrent_clients_get_bit_identical_responses() {
+    let mut registry = ModelRegistry::new();
+    let options = tiny_options(2);
+    let graph16 = mnn_models::build(ModelKind::TinyCnn, 1, 16);
+    let graph24 = mnn_models::build(ModelKind::TinyCnn, 1, 24);
+    registry
+        .register_model("tiny16", mnn_converter::ModelFile::new(graph16), &options)
+        .unwrap();
+    registry
+        .register_model("tiny24", mnn_converter::ModelFile::new(graph24), &options)
+        .unwrap();
+
+    // Compute the in-process reference outputs before the registry moves
+    // into the HTTP server.
+    let seeds: Vec<usize> = (0..6).collect();
+    let mut expected: BTreeMap<(String, usize), Vec<f32>> = BTreeMap::new();
+    for (name, size) in [("tiny16", 16), ("tiny24", 24)] {
+        let entry = registry.get(name).unwrap();
+        for &seed in &seeds {
+            let wire = test_input(size, seed);
+            let tensor = wire.to_tensor().unwrap();
+            let outputs = entry.server.infer(&[("data", &tensor)]).unwrap();
+            expected.insert((name.to_string(), seed), outputs[0].data_f32().to_vec());
+        }
+    }
+
+    let server = HttpServer::bind("127.0.0.1:0", registry, HttpConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for &seed in &seeds {
+        for (name, size) in [("tiny16", 16usize), ("tiny24", 24usize)] {
+            handles.push(std::thread::spawn(move || {
+                let body = infer_body(test_input(size, seed));
+                let response =
+                    send(addr, "POST", &format!("/v1/models/{name}/infer"), &body).unwrap();
+                assert_eq!(
+                    response.status,
+                    200,
+                    "{}",
+                    String::from_utf8_lossy(&response.body)
+                );
+                let parsed: InferResponse = serde_json::from_slice(&response.body).unwrap();
+                assert_eq!(parsed.outputs.len(), 1);
+                (name.to_string(), seed, parsed.outputs[0].data.clone())
+            }));
+        }
+    }
+    for handle in handles {
+        let (name, seed, data) = handle.join().unwrap();
+        let reference = &expected[&(name.clone(), seed)];
+        assert_eq!(data.len(), reference.len());
+        for (got, want) in data.iter().zip(reference) {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{name} seed {seed}: {got} != {want}"
+            );
+        }
+    }
+
+    let summary = server.shutdown();
+    assert!(summary.drained, "{summary:?}");
+    assert_eq!(summary.aborted_requests, 0);
+}
+
+/// Keep-alive: one connection serves several requests, including pipelined
+/// ones, and `Connection: close` is honored.
+#[test]
+fn keep_alive_serves_sequential_and_pipelined_requests() {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_zoo(ModelKind::TinyCnn, 16, &tiny_options(1))
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", registry, HttpConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    // Two sequential keep-alive requests on one connection.
+    for _ in 0..2 {
+        write_request(&mut stream, "GET", "/healthz", b"", true).unwrap();
+        let response = read_response(&mut stream).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+    }
+    // Two pipelined requests written back-to-back before reading.
+    write_request(&mut stream, "GET", "/v1/models", b"", true).unwrap();
+    write_request(&mut stream, "GET", "/v1/models/tiny-cnn/stats", b"", true).unwrap();
+    let first = read_response(&mut stream).unwrap();
+    let second = read_response(&mut stream).unwrap();
+    assert_eq!(first.status, 200);
+    assert!(String::from_utf8_lossy(&first.body).contains("tiny-cnn"));
+    assert_eq!(second.status, 200);
+    assert!(String::from_utf8_lossy(&second.body).contains("\"submitted\""));
+    // A close request ends the connection.
+    write_request(&mut stream, "GET", "/healthz", b"", false).unwrap();
+    let last = read_response(&mut stream).unwrap();
+    assert_eq!(last.header("connection"), Some("close"));
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    server.shutdown();
+}
+
+/// Malformed bytes get a 400-family response, not a hang or a dropped
+/// connection without an answer.
+#[test]
+fn malformed_requests_get_error_responses() {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_zoo(ModelKind::TinyCnn, 16, &tiny_options(1))
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", registry, HttpConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+    let response = read_response(&mut stream).unwrap();
+    assert_eq!(response.status, 400);
+    assert_eq!(response.header("connection"), Some("close"));
+
+    let bad_json = send(addr, "POST", "/v1/models/tiny-cnn/infer", b"{oops").unwrap();
+    assert_eq!(bad_json.status, 400);
+
+    let unknown = send(addr, "GET", "/v1/models/ghost/stats", b"").unwrap();
+    assert_eq!(unknown.status, 404);
+
+    server.shutdown();
+}
+
+/// Overload: with a 1-deep queue and a single worker, hammering the server
+/// must produce 429s carrying Retry-After — and never hang or drop requests.
+#[test]
+fn overload_returns_429_with_retry_after() {
+    let mut registry = ModelRegistry::new();
+    let options = ServeOptions {
+        workers: 1,
+        max_batch: 1,
+        queue_capacity: Some(1),
+        session: SessionConfig::cpu(1),
+        ..ServeOptions::default()
+    };
+    registry
+        .register_zoo(ModelKind::TinyCnn, 24, &options)
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", registry, HttpConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let clients = 8;
+    let per_client = 6;
+    let mut handles = Vec::new();
+    for seed in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut saw = (0usize, 0usize); // (ok, rejected)
+            for i in 0..per_client {
+                let body = infer_body(test_input(24, seed * per_client + i));
+                let response = send(addr, "POST", "/v1/models/tiny-cnn/infer", &body).unwrap();
+                match response.status {
+                    200 => saw.0 += 1,
+                    429 => {
+                        assert!(
+                            response.header("retry-after").is_some(),
+                            "429 without Retry-After"
+                        );
+                        saw.1 += 1;
+                    }
+                    other => panic!(
+                        "unexpected status {other}: {}",
+                        String::from_utf8_lossy(&response.body)
+                    ),
+                }
+            }
+            saw
+        }));
+    }
+    let mut total_ok = 0;
+    let mut total_rejected = 0;
+    for handle in handles {
+        let (ok, rejected) = handle.join().unwrap();
+        total_ok += ok;
+        total_rejected += rejected;
+    }
+    assert_eq!(total_ok + total_rejected, clients * per_client);
+    assert!(total_ok > 0, "no request succeeded");
+    assert!(
+        total_rejected > 0,
+        "a 1-deep queue under 8 concurrent clients must shed load"
+    );
+
+    server.shutdown();
+}
+
+/// The connection cap answers excess connections with 503 + Retry-After.
+#[test]
+fn connection_cap_returns_503() {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_zoo(ModelKind::TinyCnn, 16, &tiny_options(1))
+        .unwrap();
+    let config = HttpConfig {
+        max_connections: 2,
+        ..HttpConfig::default()
+    };
+    let server = HttpServer::bind("127.0.0.1:0", registry, config).unwrap();
+    let addr = server.local_addr();
+
+    // Occupy the cap with idle keep-alive connections.
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let stream = TcpStream::connect(addr).unwrap();
+        // Wait until the server has actually accepted (and counted) it.
+        while server.active_connections() < held.len() + 1 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        held.push(stream);
+    }
+
+    let mut extra = TcpStream::connect(addr).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let response = read_response(&mut extra).unwrap();
+    assert_eq!(response.status, 503);
+    assert!(response.header("retry-after").is_some());
+
+    drop(held);
+    server.shutdown();
+}
+
+/// Shutdown under load: every request accepted before the drain started gets
+/// a real response (200, or 503 if the deadline expires) — none are dropped.
+#[test]
+fn shutdown_mid_load_answers_every_accepted_request() {
+    let mut registry = ModelRegistry::new();
+    let options = ServeOptions {
+        workers: 1,
+        max_batch: 2,
+        queue_capacity: Some(64),
+        session: SessionConfig::cpu(1),
+        ..ServeOptions::default()
+    };
+    registry
+        .register_zoo(ModelKind::TinyCnn, 24, &options)
+        .unwrap();
+    let config = HttpConfig {
+        drain_deadline: Duration::from_secs(60),
+        ..HttpConfig::default()
+    };
+    let server = HttpServer::bind("127.0.0.1:0", registry, config).unwrap();
+    let addr = server.local_addr();
+
+    // Clients connect and write their requests *before* shutdown is
+    // triggered, then read the answer afterwards.
+    let clients = 6;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients + 1));
+    let mut handles = Vec::new();
+    for seed in 0..clients {
+        let barrier = std::sync::Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            let body = infer_body(test_input(24, seed));
+            write_request(
+                &mut stream,
+                "POST",
+                "/v1/models/tiny-cnn/infer",
+                &body,
+                true,
+            )
+            .unwrap();
+            barrier.wait(); // request is on the wire; let shutdown begin
+            let response = read_response(&mut stream).unwrap();
+            assert!(
+                response.status == 200 || response.status == 503,
+                "got {}: {}",
+                response.status,
+                String::from_utf8_lossy(&response.body)
+            );
+            response.status
+        }));
+    }
+    barrier.wait();
+
+    // Trigger shutdown the way an operator would: over the wire.
+    let response = send(addr, "POST", "/admin/shutdown", b"").unwrap();
+    assert_eq!(response.status, 200);
+    server.wait_shutdown_requested();
+    let summary = server.shutdown();
+
+    let statuses: Vec<u16> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(statuses.len(), clients);
+    // With a generous deadline everything completes as 200.
+    assert!(statuses.iter().all(|&s| s == 200), "statuses: {statuses:?}");
+    assert!(summary.drained, "{summary:?}");
+
+    // The listener is gone: new connections are refused (or reset).
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_secs(2)).is_err()
+            || send(addr, "GET", "/healthz", b"").is_err(),
+        "server still accepting after shutdown"
+    );
+}

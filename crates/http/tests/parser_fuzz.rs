@@ -1,0 +1,171 @@
+//! Property tests for the HTTP request parser: malformed input must yield a
+//! clean `400`-family error — never a panic — and valid requests must parse
+//! identically no matter how the byte stream is split across reads.
+
+use mnn_http::{ParseOutcome, RequestParser};
+use proptest::prelude::*;
+
+/// Drain every outcome the parser will currently give, with a hard bound so a
+/// parser bug can never hang the test.
+fn drain(parser: &mut RequestParser) -> (Vec<mnn_http::HttpRequest>, Option<u16>, bool) {
+    let mut requests = Vec::new();
+    for _ in 0..10_000 {
+        match parser.next_request() {
+            ParseOutcome::Request(r) => requests.push(r),
+            ParseOutcome::NeedMore => return (requests, None, true),
+            ParseOutcome::Error(e) => return (requests, Some(e.status), true),
+        }
+    }
+    (requests, None, false)
+}
+
+/// Feed `stream` chunked by `chunk_sizes` (cycled), draining after each feed.
+fn feed_chunked(
+    parser: &mut RequestParser,
+    stream: &[u8],
+    chunk_sizes: &[usize],
+) -> (Vec<mnn_http::HttpRequest>, Option<u16>) {
+    let mut requests = Vec::new();
+    let mut offset = 0;
+    let mut chunk_index = 0;
+    while offset < stream.len() {
+        let size = if chunk_sizes.is_empty() {
+            stream.len()
+        } else {
+            chunk_sizes[chunk_index % chunk_sizes.len()].max(1)
+        };
+        chunk_index += 1;
+        let end = (offset + size).min(stream.len());
+        parser.feed(&stream[offset..end]);
+        offset = end;
+        let (batch, error, terminated) = drain(parser);
+        assert!(terminated, "parser looped without progress");
+        requests.extend(batch);
+        if let Some(status) = error {
+            return (requests, Some(status));
+        }
+    }
+    (requests, None)
+}
+
+/// A syntactically valid request with `body.len()` as its Content-Length.
+fn render_request(path_seed: usize, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "POST /v1/models/m{path_seed}/infer HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: {connection}\r\nX-Seed: {path_seed}\r\n\r\n",
+        body.len()
+    );
+    let mut stream = head.into_bytes();
+    stream.extend_from_slice(body);
+    stream
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes, fed in arbitrary chunks, never panic the parser and
+    /// never make it loop without progress.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(0u8..255, 0..512),
+        chunk_sizes in prop::collection::vec(1usize..32, 0..16),
+    ) {
+        let mut parser = RequestParser::with_limits(256, 256);
+        let _ = feed_chunked(&mut parser, &bytes, &chunk_sizes);
+    }
+
+    /// A valid request parses to the same thing regardless of how the stream
+    /// is split across reads.
+    #[test]
+    fn split_reads_are_equivalent_to_one_read(
+        path_seed in 0usize..100,
+        body in prop::collection::vec(0u8..255, 0..128),
+        keep_alive in prop_oneof![Just(true), Just(false)],
+        chunk_sizes in prop::collection::vec(1usize..16, 1..12),
+    ) {
+        let stream = render_request(path_seed, &body, keep_alive);
+
+        let mut whole = RequestParser::new();
+        let (reference, err) = feed_chunked(&mut whole, &stream, &[]);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(reference.len(), 1);
+
+        let mut split = RequestParser::new();
+        let (chunked, err) = feed_chunked(&mut split, &stream, &chunk_sizes);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(&chunked, &reference);
+        prop_assert_eq!(&chunked[0].body, &body);
+        prop_assert_eq!(chunked[0].keep_alive, keep_alive);
+    }
+
+    /// Pipelined keep-alive requests come out one per request, in order,
+    /// under any read chunking.
+    #[test]
+    fn pipelined_requests_parse_in_order(
+        bodies in prop::collection::vec(prop::collection::vec(0u8..255, 0..64), 1..6),
+        chunk_sizes in prop::collection::vec(1usize..24, 1..10),
+    ) {
+        let mut stream = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            stream.extend_from_slice(&render_request(i, body, true));
+        }
+        let mut parser = RequestParser::new();
+        let (requests, err) = feed_chunked(&mut parser, &stream, &chunk_sizes);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(requests.len(), bodies.len());
+        for (i, (request, body)) in requests.iter().zip(&bodies).enumerate() {
+            prop_assert_eq!(request.path.as_str(), format!("/v1/models/m{i}/infer").as_str());
+            prop_assert_eq!(&request.body, body);
+        }
+    }
+
+    /// Header sections that exceed the limit fail with 431 — even when the
+    /// terminator never arrives — instead of buffering forever.
+    #[test]
+    fn oversized_headers_are_431(
+        filler in prop::collection::vec(97u8..123, 200..400),
+        chunk_sizes in prop::collection::vec(1usize..32, 1..8),
+    ) {
+        let mut stream = b"GET /x HTTP/1.1\r\nX-Big: ".to_vec();
+        stream.extend_from_slice(&filler);
+        let mut parser = RequestParser::with_limits(128, 1024);
+        let (requests, err) = feed_chunked(&mut parser, &stream, &chunk_sizes);
+        prop_assert_eq!(requests.len(), 0);
+        prop_assert_eq!(err, Some(431));
+    }
+
+    /// Any non-numeric Content-Length is a 400, never a panic or a hang.
+    #[test]
+    fn bad_content_length_is_400(
+        junk in prop::collection::vec(prop_oneof![Just(b'x'), Just(b'-'), Just(b' '), Just(b'9')], 1..8),
+        chunk_sizes in prop::collection::vec(1usize..8, 1..6),
+    ) {
+        // Skip samples that trim down to plain digits: header values are
+        // trimmed, so those are valid Content-Lengths by construction.
+        let trimmed = String::from_utf8(junk.clone()).unwrap();
+        let trimmed = trimmed.trim();
+        if !trimmed.is_empty() && trimmed.bytes().all(|b| b.is_ascii_digit()) {
+            return;
+        }
+        let mut stream = b"POST /x HTTP/1.1\r\nContent-Length: ".to_vec();
+        stream.extend_from_slice(&junk);
+        stream.extend_from_slice(b"\r\n\r\n");
+        let mut parser = RequestParser::new();
+        let (_, err) = feed_chunked(&mut parser, &stream, &chunk_sizes);
+        prop_assert_eq!(err, Some(400));
+    }
+
+    /// A Content-Length larger than the body cap is rejected with 413 before
+    /// any body bytes are buffered.
+    #[test]
+    fn oversized_declared_bodies_are_413(excess in 1usize..1_000_000) {
+        let cap = 4096usize;
+        let stream = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            cap + excess
+        );
+        let mut parser = RequestParser::with_limits(1024, cap);
+        let (_, err) = feed_chunked(&mut parser, stream.as_bytes(), &[]);
+        prop_assert_eq!(err, Some(413));
+    }
+}

@@ -88,6 +88,24 @@ impl ModelKind {
             _ => 224,
         }
     }
+
+    /// Resolve a zoo model from its [`ModelKind::name`] (case-insensitive;
+    /// `_` and `-` are interchangeable), for command-line flags like
+    /// `--zoo squeezenet-v1.1=64`. A few short aliases are accepted.
+    pub fn from_name(name: &str) -> Option<ModelKind> {
+        let normalized = name.trim().to_ascii_lowercase().replace('_', "-");
+        match normalized.as_str() {
+            "mobilenet-v1" | "mobilenetv1" => Some(ModelKind::MobileNetV1),
+            "mobilenet-v2" | "mobilenetv2" => Some(ModelKind::MobileNetV2),
+            "squeezenet-v1.0" | "squeezenetv1.0" => Some(ModelKind::SqueezeNetV1_0),
+            "squeezenet-v1.1" | "squeezenetv1.1" | "squeezenet" => Some(ModelKind::SqueezeNetV1_1),
+            "resnet-18" | "resnet18" => Some(ModelKind::ResNet18),
+            "resnet-50" | "resnet50" => Some(ModelKind::ResNet50),
+            "inception-v3" | "inceptionv3" => Some(ModelKind::InceptionV3),
+            "tiny-cnn" | "tinycnn" | "tiny" => Some(ModelKind::TinyCnn),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ModelKind {
@@ -232,5 +250,18 @@ mod tests {
         assert_eq!(ModelKind::InceptionV3.default_input_size(), 299);
         assert_eq!(ModelKind::ResNet18.default_input_size(), 224);
         assert_eq!(ModelKind::TinyCnn.to_string(), "Tiny-CNN");
+    }
+
+    #[test]
+    fn from_name_round_trips_every_canonical_name() {
+        for kind in ModelKind::PAPER_MODELS
+            .into_iter()
+            .chain([ModelKind::TinyCnn])
+        {
+            assert_eq!(ModelKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ModelKind::from_name("tiny"), Some(ModelKind::TinyCnn));
+        assert_eq!(ModelKind::from_name("RESNET_18"), Some(ModelKind::ResNet18));
+        assert_eq!(ModelKind::from_name("vgg-16"), None);
     }
 }

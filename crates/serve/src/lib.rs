@@ -69,5 +69,5 @@ mod stats;
 
 pub use error::ServeError;
 pub use request::ResponseHandle;
-pub use server::{Server, ServerBuilder};
+pub use server::{DrainReport, Server, ServerBuilder};
 pub use stats::ServerStats;

@@ -93,6 +93,18 @@ impl RequestQueue {
         self.nonempty.notify_all();
     }
 
+    /// Close the queue AND evict every request still waiting, returning them so
+    /// the caller can fail their response slots. Workers that already pulled a
+    /// batch finish it; nothing else will be executed.
+    pub(crate) fn abort(&self) -> Vec<QueuedRequest> {
+        let mut state = self.lock();
+        state.closed = true;
+        let abandoned: Vec<QueuedRequest> = state.deque.drain(..).collect();
+        drop(state);
+        self.nonempty.notify_all();
+        abandoned
+    }
+
     /// Take the next micro-batch, blocking while the queue is empty and open.
     ///
     /// Returns `None` once the queue is closed *and* empty (worker shutdown).
@@ -259,6 +271,21 @@ mod tests {
         queue.try_push(request(4, false)).unwrap();
         let batch = queue.next_batch(4, Duration::from_millis(5)).unwrap();
         assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn abort_evicts_queued_requests_and_closes() {
+        let queue = RequestQueue::new(8);
+        queue.try_push(request(8, true)).unwrap();
+        queue.try_push(request(8, true)).unwrap();
+        let abandoned = queue.abort();
+        assert_eq!(abandoned.len(), 2);
+        assert_eq!(queue.depth(), 0);
+        assert!(queue.next_batch(4, Duration::ZERO).is_none());
+        assert_eq!(
+            queue.try_push(request(8, true)),
+            Err(ServeError::ShuttingDown)
+        );
     }
 
     #[test]

@@ -334,8 +334,45 @@ impl Server {
         self.shutdown_in_place();
     }
 
-    fn shutdown_in_place(&mut self) {
+    /// Deadline-bounded graceful shutdown: reject new submissions immediately,
+    /// give queued requests up to `deadline` to drain, then evict whatever is
+    /// still waiting — every evicted request's waiter receives
+    /// [`ServeError::ShuttingDown`] instead of hanging — and join the workers.
+    ///
+    /// Batches already executing when the deadline passes still run to
+    /// completion and are delivered; only *queued* work is abandoned. The
+    /// returned [`DrainReport`] says whether the queue drained fully.
+    pub fn shutdown_with_deadline(mut self, deadline: Duration) -> DrainReport {
+        let deadline_at = Instant::now() + deadline;
         self.queue.close();
+        while self.queue.depth() > 0 && Instant::now() < deadline_at {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut aborted = 0;
+        aborted += self.fail_evicted();
+        self.join_workers();
+        // Workers are gone; anything still queued (possible only if a worker
+        // died outside batch processing) must be failed, not abandoned.
+        aborted += self.fail_evicted();
+        // Drop must not run the unbounded drain again.
+        debug_assert!(self.workers.is_empty());
+        DrainReport {
+            drained: aborted == 0,
+            aborted,
+        }
+    }
+
+    /// Evict still-queued requests and fail their slots; returns the count.
+    fn fail_evicted(&self) -> usize {
+        let evicted = self.queue.abort();
+        let count = evicted.len();
+        for request in evicted {
+            request.slot.fulfill(Err(ServeError::ShuttingDown));
+        }
+        count
+    }
+
+    fn join_workers(&mut self) {
         for worker in self.workers.drain(..) {
             // Workers contain panics around each batch (see `process_batch`),
             // so join errors should be impossible; if one happens anyway, do
@@ -346,6 +383,24 @@ impl Server {
             }
         }
     }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        self.join_workers();
+        // If a worker died, its share of the queue was never served; fail those
+        // slots so blocked `wait()` callers wake instead of hanging forever.
+        self.fail_evicted();
+    }
+}
+
+/// Outcome of [`Server::shutdown_with_deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether every queued request was served before the deadline.
+    pub drained: bool,
+    /// Queued requests evicted at the deadline; each received
+    /// [`ServeError::ShuttingDown`].
+    pub aborted: usize,
 }
 
 impl Drop for Server {

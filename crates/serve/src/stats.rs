@@ -1,5 +1,6 @@
 //! Server telemetry: counters, latency percentiles and the batch-size histogram.
 
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -139,7 +140,11 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 /// A point-in-time snapshot of server behavior, returned by
 /// [`Server::stats`](crate::Server::stats).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The struct is `serde::Serialize`, and the serialized field set is part of
+/// the `/v1/models/{name}/stats` HTTP contract — a unit test pins the exact
+/// JSON shape so it cannot drift silently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Number of worker threads.
     pub workers: usize,
@@ -237,6 +242,41 @@ mod tests {
         stats.record_batch(&[1.0, 1.0, 1.0], true); // size 3 with max_batch 2
         let snap = stats.snapshot(0, 1);
         assert_eq!(snap.batch_histogram, vec![(2, 1)]);
+    }
+
+    /// Pins the exact JSON rendering of `ServerStats`. The `/stats` HTTP
+    /// endpoint serializes this struct verbatim, so any field rename, reorder
+    /// or type change is a wire-format break and must fail here first.
+    #[test]
+    fn json_shape_is_pinned() {
+        let stats = ServerStats {
+            workers: 2,
+            submitted: 10,
+            completed: 8,
+            failed: 1,
+            rejected: 1,
+            queue_depth: 3,
+            uptime_ms: 1500.0,
+            throughput_rps: 5.5,
+            mean_latency_ms: 2.25,
+            p50_latency_ms: 2.0,
+            p99_latency_ms: 4.5,
+            mean_batch_size: 1.5,
+            batch_histogram: vec![(1, 4), (2, 2)],
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert_eq!(
+            json,
+            concat!(
+                "{\"workers\":2,\"submitted\":10,\"completed\":8,\"failed\":1,",
+                "\"rejected\":1,\"queue_depth\":3,\"uptime_ms\":1500.0,",
+                "\"throughput_rps\":5.5,\"mean_latency_ms\":2.25,",
+                "\"p50_latency_ms\":2.0,\"p99_latency_ms\":4.5,",
+                "\"mean_batch_size\":1.5,\"batch_histogram\":[[1,4],[2,2]]}"
+            )
+        );
+        let back: ServerStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]

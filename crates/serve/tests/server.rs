@@ -218,6 +218,60 @@ fn shutdown_serves_queued_requests_then_rejects_new_ones() {
 }
 
 #[test]
+fn deadline_shutdown_with_generous_deadline_serves_everything() {
+    let server = tiny_server(1, 2, 1);
+    let input = deterministic_input(16, 4);
+    let handles: Vec<_> = (0..6)
+        .map(|_| server.submit(&[("data", &input)]).unwrap())
+        .collect();
+    let report = server.shutdown_with_deadline(Duration::from_secs(60));
+    assert!(report.drained, "generous deadline must drain the queue");
+    assert_eq!(report.aborted, 0);
+    for handle in handles {
+        let outputs = handle.wait().unwrap();
+        assert_eq!(outputs[0].shape().dims(), &[1, 10]);
+    }
+}
+
+#[test]
+fn deadline_shutdown_fails_queued_requests_instead_of_abandoning_them() {
+    // One worker, deep queue, ZERO deadline: the worker grabs at most one
+    // batch; everything else queued must get ShuttingDown — never a hang.
+    let server = Server::builder()
+        .workers(1)
+        .max_batch(1)
+        .queue_capacity(64)
+        .session_config(SessionConfig::cpu(1))
+        .build(build(ModelKind::TinyCnn, 1, 16))
+        .unwrap();
+    let input = deterministic_input(16, 8);
+    let handles: Vec<_> = (0..32)
+        .map(|_| server.submit(&[("data", &input)]).unwrap())
+        .collect();
+    let report = server.shutdown_with_deadline(Duration::ZERO);
+    let mut served = 0usize;
+    let mut aborted = 0usize;
+    for handle in handles {
+        // Every handle resolves promptly — the whole point of the deadline.
+        match handle.wait() {
+            Ok(outputs) => {
+                assert_eq!(outputs[0].shape().dims(), &[1, 10]);
+                served += 1;
+            }
+            Err(ServeError::ShuttingDown) => aborted += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(served + aborted, 32);
+    assert_eq!(aborted, report.aborted);
+    assert_eq!(report.drained, aborted == 0);
+    assert!(
+        aborted > 0,
+        "a zero deadline with one worker and 32 queued requests must abort some"
+    );
+}
+
+#[test]
 fn builder_rejects_inconsistent_configs() {
     let graph = || build(ModelKind::TinyCnn, 1, 16);
     assert!(matches!(

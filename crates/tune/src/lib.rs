@@ -94,6 +94,23 @@ impl fmt::Display for TuningMode {
     }
 }
 
+impl std::str::FromStr for TuningMode {
+    type Err = String;
+
+    /// Parse the mode from its [`Display`](fmt::Display) form (case-insensitive),
+    /// for command-line flags like `--tuning full`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(TuningMode::Off),
+            "cached" => Ok(TuningMode::Cached),
+            "full" => Ok(TuningMode::Full),
+            other => Err(format!(
+                "unknown tuning mode '{other}' (expected off, cached or full)"
+            )),
+        }
+    }
+}
+
 /// Errors surfaced by the measurement harness.
 #[derive(Debug)]
 pub enum TuneError {
@@ -150,5 +167,14 @@ mod tests {
         assert_eq!(ConvScheme::parse("winograd-F(1x1)"), None);
         assert_eq!(ConvScheme::parse("winograd-F(4x5)"), None);
         assert_eq!(ConvScheme::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn tuning_mode_round_trips_through_from_str() {
+        for mode in [TuningMode::Off, TuningMode::Cached, TuningMode::Full] {
+            assert_eq!(mode.to_string().parse::<TuningMode>(), Ok(mode));
+        }
+        assert_eq!("FULL".parse::<TuningMode>(), Ok(TuningMode::Full));
+        assert!("warp-speed".parse::<TuningMode>().is_err());
     }
 }

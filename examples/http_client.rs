@@ -1,0 +1,109 @@
+//! Serving over HTTP: an in-process server exercised by a raw-socket client.
+//!
+//! ```text
+//! cargo run --release --example http_client
+//! ```
+//!
+//! Starts an [`mnn::http::HttpServer`] on an ephemeral port with a zoo model
+//! registered, then acts as its own HTTP client over a plain `TcpStream`:
+//! lists the models, checks health, runs an inference with a JSON tensor
+//! body, reads the serving stats, and finally triggers graceful shutdown over
+//! the wire — the exact session the `mnn_http` binary serves to `curl`.
+
+use mnn::http::{HttpConfig, HttpServer, InferRequest, ModelRegistry, ServeOptions, TensorJson};
+use mnn::models::ModelKind;
+use mnn::SessionConfig;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+const INPUT_SIZE: usize = 32;
+
+/// Send one request on a fresh connection; return (status line, body).
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(String, String)> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    writer.write_all(body)?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    // Skip headers, then read the Content-Length-framed body to EOF
+    // (Connection: close makes EOF the frame boundary).
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 0 && line != "\r\n" {
+        line.clear();
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body)?;
+    Ok((status_line.trim_end().to_string(), body))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== starting the HTTP serving frontend ==");
+    let mut registry = ModelRegistry::new();
+    registry.register_zoo(
+        ModelKind::TinyCnn,
+        INPUT_SIZE,
+        &ServeOptions {
+            workers: 2,
+            session: SessionConfig::cpu(1),
+            ..ServeOptions::default()
+        },
+    )?;
+    let server = HttpServer::bind("127.0.0.1:0", registry, HttpConfig::default())?;
+    let addr = server.local_addr();
+    println!("listening on http://{addr}\n");
+
+    let (status, body) = request(addr, "GET", "/healthz", b"")?;
+    println!("GET /healthz\n  {status}\n  {body}\n");
+
+    let (status, body) = request(addr, "GET", "/v1/models", b"")?;
+    println!("GET /v1/models\n  {status}\n  {body}\n");
+
+    let infer = InferRequest {
+        inputs: BTreeMap::from([(
+            "data".to_string(),
+            TensorJson {
+                shape: vec![1, 3, INPUT_SIZE, INPUT_SIZE],
+                data: (0..3 * INPUT_SIZE * INPUT_SIZE)
+                    .map(|i| (i % 255) as f32 / 255.0)
+                    .collect(),
+            },
+        )]),
+    };
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/models/tiny-cnn/infer",
+        &serde_json::to_vec(&infer)?,
+    )?;
+    let preview: String = body.chars().take(120).collect();
+    println!("POST /v1/models/tiny-cnn/infer\n  {status}\n  {preview}...\n");
+
+    let (status, body) = request(addr, "GET", "/v1/models/tiny-cnn/stats", b"")?;
+    println!("GET /v1/models/tiny-cnn/stats\n  {status}\n  {body}\n");
+
+    let (status, body) = request(addr, "POST", "/admin/shutdown", b"")?;
+    println!("POST /admin/shutdown\n  {status}\n  {body}\n");
+
+    server.wait_shutdown_requested();
+    let summary = server.shutdown();
+    println!(
+        "== drained: {} (aborted {} request(s)) ==",
+        summary.drained, summary.aborted_requests
+    );
+    Ok(())
+}

@@ -17,6 +17,8 @@
 //!   paper-reproduction experiments.
 //! * [`serve`] — the concurrent serving runtime: session pooling, a bounded request
 //!   queue with backpressure, and dynamic micro-batching.
+//! * [`http`] — the network serving frontend: a hand-rolled HTTP/1.1 server with a
+//!   multi-model registry, JSON tensor codec, admission control and graceful drain.
 //!
 //! # The session flow
 //!
@@ -243,6 +245,52 @@
 //! See `examples/serve_throughput.rs` for a full closed-loop load comparing
 //! `max_batch = 1` against micro-batching, and the `table_serving` benchmark
 //! binary for the measured speedup.
+//!
+//! ## Serving over HTTP
+//!
+//! The [`http`] crate puts a network face on the serving runtime: an
+//! [`HttpServer`](mnn_http::HttpServer) owns a
+//! [`ModelRegistry`](mnn_http::ModelRegistry) — one [`serve::Server`] per
+//! registered model, loaded from a manifest, a directory of `.mnnr` files, or
+//! the zoo — and speaks HTTP/1.1 over `std::net` (no async runtime, no
+//! external HTTP dependency). Tensors travel as JSON and round-trip f32
+//! values bit-exactly, so wire responses match in-process inference.
+//!
+//! Routes: `GET /healthz`, `GET /v1/models`, `GET /v1/models/{name}/stats`,
+//! `POST /v1/models/{name}/infer`, `POST /admin/shutdown`. Admission control
+//! is layered: a connection cap answers excess connections with `503`, and
+//! the per-model bounded queue surfaces as `429` — both with `Retry-After`.
+//! Graceful shutdown drains every accepted request within a deadline; none
+//! are abandoned.
+//!
+//! ```
+//! use mnn::http::{HttpConfig, HttpServer, ModelRegistry, ServeOptions};
+//! use std::io::{Read, Write};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut registry = ModelRegistry::new();
+//! registry.register_zoo(
+//!     mnn::models::ModelKind::TinyCnn,
+//!     16,
+//!     &ServeOptions { workers: 1, ..ServeOptions::default() },
+//! )?;
+//! let server = HttpServer::bind("127.0.0.1:0", registry, HttpConfig::default())?;
+//!
+//! let mut client = std::net::TcpStream::connect(server.local_addr())?;
+//! client.write_all(b"GET /v1/models HTTP/1.1\r\nConnection: close\r\n\r\n")?;
+//! let mut reply = String::new();
+//! client.read_to_string(&mut reply)?;
+//! assert!(reply.contains(r#""name":"tiny-cnn""#));
+//!
+//! assert!(server.shutdown().drained);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The same server ships as the `mnn_http` binary
+//! (`cargo run --release --bin mnn_http -- --zoo squeezenet=64`); see
+//! `examples/http_client.rs` for a raw-socket client session and the
+//! `table_http` benchmark binary for socket-level throughput numbers.
 
 #![deny(missing_docs)]
 
@@ -272,6 +320,9 @@ pub use mnn_device_sim as device_sim;
 
 /// Concurrent serving runtime (re-export of `mnn-serve`).
 pub use mnn_serve as serve;
+
+/// HTTP serving frontend: registry, admission control, drain (re-export of `mnn-http`).
+pub use mnn_http as http;
 
 /// Kernel auto-tuning: device-keyed measurement cache (re-export of `mnn-tune`).
 pub use mnn_tune as tune;
