@@ -164,6 +164,7 @@ fn start_server(queue_capacity: usize) -> HttpServer {
         batch_window: Duration::from_millis(2),
         queue_capacity: Some(queue_capacity),
         session: SessionConfig::cpu(THREADS_PER_WORKER),
+        ..ServeOptions::default()
     };
     let mut registry = ModelRegistry::new();
     for kind in [ModelKind::MobileNetV1, ModelKind::SqueezeNetV1_1] {

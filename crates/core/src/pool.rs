@@ -28,6 +28,9 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 struct PoolShared {
     idle: Mutex<Vec<Session>>,
     available: Condvar,
+    /// Process-wide `mnn_session_pool_acquires_total` counter, registered once
+    /// at pool construction so checkouts stay allocation-free.
+    acquires: mnn_obs::Counter,
 }
 
 impl PoolShared {
@@ -95,6 +98,10 @@ impl SessionPool {
             shared: Arc::new(PoolShared {
                 idle: Mutex::new(sessions),
                 available: Condvar::new(),
+                acquires: mnn_obs::global().counter(
+                    mnn_obs::metrics::names::POOL_ACQUIRES,
+                    "Session-pool checkouts.",
+                ),
             }),
             size,
         })
@@ -123,6 +130,7 @@ impl SessionPool {
 
     /// Check out a session, blocking until one is idle.
     pub fn acquire(&self) -> PooledSession {
+        self.shared.acquires.inc();
         let mut idle = self.shared.idle_sessions();
         loop {
             if let Some(session) = idle.pop() {
@@ -141,13 +149,13 @@ impl SessionPool {
 
     /// Check out a session without blocking; `None` when all are busy.
     pub fn try_acquire(&self) -> Option<PooledSession> {
-        self.shared
-            .idle_sessions()
-            .pop()
-            .map(|session| PooledSession {
+        self.shared.idle_sessions().pop().map(|session| {
+            self.shared.acquires.inc();
+            PooledSession {
                 session: Some(session),
                 shared: Arc::clone(&self.shared),
-            })
+            }
+        })
     }
 }
 

@@ -2,8 +2,10 @@
 
 use crate::scheme::CostModel;
 use mnn_backend::{ForwardType, GpuProfile};
+use mnn_obs::Profiler;
 use mnn_tune::TuningMode;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Configuration of a session, chosen by the application developer.
 ///
@@ -45,6 +47,10 @@ pub struct SessionConfig {
     /// Constants of the scheme cost model (overridable for reproducible tests
     /// or re-calibrated devices; see `mnn_tune::calibrate`).
     pub cost_model: CostModel,
+    /// Per-op runtime profiler the session records execution spans into
+    /// (`None`, the default, skips all timestamping). Share one `Arc` across
+    /// the sessions of a pool to profile a whole server.
+    pub profiler: Option<Arc<Profiler>>,
 }
 
 impl Default for SessionConfig {
@@ -60,6 +66,7 @@ impl Default for SessionConfig {
             tuning: TuningMode::Off,
             tune_cache_path: None,
             cost_model: CostModel::default(),
+            profiler: None,
         }
     }
 }
@@ -173,6 +180,15 @@ impl SessionConfigBuilder {
     /// `mnn_tune::calibrate`, or pinned values for reproducible tests).
     pub fn cost_model(mut self, model: CostModel) -> Self {
         self.config.cost_model = model;
+        self
+    }
+
+    /// Attach a per-op runtime profiler: every session run records one span
+    /// per executed node into it (see `mnn_obs::Profiler`). Pass the same
+    /// `Arc` to several sessions to aggregate across a pool; toggle
+    /// collection at runtime with `Profiler::set_enabled`.
+    pub fn profiling(mut self, profiler: Arc<Profiler>) -> Self {
+        self.config.profiler = Some(profiler);
         self
     }
 

@@ -2,7 +2,7 @@
 
 use super::Session;
 use crate::CoreError;
-use mnn_graph::TensorId;
+use mnn_graph::{NodeId, TensorId};
 use mnn_tensor::Tensor;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -229,6 +229,28 @@ impl Session {
         }
         let start = Instant::now();
 
+        // Opt-in per-op profiling. When no profiler is attached (or it is
+        // disabled) `recorder` is `None` and the loop below takes no
+        // timestamps. Scheme/placement strings come from the plan report,
+        // snapshotted up front because the loop holds `self.plan` mutably.
+        let mut recorder = self.config.profiler.as_ref().and_then(|p| p.begin_run());
+        let node_meta: HashMap<NodeId, (String, String)> = if recorder.is_some() {
+            self.plan
+                .report
+                .placements
+                .iter()
+                .map(|p| {
+                    let scheme = p
+                        .scheme
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|| "-".to_string());
+                    (p.node, (scheme, p.forward_type.to_string()))
+                })
+                .collect()
+        } else {
+            HashMap::new()
+        };
+
         // Remaining-use counts drive early release of intermediate tensors, the
         // runtime counterpart of the static plan.
         let mut remaining_uses: HashMap<TensorId, usize> = HashMap::new();
@@ -268,6 +290,12 @@ impl Session {
                 activation_inputs.push(tensor);
             }
             let mut output = Tensor::zeros(mnn_tensor::Shape::vector(1));
+            // Bytes are summed *before* the timestamp so accounting never
+            // inflates the measured kernel time.
+            let profiled = recorder.as_ref().map(|_| {
+                let input_bytes: u64 = activation_inputs.iter().map(|t| t.byte_size() as u64).sum();
+                (input_bytes, Instant::now())
+            });
             if self.config.decouple_preparation {
                 let execution = entry
                     .execution
@@ -281,6 +309,21 @@ impl Session {
                 execution.run(&activation_inputs, &mut output)?;
             }
             drop(activation_inputs);
+            if let (Some(rec), Some((input_bytes, kernel_start))) = (recorder.as_mut(), profiled) {
+                let (scheme, placement) = node_meta
+                    .get(&entry.node)
+                    .map(|(s, p)| (s.as_str(), p.as_str()))
+                    .unwrap_or(("-", "-"));
+                rec.record_node(
+                    &node.name,
+                    node.op.name(),
+                    scheme,
+                    placement,
+                    &output.shape().to_string(),
+                    kernel_start,
+                    input_bytes + output.byte_size() as u64,
+                );
+            }
             storage.insert(node.outputs[0], output);
 
             // Release inputs whose last consumer has run (memory reuse at runtime).
@@ -300,6 +343,9 @@ impl Session {
 
         for backend in &mut self.backends {
             backend.on_execute_end();
+        }
+        if let Some(rec) = recorder {
+            rec.finish();
         }
         let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
         let gpu_virtual_ms: f64 = self.backends.iter().map(|b| b.virtual_elapsed_ms()).sum();

@@ -179,8 +179,23 @@ impl Session {
             None
         };
 
+        let prepare_start = std::time::Instant::now();
         let plan = plan::build_plan(&graph, &config, &mut backends, None, tuner.as_ref())?;
         Self::persist_tuning(tuner.as_ref());
+        let metrics = mnn_obs::global();
+        metrics
+            .counter(
+                mnn_obs::metrics::names::SESSION_PREPARES,
+                "Sessions prepared (full pre-inference passes).",
+            )
+            .inc();
+        metrics
+            .histogram(
+                mnn_obs::metrics::names::SESSION_PREPARE_MS,
+                "Session preparation wall time, milliseconds.",
+                mnn_obs::metrics::LATENCY_MS_BUCKETS,
+            )
+            .observe(prepare_start.elapsed().as_secs_f64() * 1000.0);
         let inputs = Self::fresh_inputs(&graph)?;
 
         Ok(Session {
@@ -205,7 +220,7 @@ impl Session {
     fn persist_tuning(tuner: Option<&Tuner>) {
         if let Some(tuner) = tuner {
             if let Err(e) = tuner.persist() {
-                eprintln!("mnn-tune: failed to persist tuning cache: {e}");
+                mnn_obs::warn!("mnn-tune", "failed to persist tuning cache: {e}");
             }
         }
     }

@@ -73,6 +73,12 @@ impl Session {
         if target_key == current_key {
             return Ok(());
         }
+        mnn_obs::global()
+            .counter(
+                mnn_obs::metrics::names::SESSION_RESIZES,
+                "resize_session calls that changed the active geometry.",
+            )
+            .inc();
 
         if let Some(mut cached) = self.plan_cache.remove(&target_key) {
             // Cache hit: swap plans. Executions that migrated to a newer plan in
@@ -98,6 +104,12 @@ impl Session {
                 },
             );
             self.cache_hits += 1;
+            mnn_obs::global()
+                .counter(
+                    mnn_obs::metrics::names::PLAN_CACHE_HITS,
+                    "Resizes served from the per-shape-signature plan cache.",
+                )
+                .inc();
         } else {
             // Cold resize: re-infer shapes on a (cheap, weight-sharing) copy of the
             // graph, then re-run pre-inference, migrating unchanged executions.
@@ -128,6 +140,12 @@ impl Session {
                 }
             };
             Self::persist_tuning(self.tuner.as_ref());
+            mnn_obs::global()
+                .counter(
+                    mnn_obs::metrics::names::PLAN_CACHE_MISSES,
+                    "Resizes that re-ran pre-inference for a new geometry.",
+                )
+                .inc();
             new_plan.report.pre_inference_ms = start.elapsed().as_secs_f64() * 1000.0;
             let old_plan = std::mem::replace(&mut self.plan, new_plan);
             let old_graph = std::mem::replace(&mut self.graph, new_graph);

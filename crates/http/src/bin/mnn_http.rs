@@ -29,6 +29,7 @@ struct Args {
     tune_cache: Option<String>,
     max_connections: usize,
     drain_deadline_ms: u64,
+    profiling: bool,
 }
 
 impl Default for Args {
@@ -48,6 +49,7 @@ impl Default for Args {
             tune_cache: None,
             max_connections: 64,
             drain_deadline_ms: 10_000,
+            profiling: false,
         }
     }
 }
@@ -75,7 +77,12 @@ SERVING OPTIONS:
     --tune-cache FILE      persistent tuning cache path
     --max-connections N    concurrent connection cap     [default: 64]
     --drain-deadline-ms MS graceful-drain deadline       [default: 10000]
+    --profiling            per-op runtime profiling for every model,
+                           exposed at GET /v1/models/{name}/profile
     --help                 print this message
+
+Metrics are always on: GET /metrics serves the Prometheus text format.
+Log verbosity follows the MNN_LOG env var (error|warn|info|debug|trace).
 ";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -148,6 +155,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--drain-deadline-ms: {e}"))?
             }
+            "--profiling" => args.profiling = true,
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -170,11 +178,12 @@ fn run(args: Args) -> Result<(), String> {
         batch_window: Duration::from_millis(args.batch_window_ms),
         queue_capacity: args.queue_capacity,
         session: session.build(),
+        profiling: args.profiling,
     };
 
     let mut registry = ModelRegistry::new();
     for &(kind, size) in &args.zoo {
-        eprintln!("loading zoo model {kind} at {size}px ...");
+        mnn_obs::info!("mnn-http", "loading zoo model {kind} at {size}px ...");
         registry
             .register_zoo(kind, size, &options)
             .map_err(|e| e.to_string())?;
@@ -183,13 +192,16 @@ fn run(args: Args) -> Result<(), String> {
         let loaded = registry
             .load_dir(dir, &options)
             .map_err(|e| e.to_string())?;
-        eprintln!("loaded {loaded} model(s) from {dir}");
+        mnn_obs::info!("mnn-http", "loaded {loaded} model(s) from {dir}");
     }
     if let Some(manifest) = &args.manifest {
         let loaded = registry
             .load_manifest(manifest, &options)
             .map_err(|e| e.to_string())?;
-        eprintln!("loaded {loaded} model(s) from manifest {manifest}");
+        mnn_obs::info!(
+            "mnn-http",
+            "loaded {loaded} model(s) from manifest {manifest}"
+        );
     }
     if registry.is_empty() {
         return Err("no models were loaded".into());
@@ -218,12 +230,21 @@ fn run(args: Args) -> Result<(), String> {
     let _ = stdout.flush();
 
     server.wait_shutdown_requested();
-    eprintln!("shutdown requested; draining ...");
+    mnn_obs::info!("mnn-http", "shutdown requested; draining ...");
     let summary = server.shutdown();
-    eprintln!(
-        "drained: {} (aborted {} request(s))",
-        summary.drained, summary.aborted_requests
-    );
+    if summary.drained {
+        mnn_obs::info!(
+            "mnn-http",
+            "drained cleanly (aborted {} request(s))",
+            summary.aborted_requests
+        );
+    } else {
+        mnn_obs::warn!(
+            "mnn-http",
+            "drain deadline expired; aborted {} request(s)",
+            summary.aborted_requests
+        );
+    }
     Ok(())
 }
 

@@ -121,6 +121,15 @@ pub struct StatsResponse {
     pub stats: ServerStats,
 }
 
+/// Body of `GET /v1/models/{name}/profile`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileResponse {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Aggregated per-op runtime profile across every run so far.
+    pub profile: mnn_obs::ProfileReport,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,8 @@
 //! Request routing: maps parsed HTTP requests onto the serving API.
 
 use crate::codec::{
-    HealthResponse, InferRequest, InferResponse, ModelsResponse, NamedTensorJson, StatsResponse,
+    HealthResponse, InferRequest, InferResponse, ModelsResponse, NamedTensorJson, ProfileResponse,
+    StatsResponse,
 };
 use crate::parser::HttpRequest;
 use crate::registry::{ModelEntry, ModelRegistry};
@@ -53,6 +54,16 @@ pub fn route(request: &HttpRequest, registry: &ModelRegistry, draining: bool) ->
         }),
         ["v1", "models", name, "infer"] => with_model(request, registry, name, "POST", |entry| {
             infer(request, entry)
+        }),
+        ["v1", "models", name, "profile"] => with_model(request, registry, name, "GET", |entry| {
+            profile(request, name, entry)
+        }),
+        ["metrics"] => expect_method(request, "GET", || {
+            HttpResponse::text(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                mnn_obs::metrics::render_global(),
+            )
         }),
         ["admin", "shutdown"] => match request.method.as_str() {
             "POST" => Routed::Shutdown(HttpResponse::json(
@@ -140,6 +151,33 @@ fn infer(request: &HttpRequest, entry: &ModelEntry) -> HttpResponse {
             },
         ),
         Err(e) => serve_error_response(&e),
+    }
+}
+
+/// Render a model's runtime profile: the aggregated [`ProfileResponse`] by
+/// default, or the raw chrome://tracing JSON with `?format=trace`. Models
+/// registered without profiling get a `404` pointing at the flag.
+fn profile(request: &HttpRequest, name: &str, entry: &ModelEntry) -> HttpResponse {
+    let Some(profiler) = &entry.profiler else {
+        return HttpResponse::error(
+            404,
+            format!("profiling is not enabled for model '{name}'; restart with --profiling"),
+        );
+    };
+    let wants_trace = request
+        .query
+        .as_deref()
+        .is_some_and(|q| q.split('&').any(|pair| pair == "format=trace"));
+    if wants_trace {
+        HttpResponse::text(200, "application/json", profiler.chrome_trace())
+    } else {
+        HttpResponse::json(
+            200,
+            &ProfileResponse {
+                name: name.to_string(),
+                profile: profiler.report(),
+            },
+        )
     }
 }
 
@@ -286,6 +324,87 @@ mod tests {
             false,
         ));
         assert_eq!(wrong_input.status, 400);
+
+        registry.drain_with_deadline(std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text() {
+        let registry = tiny_registry();
+        let response = response_of(route(&request("GET", "/metrics", b""), &registry, false));
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.content_type,
+            "text/plain; version=0.0.4; charset=utf-8"
+        );
+        let text = String::from_utf8(response.body).unwrap();
+        for series in [
+            "mnn_infer_requests_total",
+            "mnn_queue_depth",
+            "mnn_batch_size",
+            "mnn_plan_cache_hits_total",
+            "mnn_tune_cache_hits_total",
+            "mnn_tune_cache_misses_total",
+            "mnn_uptime_seconds",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+
+        let wrong_method = response_of(route(&request("POST", "/metrics", b""), &registry, false));
+        assert_eq!(wrong_method.status, 405);
+        registry.drain_with_deadline(std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn profile_route_requires_profiling_and_reports_runs() {
+        // Without profiling the route 404s with a hint.
+        let registry = tiny_registry();
+        let off = response_of(route(
+            &request("GET", "/v1/models/tiny-cnn/profile", b""),
+            &registry,
+            false,
+        ));
+        assert_eq!(off.status, 404);
+        assert!(String::from_utf8(off.body).unwrap().contains("--profiling"));
+        registry.drain_with_deadline(std::time::Duration::from_secs(5));
+
+        // With profiling, a run shows up in the report and the trace export.
+        let mut registry = ModelRegistry::new();
+        let options = ServeOptions {
+            workers: 1,
+            max_batch: 1,
+            session: SessionConfig::cpu(1),
+            profiling: true,
+            ..ServeOptions::default()
+        };
+        registry
+            .register_zoo(ModelKind::TinyCnn, 16, &options)
+            .unwrap();
+        let entry = registry.get("tiny-cnn").unwrap();
+        let input = mnn_tensor::Tensor::zeros(mnn_tensor::Shape::nchw(1, 3, 16, 16));
+        entry
+            .server
+            .infer(&[(entry.inputs[0].as_str(), &input)])
+            .unwrap();
+
+        let report = response_of(route(
+            &request("GET", "/v1/models/tiny-cnn/profile", b""),
+            &registry,
+            false,
+        ));
+        assert_eq!(report.status, 200);
+        let parsed: ProfileResponse = serde_json::from_slice(&report.body).unwrap();
+        assert_eq!(parsed.name, "tiny-cnn");
+        assert!(parsed.profile.runs >= 1, "{:?}", parsed.profile);
+        assert!(!parsed.profile.ops.is_empty());
+
+        let mut trace_request = request("GET", "/v1/models/tiny-cnn/profile", b"");
+        trace_request.query = Some("format=trace".to_string());
+        let trace = response_of(route(&trace_request, &registry, false));
+        assert_eq!(trace.status, 200);
+        assert_eq!(trace.content_type, "application/json");
+        let text = String::from_utf8(trace.body).unwrap();
+        assert!(text.contains("\"traceEvents\""), "{text}");
 
         registry.drain_with_deadline(std::time::Duration::from_secs(5));
     }

@@ -63,7 +63,7 @@ pub mod server;
 
 pub use codec::{
     HealthResponse, InferRequest, InferResponse, ModelSummary, ModelsResponse, NamedTensorJson,
-    StatsResponse, TensorJson,
+    ProfileResponse, StatsResponse, TensorJson,
 };
 pub use error::HttpError;
 pub use parser::{HttpRequest, ParseError, ParseOutcome, RequestParser};

@@ -11,9 +11,11 @@ use crate::error::HttpError;
 use mnn_converter::{ModelFile, ModelManifest};
 use mnn_core::SessionConfig;
 use mnn_models::ModelKind;
+use mnn_obs::Profiler;
 use mnn_serve::{DrainReport, Server};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Serving-runtime settings applied to every registered model.
@@ -29,6 +31,9 @@ pub struct ServeOptions {
     pub queue_capacity: Option<usize>,
     /// Session configuration (threads, tuning mode, tune-cache path).
     pub session: SessionConfig,
+    /// Attach a per-model runtime [`Profiler`] to every session, exposed at
+    /// `GET /v1/models/{name}/profile` (default off).
+    pub profiling: bool,
 }
 
 impl Default for ServeOptions {
@@ -39,6 +44,7 @@ impl Default for ServeOptions {
             batch_window: Duration::from_millis(1),
             queue_capacity: None,
             session: SessionConfig::default(),
+            profiling: false,
         }
     }
 }
@@ -57,6 +63,9 @@ pub struct ModelEntry {
     pub inputs: Vec<String>,
     /// Graph output names, in declaration order.
     pub outputs: Vec<String>,
+    /// Per-model runtime profiler, present when the entry was registered with
+    /// [`ServeOptions::profiling`] enabled.
+    pub profiler: Option<Arc<Profiler>>,
 }
 
 /// Name-keyed table of serving runtimes (see the [module docs](self)).
@@ -98,11 +107,23 @@ impl ModelRegistry {
         let inputs: Vec<String> = graph.input_names().iter().map(|s| s.to_string()).collect();
         let outputs: Vec<String> = graph.output_names().iter().map(|s| s.to_string()).collect();
 
+        let profiler = if options.profiling {
+            let profiler = Arc::new(Profiler::new());
+            profiler.set_enabled(true);
+            Some(profiler)
+        } else {
+            None
+        };
+        let mut session = options.session.clone();
+        if let Some(profiler) = &profiler {
+            session.profiler = Some(Arc::clone(profiler));
+        }
+
         let mut builder = Server::builder()
             .workers(options.workers)
             .max_batch(options.max_batch)
             .batch_window(options.batch_window)
-            .session_config(options.session.clone());
+            .session_config(session);
         if let Some(capacity) = options.queue_capacity {
             builder = builder.queue_capacity(capacity);
         }
@@ -119,6 +140,7 @@ impl ModelRegistry {
                 quantized,
                 inputs,
                 outputs,
+                profiler,
             },
         );
         Ok(())

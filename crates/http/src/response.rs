@@ -8,6 +8,8 @@ use std::io::{self, Write};
 pub struct HttpResponse {
     /// Status code (200, 404, 429, …).
     pub status: u16,
+    /// `Content-Type` of the body (defaults to `application/json`).
+    pub content_type: String,
     /// Extra header fields beyond the automatic `Content-Type`,
     /// `Content-Length` and `Connection`.
     pub headers: Vec<(String, String)>,
@@ -22,8 +24,20 @@ impl HttpResponse {
             .unwrap_or_else(|e| format!("{{\"error\":\"serialization failed: {e}\"}}"));
         HttpResponse {
             status,
+            content_type: "application/json".to_string(),
             headers: Vec::new(),
             body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response with an explicit `Content-Type` (e.g. the
+    /// Prometheus exposition format of `GET /metrics`).
+    pub fn text(status: u16, content_type: impl Into<String>, body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse {
+            status,
+            content_type: content_type.into(),
+            headers: Vec::new(),
+            body: body.into(),
         }
     }
 
@@ -55,9 +69,10 @@ impl HttpResponse {
     /// Propagates writer I/O errors.
     pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
@@ -111,6 +126,23 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn text_responses_carry_their_content_type() {
+        let response = HttpResponse::text(
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            "m_total 1\n",
+        );
+        let mut out = Vec::new();
+        response.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("content-type: text/plain; version=0.0.4; charset=utf-8\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\r\n\r\nm_total 1\n"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::parser::{ParseOutcome, RequestParser};
 use crate::registry::ModelRegistry;
 use crate::response::HttpResponse;
 use crate::HttpError;
+use mnn_obs::metrics::names;
 use mnn_serve::DrainReport;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -68,8 +69,20 @@ struct Shared {
     draining: AtomicBool,
     drain_deadline_at: Mutex<Option<Instant>>,
     active_connections: AtomicUsize,
+    connections_gauge: mnn_obs::Gauge,
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
+}
+
+/// Count one written response in `mnn_http_responses_total{code=...}`.
+fn count_response(status: u16) {
+    mnn_obs::global()
+        .counter_with(
+            names::HTTP_RESPONSES,
+            "HTTP responses written, labeled by status code.",
+            &[("code", &status.to_string())],
+        )
+        .inc();
 }
 
 impl Shared {
@@ -121,12 +134,19 @@ impl HttpServer {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        // Pre-register the full metric schema so the first `/metrics` scrape
+        // already lists every well-known series.
+        mnn_obs::metrics::register_defaults();
         let shared = Arc::new(Shared {
             registry: RwLock::new(registry),
             config,
             draining: AtomicBool::new(false),
             drain_deadline_at: Mutex::new(None),
             active_connections: AtomicUsize::new(0),
+            connections_gauge: mnn_obs::global().gauge(
+                names::HTTP_CONNECTIONS,
+                "HTTP connections currently being served.",
+            ),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         });
@@ -252,6 +272,7 @@ fn accept_loop(
                     continue;
                 }
                 shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                shared.connections_gauge.add(1.0);
                 let conn_shared = Arc::clone(&shared);
                 let spawned = std::thread::Builder::new()
                     .name("mnn-http-conn".into())
@@ -260,6 +281,7 @@ fn accept_loop(
                         conn_shared
                             .active_connections
                             .fetch_sub(1, Ordering::SeqCst);
+                        conn_shared.connections_gauge.sub(1.0);
                     });
                 match spawned {
                     Ok(handle) => {
@@ -269,6 +291,7 @@ fn accept_loop(
                     }
                     Err(_) => {
                         shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                        shared.connections_gauge.sub(1.0);
                     }
                 }
             }
@@ -284,6 +307,7 @@ fn accept_loop(
 fn reject_over_capacity(mut stream: TcpStream) {
     let response =
         HttpResponse::error(503, "connection limit reached").with_header("retry-after", "1");
+    count_response(response.status);
     let _ = response.write_to(&mut stream, false);
 }
 
@@ -310,6 +334,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         Routed::Shutdown(response) => (response, true),
                     };
                     let keep_alive = request.keep_alive && !draining && !is_shutdown;
+                    count_response(response.status);
                     if response.write_to(&mut stream, keep_alive).is_err() {
                         return;
                     }
@@ -322,6 +347,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 }
                 ParseOutcome::Error(error) => {
                     let response = HttpResponse::error(error.status, error.message);
+                    count_response(response.status);
                     let _ = response.write_to(&mut stream, false);
                     return;
                 }

@@ -385,6 +385,96 @@ fn connection_cap_returns_503() {
     server.shutdown();
 }
 
+/// Observability surface over a real socket: `/metrics` serves Prometheus
+/// text with every well-known series, and a profiling-enabled model reports
+/// a per-op breakdown accounting for ≥95% of measured wall time.
+#[test]
+fn metrics_and_profile_endpoints_serve_over_the_wire() {
+    let mut registry = ModelRegistry::new();
+    let options = ServeOptions {
+        workers: 1,
+        max_batch: 2,
+        session: SessionConfig::cpu(1),
+        profiling: true,
+        ..ServeOptions::default()
+    };
+    registry
+        .register_zoo(ModelKind::TinyCnn, 32, &options)
+        .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", registry, HttpConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let runs = 4;
+    for seed in 0..runs {
+        let body = infer_body(test_input(32, seed));
+        let response = send(addr, "POST", "/v1/models/tiny-cnn/infer", &body).unwrap();
+        assert_eq!(
+            response.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&response.body)
+        );
+    }
+
+    let metrics = send(addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain"));
+    let text = String::from_utf8(metrics.body).unwrap();
+    for series in [
+        "mnn_infer_requests_total",
+        "mnn_infer_completed_total",
+        "mnn_infer_latency_ms_bucket",
+        "mnn_batch_size_bucket",
+        "mnn_queue_depth",
+        "mnn_plan_cache_hits_total",
+        "mnn_plan_cache_misses_total",
+        "mnn_tune_cache_hits_total",
+        "mnn_tune_cache_misses_total",
+        "mnn_session_prepare_total",
+        "mnn_http_responses_total{code=\"200\"}",
+        "mnn_uptime_seconds",
+    ] {
+        assert!(text.contains(series), "missing {series} in:\n{text}");
+    }
+    // The global counters are shared across this test binary, so only a lower
+    // bound is meaningful here.
+    let requests: u64 = text
+        .lines()
+        .find(|l| l.starts_with("mnn_infer_requests_total "))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(requests >= runs as u64, "{requests} < {runs}\n{text}");
+
+    let profile = send(addr, "GET", "/v1/models/tiny-cnn/profile", b"").unwrap();
+    assert_eq!(profile.status, 200);
+    let parsed: mnn_http::ProfileResponse = serde_json::from_slice(&profile.body).unwrap();
+    assert_eq!(parsed.name, "tiny-cnn");
+    assert_eq!(parsed.profile.runs, runs as u64);
+    assert!(
+        parsed.profile.coverage >= 0.95,
+        "per-op spans must account for >=95% of wall time: {:?}",
+        parsed.profile
+    );
+    assert!(!parsed.profile.ops.is_empty());
+    assert!(parsed
+        .profile
+        .ops
+        .iter()
+        .any(|op| op.op.starts_with("Conv2d")));
+
+    let trace = send(addr, "GET", "/v1/models/tiny-cnn/profile?format=trace", b"").unwrap();
+    assert_eq!(trace.status, 200);
+    let trace_text = String::from_utf8(trace.body).unwrap();
+    assert!(trace_text.contains("\"traceEvents\""), "{trace_text}");
+    assert!(trace_text.contains("\"ph\":\"X\""), "{trace_text}");
+
+    server.shutdown();
+}
+
 /// Shutdown under load: every request accepted before the drain started gets
 /// a real response (200, or 503 if the deadline expires) — none are dropped.
 #[test]

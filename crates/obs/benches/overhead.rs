@@ -1,0 +1,106 @@
+//! Profiling-off overhead guard.
+//!
+//! The profiler's contract is "near-zero overhead when off": a session with a
+//! *disabled* profiler attached must run as fast as a session with no
+//! profiler at all (the hot loop's only extra work is one relaxed atomic
+//! load). This bench times both and **asserts** the ratio, so a regression
+//! that sneaks always-on timers into the execution loop fails CI instead of
+//! silently taxing every inference.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnn_core::{Interpreter, Session, SessionConfig};
+use mnn_graph::{Conv2dAttrs, GraphBuilder};
+use mnn_obs::Profiler;
+use mnn_tensor::{Shape, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_graph() -> mnn_graph::Graph {
+    let mut b = GraphBuilder::new("obs-overhead");
+    let x = b.input("x", Shape::nchw(1, 8, 32, 32));
+    let c1 = b.conv2d_auto("conv1", x, Conv2dAttrs::same_3x3(8, 16), true);
+    let c2 = b.conv2d_auto("conv2", c1, Conv2dAttrs::same_3x3(16, 16), true);
+    b.build(vec![c2])
+}
+
+fn make_session(profiler: Option<Arc<Profiler>>) -> Session {
+    let interpreter = Interpreter::from_graph(bench_graph()).expect("valid graph");
+    let mut builder = SessionConfig::builder().threads(1);
+    if let Some(profiler) = profiler {
+        builder = builder.profiling(profiler);
+    }
+    interpreter
+        .create_session(builder.build())
+        .expect("session builds")
+}
+
+/// Mean wall time per run over `iters` runs (after warm-up).
+fn mean_run_ns(session: &mut Session, input: &Tensor, iters: usize) -> f64 {
+    for _ in 0..10 {
+        black_box(session.run(std::slice::from_ref(input)).unwrap());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(session.run(std::slice::from_ref(input)).unwrap());
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn assert_profiling_off_is_free() {
+    let input = Tensor::full(Shape::nchw(1, 8, 32, 32), 0.5);
+    let mut plain = make_session(None);
+    let profiler = Arc::new(Profiler::new());
+    profiler.set_enabled(false);
+    let mut attached = make_session(Some(profiler.clone()));
+
+    const ITERS: usize = 30;
+    // Timing on shared CI machines is noisy; accept the best of several
+    // attempts before declaring a regression.
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..5 {
+        // Interleave the measurements so frequency scaling hits both equally.
+        let base = mean_run_ns(&mut plain, &input, ITERS);
+        let off = mean_run_ns(&mut attached, &input, ITERS);
+        best_ratio = best_ratio.min(off / base);
+        if best_ratio <= 1.10 {
+            break;
+        }
+    }
+    assert_eq!(profiler.runs(), 0, "disabled profiler must record nothing");
+    assert!(
+        best_ratio <= 1.25,
+        "disabled profiling costs {:.1}% per run — the off path must stay free",
+        (best_ratio - 1.0) * 100.0
+    );
+    println!("profiling-off overhead: best ratio {best_ratio:.3} (<= 1.25 required)");
+}
+
+fn benches(c: &mut Criterion) {
+    let input = Tensor::full(Shape::nchw(1, 8, 32, 32), 0.5);
+    let mut group = c.benchmark_group("run");
+
+    let mut plain = make_session(None);
+    group.bench_function(BenchmarkId::from_parameter("no_profiler"), |b| {
+        b.iter(|| black_box(plain.run(std::slice::from_ref(&input)).unwrap()))
+    });
+
+    let off = Arc::new(Profiler::new());
+    off.set_enabled(false);
+    let mut attached = make_session(Some(off));
+    group.bench_function(BenchmarkId::from_parameter("profiler_disabled"), |b| {
+        b.iter(|| black_box(attached.run(std::slice::from_ref(&input)).unwrap()))
+    });
+
+    let on = Arc::new(Profiler::new());
+    on.set_enabled(true);
+    let mut profiled = make_session(Some(on));
+    group.bench_function(BenchmarkId::from_parameter("profiler_enabled"), |b| {
+        b.iter(|| black_box(profiled.run(std::slice::from_ref(&input)).unwrap()))
+    });
+    group.finish();
+
+    assert_profiling_off_is_free();
+}
+
+criterion_group!(overhead, benches);
+criterion_main!(overhead);

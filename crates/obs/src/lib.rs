@@ -1,0 +1,39 @@
+//! # `mnn-obs` — observability for the MNN-rs serving stack
+//!
+//! The paper's engineering method is *measurement-driven*: MNN picks kernels
+//! and backends from measured cost, and its Fig. 8 bottleneck study is a
+//! per-op wall-time breakdown. This crate makes the same evidence available
+//! at **inference time**, across the whole stack, in three layers:
+//!
+//! * [`Profiler`] — an opt-in per-op runtime profiler. A session configured
+//!   with `SessionConfig::builder().profiling(profiler)` records one span per
+//!   executed node (node name, op type, scheme + placement, output shape,
+//!   wall time, bytes moved) with **zero timer calls when profiling is off**.
+//!   Spans aggregate into a [`ProfileReport`] (per-op-type totals, hottest
+//!   nodes, % of wall time — the Fig. 8 table, but live) and export as
+//!   chrome://tracing Trace Event Format JSON ([`Profiler::chrome_trace`]).
+//! * [`metrics`] — a process-wide registry of lock-free [`Counter`]s,
+//!   [`Gauge`]s and [`Histogram`]s with a stable naming scheme
+//!   ([`metrics::names`]), rendered in Prometheus text exposition format
+//!   ([`Registry::render_prometheus`]) and served by `mnn-http` at
+//!   `GET /metrics`. The engine layers (session prepare/resize/plan-cache,
+//!   tuning cache, serve queue/batcher/workers, HTTP handler) all write into
+//!   [`metrics::global`].
+//! * [`log`] — a leveled structured log facade ([`log!`], [`error!`],
+//!   [`warn!`], [`info!`], [`debug!`], [`trace!`]) filtered by the `MNN_LOG`
+//!   environment variable with an injectable sink, replacing the workspace's
+//!   ad-hoc `eprintln!`s.
+//!
+//! The crate sits below every engine layer (it depends only on `serde`), so
+//! tensor-to-HTTP code can share one vocabulary of evidence.
+
+#![deny(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+pub mod profile;
+mod trace;
+
+pub use log::{set_max_level, set_sink, Level, LogSink, StderrSink};
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use profile::{NodeBreakdown, OpBreakdown, ProfileReport, Profiler, RunRecorder, SpanRecord};

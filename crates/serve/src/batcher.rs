@@ -37,6 +37,11 @@ pub(crate) fn process_batch(
             .map(|s| (*s).to_string())
             .or_else(|| panic.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "worker panicked".to_string());
+        stats.record_worker_panic();
+        mnn_obs::warn!(
+            "mnn-serve",
+            "worker panic contained, failing its batch: {msg}"
+        );
         Err(ServeError::Inference(format!("worker panicked: {msg}")))
     });
     // Record stats BEFORE fulfilling any slot: a client that wakes from

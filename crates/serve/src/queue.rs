@@ -26,6 +26,9 @@ pub(crate) struct RequestQueue {
     /// Signaled on push and on close.
     nonempty: Condvar,
     capacity: usize,
+    /// Process-wide `mnn_queue_depth` gauge. Updated with add/sub (not `set`)
+    /// so the queues of several model servers compose into one total.
+    depth_gauge: mnn_obs::Gauge,
 }
 
 impl RequestQueue {
@@ -37,6 +40,10 @@ impl RequestQueue {
             }),
             nonempty: Condvar::new(),
             capacity,
+            depth_gauge: mnn_obs::global().gauge(
+                mnn_obs::metrics::names::QUEUE_DEPTH,
+                "Requests currently waiting in serve queues.",
+            ),
         }
     }
 
@@ -58,6 +65,7 @@ impl RequestQueue {
         }
         state.deque.push_back(request);
         drop(state);
+        self.depth_gauge.add(1.0);
         // notify_all, not notify_one: a worker coalescing a batch waits on this
         // same condvar, and waking only *it* for an incompatible request would
         // leave an idle worker asleep while the request sits queued.
@@ -101,6 +109,7 @@ impl RequestQueue {
         state.closed = true;
         let abandoned: Vec<QueuedRequest> = state.deque.drain(..).collect();
         drop(state);
+        self.depth_gauge.sub(abandoned.len() as f64);
         self.nonempty.notify_all();
         abandoned
     }
@@ -134,6 +143,8 @@ impl RequestQueue {
 
         let mut batch = vec![first];
         if max_batch <= 1 || !batch[0].batchable {
+            drop(state);
+            self.depth_gauge.sub(1.0);
             return Some(batch);
         }
         let signature = batch[0].signature.clone();
@@ -157,6 +168,8 @@ impl RequestQueue {
                 break;
             }
         }
+        drop(state);
+        self.depth_gauge.sub(batch.len() as f64);
         Some(batch)
     }
 }

@@ -366,6 +366,9 @@ impl Server {
     fn fail_evicted(&self) -> usize {
         let evicted = self.queue.abort();
         let count = evicted.len();
+        if count > 0 {
+            self.stats.record_aborted(count);
+        }
         for request in evicted {
             request.slot.fulfill(Err(ServeError::ShuttingDown));
         }
@@ -379,7 +382,11 @@ impl Server {
             // NOT resume_unwind here — this runs from Drop, and unwinding
             // during another unwind aborts the process.
             if worker.join().is_err() {
-                eprintln!("mnn-serve: worker thread panicked outside batch processing");
+                self.stats.record_worker_panic();
+                mnn_obs::warn!(
+                    "mnn-serve",
+                    "worker thread panicked outside batch processing"
+                );
             }
         }
     }

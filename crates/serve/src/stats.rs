@@ -16,15 +16,75 @@ struct StatsInner {
     completed: u64,
     failed: u64,
     rejected: u64,
+    /// Queued requests failed with `ShuttingDown` when a drain deadline evicted
+    /// them.
+    aborted: u64,
+    /// Worker panics contained by the batch loop / joined at shutdown.
+    worker_panics: u64,
     /// Per-request end-to-end latencies (enqueue → response), milliseconds.
     latencies_ms: VecDeque<f64>,
     /// `batch_histogram[k - 1]` counts executed batches of size `k`.
     batch_histogram: Vec<u64>,
 }
 
+/// Handles into the process-wide `mnn_obs` registry, registered once per
+/// server so the per-request path never touches the registry lock. These are
+/// *global* series: several servers (one per model) accumulate together.
+struct GlobalMetrics {
+    requests: mnn_obs::Counter,
+    completed: mnn_obs::Counter,
+    errors: mnn_obs::Counter,
+    rejected: mnn_obs::Counter,
+    aborted: mnn_obs::Counter,
+    worker_panics: mnn_obs::Counter,
+    latency_ms: mnn_obs::Histogram,
+    batch_size: mnn_obs::Histogram,
+}
+
+impl GlobalMetrics {
+    fn register() -> Self {
+        use mnn_obs::metrics::names;
+        let global = mnn_obs::global();
+        GlobalMetrics {
+            requests: global.counter(
+                names::INFER_REQUESTS,
+                "Requests accepted into a serve queue.",
+            ),
+            completed: global.counter(names::INFER_COMPLETED, "Requests answered successfully."),
+            errors: global.counter(
+                names::INFER_ERRORS,
+                "Requests answered with an inference error.",
+            ),
+            rejected: global.counter(
+                names::INFER_REJECTED,
+                "Submissions rejected with QueueFull backpressure.",
+            ),
+            aborted: global.counter(
+                names::INFER_ABORTED,
+                "Queued requests failed with ShuttingDown at drain eviction.",
+            ),
+            worker_panics: global.counter(
+                names::WORKER_PANICS,
+                "Worker panics contained by the serving runtime.",
+            ),
+            latency_ms: global.histogram(
+                names::INFER_LATENCY_MS,
+                "End-to-end request latency (enqueue to response), milliseconds.",
+                mnn_obs::metrics::LATENCY_MS_BUCKETS,
+            ),
+            batch_size: global.histogram(
+                names::BATCH_SIZE,
+                "Executed micro-batch sizes.",
+                mnn_obs::metrics::BATCH_SIZE_BUCKETS,
+            ),
+        }
+    }
+}
+
 /// Thread-safe collector the server and its workers write into.
 pub(crate) struct StatsCollector {
     inner: Mutex<StatsInner>,
+    metrics: GlobalMetrics,
     started: Instant,
 }
 
@@ -36,9 +96,12 @@ impl StatsCollector {
                 completed: 0,
                 failed: 0,
                 rejected: 0,
+                aborted: 0,
+                worker_panics: 0,
                 latencies_ms: VecDeque::new(),
                 batch_histogram: vec![0; max_batch.max(1)],
             }),
+            metrics: GlobalMetrics::register(),
             started: Instant::now(),
         }
     }
@@ -49,10 +112,25 @@ impl StatsCollector {
 
     pub(crate) fn record_submitted(&self) {
         self.lock().submitted += 1;
+        self.metrics.requests.inc();
     }
 
     pub(crate) fn record_rejected(&self) {
         self.lock().rejected += 1;
+        self.metrics.rejected.inc();
+    }
+
+    /// Record queued requests evicted with `ShuttingDown` at the drain
+    /// deadline.
+    pub(crate) fn record_aborted(&self, count: usize) {
+        self.lock().aborted += count as u64;
+        self.metrics.aborted.add(count as u64);
+    }
+
+    /// Record one contained worker panic.
+    pub(crate) fn record_worker_panic(&self) {
+        self.lock().worker_panics += 1;
+        self.metrics.worker_panics.inc();
     }
 
     /// Record one executed batch: its size and each member's latency.
@@ -66,14 +144,18 @@ impl StatsCollector {
         inner.batch_histogram[slot] += 1;
         if ok {
             inner.completed += size as u64;
+            self.metrics.completed.add(size as u64);
         } else {
             inner.failed += size as u64;
+            self.metrics.errors.add(size as u64);
         }
+        self.metrics.batch_size.observe(size as f64);
         for &latency in latencies_ms {
             if inner.latencies_ms.len() == LATENCY_WINDOW {
                 inner.latencies_ms.pop_front();
             }
             inner.latencies_ms.push_back(latency);
+            self.metrics.latency_ms.observe(latency);
         }
     }
 
@@ -95,8 +177,11 @@ impl StatsCollector {
             completed: inner.completed,
             failed: inner.failed,
             rejected: inner.rejected,
+            aborted: inner.aborted,
+            worker_panics: inner.worker_panics,
             queue_depth,
             uptime_ms,
+            uptime_seconds: uptime_ms / 1000.0,
             throughput_rps: if uptime_ms > 0.0 {
                 inner.completed as f64 / (uptime_ms / 1000.0)
             } else {
@@ -155,11 +240,23 @@ pub struct ServerStats {
     /// Requests answered with an inference error.
     pub failed: u64,
     /// Submissions refused with [`ServeError::QueueFull`](crate::ServeError::QueueFull).
+    ///
+    /// Cumulative since startup — together with [`ServerStats::failed`]
+    /// (inference errors) these are the server's error totals.
     pub rejected: u64,
+    /// Queued requests failed with
+    /// [`ServeError::ShuttingDown`](crate::ServeError::ShuttingDown) because a
+    /// drain deadline evicted them before a worker picked them up.
+    pub aborted: u64,
+    /// Worker panics contained by the serving runtime (each also fails its
+    /// batch, counted under [`ServerStats::failed`]).
+    pub worker_panics: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: usize,
     /// Milliseconds since the server started.
     pub uptime_ms: f64,
+    /// Seconds since the server started (`uptime_ms / 1000`, for dashboards).
+    pub uptime_seconds: f64,
     /// Completed requests per second since startup.
     pub throughput_rps: f64,
     /// Mean end-to-end latency (enqueue → response) over the recent window.
@@ -178,12 +275,15 @@ impl fmt::Display for ServerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "workers {} | submitted {} | completed {} | failed {} | rejected {} | queued {}",
+            "workers {} | submitted {} | completed {} | failed {} | rejected {} | aborted {} \
+             | panics {} | queued {}",
             self.workers,
             self.submitted,
             self.completed,
             self.failed,
             self.rejected,
+            self.aborted,
+            self.worker_panics,
             self.queue_depth
         )?;
         writeln!(
@@ -237,6 +337,18 @@ mod tests {
     }
 
     #[test]
+    fn panics_and_evictions_become_counters() {
+        let stats = StatsCollector::new(2);
+        stats.record_worker_panic();
+        stats.record_aborted(3);
+        let snap = stats.snapshot(0, 1);
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.aborted, 3);
+        assert!(snap.uptime_seconds >= 0.0);
+        assert!((snap.uptime_seconds - snap.uptime_ms / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn oversized_batches_fold_into_last_bucket() {
         let stats = StatsCollector::new(2);
         stats.record_batch(&[1.0, 1.0, 1.0], true); // size 3 with max_batch 2
@@ -255,8 +367,11 @@ mod tests {
             completed: 8,
             failed: 1,
             rejected: 1,
+            aborted: 2,
+            worker_panics: 1,
             queue_depth: 3,
             uptime_ms: 1500.0,
+            uptime_seconds: 1.5,
             throughput_rps: 5.5,
             mean_latency_ms: 2.25,
             p50_latency_ms: 2.0,
@@ -269,7 +384,8 @@ mod tests {
             json,
             concat!(
                 "{\"workers\":2,\"submitted\":10,\"completed\":8,\"failed\":1,",
-                "\"rejected\":1,\"queue_depth\":3,\"uptime_ms\":1500.0,",
+                "\"rejected\":1,\"aborted\":2,\"worker_panics\":1,",
+                "\"queue_depth\":3,\"uptime_ms\":1500.0,\"uptime_seconds\":1.5,",
                 "\"throughput_rps\":5.5,\"mean_latency_ms\":2.25,",
                 "\"p50_latency_ms\":2.0,\"p99_latency_ms\":4.5,",
                 "\"mean_batch_size\":1.5,\"batch_histogram\":[[1,4],[2,2]]}"

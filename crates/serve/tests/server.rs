@@ -165,10 +165,20 @@ fn engine_panic_becomes_an_error_instead_of_hanging_clients() {
         Err(ServeError::Inference(msg)) => assert!(msg.contains("panicked"), "got: {msg}"),
         other => panic!("expected contained panic, got {other:?}"),
     }
+    // The contained panic is surfaced as data, not just a log line.
+    let stats = server.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.failed, 1);
     let outputs = server
         .infer(&[("data", &deterministic_input(16, 5))])
         .unwrap();
     assert_eq!(outputs[0].shape().dims(), &[1, 10]);
+    let stats = server.stats();
+    assert_eq!(
+        stats.worker_panics, 1,
+        "panic counter is cumulative, not per-request"
+    );
+    assert_eq!(stats.completed, 1, "the server keeps serving after a panic");
 }
 
 #[test]

@@ -123,13 +123,27 @@ impl SharedTuneCache {
         self.inner.path.as_deref()
     }
 
-    /// Look up a signature, counting a hit or miss.
+    /// Look up a signature, counting a hit or miss (both on this cache's own
+    /// stats and on the process-wide `mnn_tune_cache_{hits,misses}_total`
+    /// metrics).
     pub fn lookup(&self, signature: &OpSignature) -> Option<TuneEntry> {
         let found = self.entries().get(signature).cloned();
         if found.is_some() {
             self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+            mnn_obs::global()
+                .counter(
+                    mnn_obs::metrics::names::TUNE_CACHE_HITS,
+                    "Tuning-cache lookups answered from the cache.",
+                )
+                .inc();
         } else {
             self.inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+            mnn_obs::global()
+                .counter(
+                    mnn_obs::metrics::names::TUNE_CACHE_MISSES,
+                    "Tuning-cache lookups that found no entry.",
+                )
+                .inc();
         }
         found
     }
@@ -340,6 +354,12 @@ impl Tuner {
                 .inner
                 .measured_candidates
                 .fetch_add(1, Ordering::Relaxed);
+            mnn_obs::global()
+                .counter(
+                    mnn_obs::metrics::names::TUNE_MEASURED,
+                    "Candidate kernels micro-benchmarked by the tuner.",
+                )
+                .inc();
             measurements.push(CandidateMeasurement {
                 scheme: scheme.to_string(),
                 measured_ms: ms,

@@ -19,6 +19,9 @@
 //!   queue with backpressure, and dynamic micro-batching.
 //! * [`http`] — the network serving frontend: a hand-rolled HTTP/1.1 server with a
 //!   multi-model registry, JSON tensor codec, admission control and graceful drain.
+//! * [`obs`] — the observability layer: an opt-in per-op runtime profiler, the
+//!   process-wide metrics registry behind `GET /metrics`, and the leveled log
+//!   facade every crate routes diagnostics through.
 //!
 //! # The session flow
 //!
@@ -291,6 +294,72 @@
 //! (`cargo run --release --bin mnn_http -- --zoo squeezenet=64`); see
 //! `examples/http_client.rs` for a raw-socket client session and the
 //! `table_http` benchmark binary for socket-level throughput numbers.
+//!
+//! ## Observability
+//!
+//! The [`obs`] crate is the engine's telemetry layer, in three parts that the
+//! rest of the workspace is already instrumented with:
+//!
+//! * **Per-op runtime profiling** — attach a
+//!   [`Profiler`](mnn_obs::Profiler) via
+//!   [`SessionConfigBuilder::profiling`](SessionConfig) and every session run
+//!   records one span per executed node (op, kernel scheme, placement, shape,
+//!   wall time, bytes moved). When no profiler is attached — the default —
+//!   the execution loop skips all timestamping; when attached but disabled,
+//!   the cost is one atomic load per run. [`Profiler::report`] aggregates
+//!   into a per-op-type table with hottest nodes and a coverage figure
+//!   (how much of the measured wall time the spans account for), and
+//!   [`Profiler::chrome_trace`] exports the raw spans as chrome://tracing
+//!   JSON.
+//! * **Process-wide metrics** — lock-free counters, gauges and histograms
+//!   under stable `mnn_*` names ([`obs::metrics::names`](mnn_obs::metrics::names)),
+//!   written by session preparation, the plan cache, the tuner, the serving
+//!   queue/batcher/workers and the HTTP frontend, and rendered in Prometheus
+//!   text exposition format — `GET /metrics` on `mnn_http` serves exactly
+//!   [`obs::metrics::render_global`](mnn_obs::metrics::render_global).
+//! * **A log facade** — leveled `error!`/`warn!`/`info!`/`debug!`/`trace!`
+//!   macros with an `MNN_LOG` environment filter and a replaceable sink, so
+//!   embedded uses can capture engine diagnostics instead of losing them to
+//!   stderr.
+//!
+//! ```
+//! use mnn::models::{build, ModelKind};
+//! use mnn::obs::Profiler;
+//! use mnn::tensor::{Shape, Tensor};
+//! use mnn::{Interpreter, SessionConfig};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let profiler = Arc::new(Profiler::new());
+//! profiler.set_enabled(true);
+//! let interpreter = Interpreter::from_graph(build(ModelKind::TinyCnn, 1, 16))?;
+//! let mut session = interpreter.create_session(
+//!     SessionConfig::builder()
+//!         .threads(1)
+//!         .profiling(Arc::clone(&profiler))
+//!         .build(),
+//! )?;
+//! session.run_with(&[("data", &Tensor::zeros(Shape::nchw(1, 3, 16, 16)))])?;
+//!
+//! let report = profiler.report();
+//! assert_eq!(report.runs, 1);
+//! assert!(report.ops.iter().any(|op| op.op.starts_with("Conv2d")));
+//! println!("{report}"); // per-op table, hottest nodes first
+//! assert!(profiler.chrome_trace().contains("traceEvents"));
+//!
+//! // Process-wide metrics render as Prometheus text (what GET /metrics serves):
+//! let text = mnn::obs::metrics::render_global();
+//! assert!(text.contains("mnn_session_prepare_total"));
+//! assert!(text.contains("mnn_uptime_seconds"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! In the HTTP frontend the same profiler sits behind
+//! `GET /v1/models/{name}/profile` (enable with `--profiling` or
+//! [`ServeOptions::profiling`](mnn_http::ServeOptions)); append
+//! `?format=trace` for the chrome://tracing export. See
+//! `examples/profiled_inference.rs` for the profile table on a zoo model.
 
 #![deny(missing_docs)]
 
@@ -326,6 +395,9 @@ pub use mnn_http as http;
 
 /// Kernel auto-tuning: device-keyed measurement cache (re-export of `mnn-tune`).
 pub use mnn_tune as tune;
+
+/// Observability: profiler, metrics registry, log facade (re-export of `mnn-obs`).
+pub use mnn_obs as obs;
 
 pub use mnn_backend::{ConvScheme, ForwardType, GpuProfile};
 pub use mnn_core::{
