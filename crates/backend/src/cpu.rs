@@ -8,6 +8,7 @@ use crate::BackendError;
 use mnn_graph::{ActivationKind, Conv2dAttrs, Graph, Node, Op, QuantAttrs, TensorId};
 use mnn_kernels::activation::Activation;
 use mnn_kernels::conv::ConvParams;
+use mnn_kernels::simd::KernelBackend;
 use mnn_kernels::winograd::PreparedWinogradWeights;
 use mnn_kernels::{activation, conv, elementwise, fc, norm, pool, quant, winograd};
 use mnn_tensor::{Shape, Tensor};
@@ -302,9 +303,15 @@ fn create_conv_quantized(
     let scheme = hint
         .conv_scheme
         .unwrap_or_else(|| CpuBackend::default_quantized_conv_scheme(&params));
-    if scheme == ConvScheme::QuantizedGemm {
+    if matches!(
+        scheme,
+        ConvScheme::QuantizedGemm | ConvScheme::QuantizedGemmSimd
+    ) {
+        let kernel_backend = kernel_backend_for(scheme)?;
         return Ok(Box::new(QuantConvExec {
             params,
+            scheme,
+            kernel_backend,
             weight,
             scales: quant.weight_scales.clone(),
             bias,
@@ -318,6 +325,25 @@ fn create_conv_quantized(
     build_float_conv_exec(params, scheme, weight_f32, bias, fused, threads)
 }
 
+/// Resolve the kernel backend `scheme` dispatches to. SIMD schemes require
+/// the host's active kernel backend to be vectorized; otherwise `on_create`
+/// fails here, which makes the tuner skip the candidate and lets stale cache
+/// entries from a SIMD host degrade to re-tuning instead of mis-dispatching.
+fn kernel_backend_for(scheme: ConvScheme) -> Result<KernelBackend, BackendError> {
+    if !scheme.is_simd() {
+        return Ok(KernelBackend::Scalar);
+    }
+    let active = KernelBackend::active();
+    if active.is_simd() {
+        Ok(active)
+    } else {
+        Err(BackendError::UnavailableScheme {
+            scheme: scheme.to_string(),
+            kernel_set: active.name().to_string(),
+        })
+    }
+}
+
 fn build_float_conv_exec(
     params: ConvParams,
     scheme: ConvScheme,
@@ -326,22 +352,25 @@ fn build_float_conv_exec(
     fused: ActivationKind,
     threads: usize,
 ) -> Result<Box<dyn Execution>, BackendError> {
-    if scheme == ConvScheme::QuantizedGemm {
+    if matches!(
+        scheme,
+        ConvScheme::QuantizedGemm | ConvScheme::QuantizedGemmSimd
+    ) {
         return Err(BackendError::InvalidTensor(
             "the quantized-gemm scheme requires i8 weights (float convolution given)".into(),
         ));
     }
+    let kernel_backend = kernel_backend_for(scheme)?;
     let prepared = match scheme {
-        ConvScheme::Winograd { tile } => Some(winograd::prepare_winograd_weights(
-            &params,
-            tile,
-            weight.data_f32(),
-        )),
+        ConvScheme::Winograd { tile } | ConvScheme::WinogradSimd { tile } => Some(
+            winograd::prepare_winograd_weights(&params, tile, weight.data_f32()),
+        ),
         _ => None,
     };
     Ok(Box::new(ConvExec {
         params,
         scheme,
+        kernel_backend,
         weight,
         bias,
         prepared,
@@ -358,6 +387,9 @@ fn build_float_conv_exec(
 struct ConvExec {
     params: ConvParams,
     scheme: ConvScheme,
+    /// `Scalar` for scalar schemes; the host's active SIMD backend for `*Simd`
+    /// schemes (validated at creation time by `kernel_backend_for`).
+    kernel_backend: KernelBackend,
     weight: Arc<Tensor>,
     bias: Option<Arc<Tensor>>,
     /// Winograd weights transformed once at creation time (paper Fig. 3:
@@ -390,7 +422,18 @@ impl Execution for ConvExec {
             ConvScheme::Im2col => {
                 conv::conv2d_im2col(&self.params, self.threads, batch, in_h, in_w, x, w, b)
             }
-            ConvScheme::Winograd { tile } => {
+            ConvScheme::Im2colSimd => conv::conv2d_im2col_with(
+                self.kernel_backend,
+                &self.params,
+                self.threads,
+                batch,
+                in_h,
+                in_w,
+                x,
+                w,
+                b,
+            ),
+            ConvScheme::Winograd { tile } | ConvScheme::WinogradSimd { tile } => {
                 // `create_conv` always prepares weights for the selected tile; a
                 // mismatch is a programming error. Do NOT silently re-transform
                 // here — that would hide the per-run cost that preparation
@@ -400,7 +443,8 @@ impl Execution for ConvExec {
                     .as_ref()
                     .filter(|p| p.tile() == tile)
                     .expect("Winograd execution created without matching prepared weights");
-                winograd::conv2d_winograd_prepared(
+                winograd::conv2d_winograd_prepared_with(
+                    self.kernel_backend,
                     &self.params,
                     prepared,
                     self.threads,
@@ -417,7 +461,18 @@ impl Execution for ConvExec {
             ConvScheme::Depthwise => {
                 conv::conv2d_depthwise(&self.params, self.threads, batch, in_h, in_w, x, w, b)
             }
-            ConvScheme::QuantizedGemm => {
+            ConvScheme::DepthwiseSimd => conv::conv2d_depthwise_with(
+                self.kernel_backend,
+                &self.params,
+                self.threads,
+                batch,
+                in_h,
+                in_w,
+                x,
+                w,
+                b,
+            ),
+            ConvScheme::QuantizedGemm | ConvScheme::QuantizedGemmSimd => {
                 // Float executions are never created with the integer scheme
                 // (`build_float_conv_exec` rejects it).
                 return Err(BackendError::InvalidTensor(
@@ -443,6 +498,10 @@ impl Execution for ConvExec {
 /// creation, activations quantized per sample at run time, `i32` accumulation.
 struct QuantConvExec {
     params: ConvParams,
+    scheme: ConvScheme,
+    /// `Scalar` for `QuantizedGemm`, the host's active SIMD backend for
+    /// `QuantizedGemmSimd`. Both produce identical bits (exact `i32` math).
+    kernel_backend: KernelBackend,
     weight: Arc<Tensor>,
     scales: Vec<f32>,
     bias: Option<Arc<Tensor>>,
@@ -468,7 +527,8 @@ impl Execution for QuantConvExec {
             .weight
             .try_data_i8()
             .map_err(|e| BackendError::InvalidTensor(e.to_string()))?;
-        let mut result = quant::conv2d_quantized(
+        let mut result = quant::conv2d_quantized_with(
+            self.kernel_backend,
             &self.params,
             self.threads,
             batch,
@@ -487,8 +547,8 @@ impl Execution for QuantConvExec {
 
     fn describe(&self) -> String {
         format!(
-            "conv {}x{} via quantized-gemm (int8)",
-            self.params.kernel_h, self.params.kernel_w
+            "conv {}x{} via {} (int8)",
+            self.params.kernel_h, self.params.kernel_w, self.scheme
         )
     }
 }

@@ -21,6 +21,16 @@ pub enum BackendError {
     InvalidTensor(String),
     /// A buffer handle was used after release or from the wrong backend.
     InvalidBuffer(usize),
+    /// A convolution scheme requires a kernel backend (e.g. AVX2/NEON SIMD)
+    /// the host does not provide — raised by `on_create` so the tuner skips
+    /// the candidate and stale cache entries degrade to re-tuning instead of
+    /// dispatching a kernel that does not exist here.
+    UnavailableScheme {
+        /// Display form of the requested scheme (e.g. `im2col-simd`).
+        scheme: String,
+        /// The host's active kernel set (e.g. `scalar`).
+        kernel_set: String,
+    },
 }
 
 impl fmt::Display for BackendError {
@@ -33,6 +43,10 @@ impl fmt::Display for BackendError {
             BackendError::MissingConstant(name) => write!(f, "missing constant tensor '{name}'"),
             BackendError::InvalidTensor(msg) => write!(f, "invalid tensor: {msg}"),
             BackendError::InvalidBuffer(id) => write!(f, "invalid buffer handle {id}"),
+            BackendError::UnavailableScheme { scheme, kernel_set } => write!(
+                f,
+                "scheme '{scheme}' requires a SIMD kernel backend, but the active kernel set is '{kernel_set}'"
+            ),
         }
     }
 }

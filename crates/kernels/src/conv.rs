@@ -7,7 +7,8 @@
 //!
 //! All kernels consume/produce NCHW `f32` buffers; `mnn-backend` handles packing.
 
-use crate::gemm::gemm_mt;
+use crate::gemm::gemm_mt_with;
+use crate::simd::{axpy_f32, KernelBackend};
 use crate::strassen::strassen;
 
 /// Padding policy for convolution/pooling.
@@ -357,6 +358,39 @@ pub fn conv2d_im2col(
     weight: &[f32],
     bias: &[f32],
 ) -> Vec<f32> {
+    conv2d_im2col_with(
+        KernelBackend::Scalar,
+        params,
+        threads,
+        batch,
+        in_h,
+        in_w,
+        input,
+        weight,
+        bias,
+    )
+}
+
+/// [`conv2d_im2col`] with an explicit [`KernelBackend`] for the GEMM stage.
+///
+/// The unfold stage is identical across backends; only the `[oc, ic*kh*kw] ×
+/// [ic*kh*kw, out_h*out_w]` product dispatches to the SIMD micro-kernels.
+///
+/// # Panics
+///
+/// Same contract as [`conv2d_im2col`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_im2col_with(
+    kb: KernelBackend,
+    params: &ConvParams,
+    threads: usize,
+    batch: usize,
+    in_h: usize,
+    in_w: usize,
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+) -> Vec<f32> {
     assert_eq!(params.groups, 1, "im2col path requires groups == 1");
     validate(params, batch, in_h, in_w, input, weight, bias);
     let (out_h, out_w) = params.output_size(in_h, in_w);
@@ -396,7 +430,8 @@ pub fn conv2d_im2col(
         // GEMM: [oc, k_dim] x [k_dim, n_dim]
         let out_block =
             &mut output[b * params.out_channels * n_dim..][..params.out_channels * n_dim];
-        gemm_mt(
+        gemm_mt_with(
+            kb,
             threads,
             params.out_channels,
             k_dim,
@@ -485,6 +520,99 @@ pub fn conv2d_depthwise(
         "conv2d_depthwise requires groups == in_channels == out_channels"
     );
     conv2d_sliding_window(params, threads, batch, in_h, in_w, input, weight, bias)
+}
+
+/// [`conv2d_depthwise`] with an explicit [`KernelBackend`].
+///
+/// With a SIMD backend and unit column stride/dilation, each kernel tap
+/// becomes one vector axpy over the valid output row span (`out_row += wv *
+/// in_row[..]`); strided/dilated taps keep the scalar gather. Results differ
+/// from scalar only by FMA rounding per element.
+///
+/// # Panics
+///
+/// Panics if the parameters do not describe a depthwise convolution or buffer
+/// lengths are wrong.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_depthwise_with(
+    kb: KernelBackend,
+    params: &ConvParams,
+    threads: usize,
+    batch: usize,
+    in_h: usize,
+    in_w: usize,
+    input: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+) -> Vec<f32> {
+    assert!(
+        params.is_depthwise(),
+        "conv2d_depthwise requires groups == in_channels == out_channels"
+    );
+    if !kb.is_simd() {
+        return conv2d_sliding_window(params, threads, batch, in_h, in_w, input, weight, bias);
+    }
+    validate(params, batch, in_h, in_w, input, weight, bias);
+    let (out_h, out_w) = params.output_size(in_h, in_w);
+    let (pad_h, pad_w) = params.resolve_padding(in_h, in_w);
+    let out_plane = out_h * out_w;
+    let mut output = vec![0.0f32; batch * params.out_channels * out_plane];
+    let row_axpy = params.stride_w == 1 && params.dilation_w == 1;
+
+    crate::parallel::parallel_chunks_mut(threads, &mut output, out_plane, |plane_index, planes| {
+        for (p, plane) in planes.chunks_mut(out_plane).enumerate() {
+            let global = plane_index + p;
+            let b = global / params.out_channels;
+            let c = global % params.out_channels;
+            let bias_v = if params.has_bias { bias[c] } else { 0.0 };
+            plane.fill(bias_v);
+            let in_plane = &input[((b * params.in_channels + c) * in_h * in_w)..][..in_h * in_w];
+            let w_base = c * params.kernel_h * params.kernel_w;
+            for ky in 0..params.kernel_h {
+                for kx in 0..params.kernel_w {
+                    let wv = weight[w_base + ky * params.kernel_w + kx];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    for oy in 0..out_h {
+                        let iy = (oy * params.stride_h + ky * params.dilation_h) as isize
+                            - pad_h as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        let in_row = &in_plane[iy as usize * in_w..][..in_w];
+                        let out_row = &mut plane[oy * out_w..][..out_w];
+                        if row_axpy {
+                            // ix = ox + kx - pad_w; restrict ox to where ix
+                            // lands inside the row, then vector-axpy the span.
+                            let shift = kx as isize - pad_w as isize;
+                            let ox_start = (-shift).max(0) as usize;
+                            let ox_end = out_w.min((in_w as isize - shift).max(0) as usize);
+                            if ox_start < ox_end {
+                                let ix0 = (ox_start as isize + shift) as usize;
+                                axpy_f32(
+                                    kb,
+                                    &mut out_row[ox_start..ox_end],
+                                    &in_row[ix0..ix0 + (ox_end - ox_start)],
+                                    wv,
+                                );
+                            }
+                        } else {
+                            for ox in 0..out_w {
+                                let ix = (ox * params.stride_w + kx * params.dilation_w) as isize
+                                    - pad_w as isize;
+                                if ix < 0 || ix >= in_w as isize {
+                                    continue;
+                                }
+                                out_row[ox] += wv * in_row[ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    output
 }
 
 fn validate(

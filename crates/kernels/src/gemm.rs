@@ -14,6 +14,7 @@
 //! All compute `C = A × B` with `A: [m, k]`, `B: [k, n]`, `C: [m, n]`, row-major.
 
 use crate::parallel::parallel_chunks_mut;
+use crate::simd::{gemm_accumulate_simd, KernelBackend};
 
 /// Blocking factor along the `k` (reduction) dimension.
 const BLOCK_K: usize = 256;
@@ -52,9 +53,28 @@ pub fn gemm_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f
 ///
 /// Panics if any slice length does not match its dimensions.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_with(KernelBackend::Scalar, m, k, n, a, b, c);
+}
+
+/// [`gemm`] with an explicit [`KernelBackend`]: SIMD backends use the
+/// register-tiled AVX2/NEON micro-kernels, `Scalar` is bit-identical to the
+/// plain [`gemm`].
+///
+/// # Panics
+///
+/// Panics if any slice length does not match its dimensions.
+pub fn gemm_with(
+    kb: KernelBackend,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     check_dims(m, k, n, a, b, c);
     c.fill(0.0);
-    gemm_accumulate(m, k, n, a, b, c);
+    gemm_accumulate_with(kb, m, k, n, a, b, c);
 }
 
 /// Blocked GEMM that *accumulates* into `c` (`c += a × b`).
@@ -67,6 +87,32 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
 /// Panics if any slice length does not match its dimensions.
 pub fn gemm_accumulate(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     check_dims(m, k, n, a, b, c);
+    gemm_accumulate_scalar(m, k, n, a, b, c);
+}
+
+/// [`gemm_accumulate`] with an explicit [`KernelBackend`]. SIMD results differ
+/// from scalar only by FMA rounding (same reduction order over `k`); see
+/// `tests/simd_conformance.rs` for the documented tolerance.
+///
+/// # Panics
+///
+/// Panics if any slice length does not match its dimensions.
+pub fn gemm_accumulate_with(
+    kb: KernelBackend,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    check_dims(m, k, n, a, b, c);
+    if !gemm_accumulate_simd(kb, 0, m, k, n, a, b, c) {
+        gemm_accumulate_scalar(m, k, n, a, b, c);
+    }
+}
+
+fn gemm_accumulate_scalar(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for p0 in (0..k).step_by(BLOCK_K) {
         let p1 = (p0 + BLOCK_K).min(k);
         for j0 in (0..n).step_by(BLOCK_N) {
@@ -96,16 +142,34 @@ pub fn gemm_accumulate(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &m
 ///
 /// Panics if any slice length does not match its dimensions.
 pub fn gemm_mt(threads: usize, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_mt_with(KernelBackend::Scalar, threads, m, k, n, a, b, c);
+}
+
+/// [`gemm_mt`] with an explicit [`KernelBackend`] for the per-thread kernel.
+///
+/// # Panics
+///
+/// Panics if any slice length does not match its dimensions.
+pub fn gemm_mt_with(
+    kb: KernelBackend,
+    threads: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     check_dims(m, k, n, a, b, c);
     if threads <= 1 || m == 1 {
-        gemm(m, k, n, a, b, c);
+        gemm_with(kb, m, k, n, a, b, c);
         return;
     }
     parallel_chunks_mut(threads, c, n, |start_row, c_rows| {
         let rows = c_rows.len() / n;
         let a_block = &a[start_row * k..(start_row + rows) * k];
         c_rows.fill(0.0);
-        gemm_accumulate(rows, k, n, a_block, b, c_rows);
+        gemm_accumulate_with(kb, rows, k, n, a_block, b, c_rows);
     });
 }
 

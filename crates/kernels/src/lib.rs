@@ -37,6 +37,7 @@ pub mod norm;
 pub mod parallel;
 pub mod pool;
 pub mod quant;
+pub mod simd;
 pub mod strassen;
 pub mod winograd;
 

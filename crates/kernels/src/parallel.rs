@@ -35,16 +35,19 @@ where
         body(0, count);
         return;
     }
-    let chunk = count.div_ceil(threads);
+    // Balanced partitioning: the first `count % threads` chunks get one extra
+    // item, so chunk sizes differ by at most 1 and every thread gets work.
+    // (A `div_ceil`-sized chunk would leave threads idle: count=9, threads=8
+    // used to produce five chunks of 2,2,2,2,1 with three threads unused.)
+    let base = count / threads;
+    let rem = count % threads;
     std::thread::scope(|scope| {
+        let mut start = 0usize;
         for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(count);
-            if start >= end {
-                break;
-            }
+            let end = start + base + usize::from(t < rem);
             let body = &body;
             scope.spawn(move || body(start, end));
+            start = end;
         }
     });
 }
@@ -77,18 +80,20 @@ where
         body(0, data);
         return;
     }
-    let per_thread_rows = count.div_ceil(threads);
-    let per_thread_elems = per_thread_rows * stride;
+    // Same balanced split as `parallel_for`: row counts differ by at most 1
+    // across workers, so no thread idles while another carries a double load.
+    let base = count / threads;
+    let rem = count % threads;
     std::thread::scope(|scope| {
         let mut rest = data;
         let mut row = 0usize;
-        while !rest.is_empty() {
-            let take = per_thread_elems.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
+        for t in 0..threads {
+            let take_rows = base + usize::from(t < rem);
+            let (head, tail) = rest.split_at_mut(take_rows * stride);
             let body = &body;
             let start_row = row;
             scope.spawn(move || body(start_row, head));
-            row += take / stride;
+            row += take_rows;
             rest = tail;
         }
     });
@@ -121,6 +126,80 @@ mod tests {
                 });
                 assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
             }
+        }
+    }
+
+    #[test]
+    fn partitioning_is_balanced_and_uses_every_thread() {
+        // Adversarial (count, threads) pairs, including the div_ceil failure
+        // case count=9, threads=8 (formerly 5 chunks with 3 threads idle).
+        for (count, threads) in [
+            (9, 8),
+            (10, 4),
+            (5, 7),
+            (7, 7),
+            (1000, 3),
+            (3, 2),
+            (17, 4),
+            (64, 5),
+        ] {
+            let chunks = std::sync::Mutex::new(Vec::new());
+            parallel_for(threads, count, |s, e| {
+                chunks.lock().unwrap().push((s, e));
+            });
+            let mut chunks = chunks.into_inner().unwrap();
+            chunks.sort_unstable();
+            let expected_chunks = threads.min(count);
+            assert_eq!(
+                chunks.len(),
+                expected_chunks,
+                "count={count} threads={threads}: expected {expected_chunks} chunks, got {chunks:?}"
+            );
+            // Exact, contiguous coverage.
+            let mut next = 0;
+            for &(s, e) in &chunks {
+                assert_eq!(
+                    s, next,
+                    "gap/overlap at {s} (count={count} threads={threads})"
+                );
+                assert!(e > s);
+                next = e;
+            }
+            assert_eq!(next, count);
+            // Balanced: sizes differ by at most 1.
+            let sizes: Vec<usize> = chunks.iter().map(|&(s, e)| e - s).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(
+                max - min <= 1,
+                "unbalanced sizes {sizes:?} for count={count} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_mut_partitioning_is_balanced() {
+        for (rows, threads, stride) in [(9, 8, 3), (10, 4, 2), (5, 7, 1), (1000, 3, 4)] {
+            let mut data = vec![0usize; rows * stride];
+            let chunks = std::sync::Mutex::new(Vec::new());
+            parallel_chunks_mut(threads, &mut data, stride, |start_row, slice| {
+                chunks
+                    .lock()
+                    .unwrap()
+                    .push((start_row, slice.len() / stride));
+            });
+            let mut chunks = chunks.into_inner().unwrap();
+            chunks.sort_unstable();
+            assert_eq!(chunks.len(), threads.min(rows));
+            let mut next = 0;
+            for &(start, len) in &chunks {
+                assert_eq!(start, next);
+                assert!(len > 0);
+                next += len;
+            }
+            assert_eq!(next, rows);
+            let sizes: Vec<usize> = chunks.iter().map(|&(_, len)| len).collect();
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
         }
     }
 

@@ -13,6 +13,7 @@
 
 use crate::conv::ConvParams;
 use crate::parallel::parallel_chunks_mut;
+use crate::simd::{i8_axpy2_i32, i8_axpy_i32, KernelBackend};
 
 /// Quantization parameters for a symmetric int8 scheme: `real = scale * quantized`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,23 +142,65 @@ pub fn gemm_i8(
     b: &[i8],
     b_params: QuantParams,
 ) -> Vec<f32> {
+    gemm_i8_with(KernelBackend::Scalar, m, k, n, a, a_params, b, b_params)
+}
+
+/// [`gemm_i8`] with an explicit [`KernelBackend`].
+///
+/// All backends are bit-identical: every partial product is exact in `i32`
+/// and integer addition is associative, so vectorization cannot change bits.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_i8_with(
+    kb: KernelBackend,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    a_params: QuantParams,
+    b: &[i8],
+    b_params: QuantParams,
+) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A length mismatch");
     assert_eq!(b.len(), k * n, "B length mismatch");
     let rescale = a_params.scale * b_params.scale;
     let mut c = vec![0i32; m * n];
     for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p] as i32;
-            if av == 0 {
-                continue;
-            }
-            for j in 0..n {
-                // accumulate in i32 per the standard int8 inference recipe
-                c[i * n + j] += av * b[p * n + j] as i32;
-            }
-        }
+        let c_row = &mut c[i * n..(i + 1) * n];
+        // accumulate in i32 per the standard int8 inference recipe
+        accumulate_rows_i8(kb, c_row, b, &a[i * k..(i + 1) * k]);
     }
     c.into_iter().map(|acc| acc as f32 * rescale).collect()
+}
+
+/// `acc += Σ_p w[p] · mat[p·len .. (p+1)·len]` with `len = acc.len()`,
+/// skipping zero weights and feeding nonzero rows to the paired axpy kernel
+/// two at a time (bit-identical to one-at-a-time: integer addition is exact
+/// and associative).
+fn accumulate_rows_i8(kb: KernelBackend, acc: &mut [i32], mat: &[i8], w: &[i8]) {
+    let len = acc.len();
+    let mut pending: Option<(usize, i32)> = None;
+    for (p, &wp) in w.iter().enumerate() {
+        if wp == 0 {
+            continue;
+        }
+        match pending.take() {
+            None => pending = Some((p, wp as i32)),
+            Some((q, wq)) => i8_axpy2_i32(
+                kb,
+                acc,
+                &mat[q * len..(q + 1) * len],
+                wq,
+                &mat[p * len..(p + 1) * len],
+                wp as i32,
+            ),
+        }
+    }
+    if let Some((q, wq)) = pending {
+        i8_axpy_i32(kb, acc, &mat[q * len..(q + 1) * len], wq);
+    }
 }
 
 /// Quantized 2-D convolution with per-output-channel weight scales and full
@@ -177,6 +220,39 @@ pub fn gemm_i8(
 /// out_channels`, or channel counts are not divisible by `groups`.
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d_quantized(
+    params: &ConvParams,
+    threads: usize,
+    batch: usize,
+    in_h: usize,
+    in_w: usize,
+    input: &[f32],
+    weight_q: &[i8],
+    weight_scales: &[f32],
+    bias: &[f32],
+) -> Vec<f32> {
+    conv2d_quantized_with(
+        KernelBackend::Scalar,
+        params,
+        threads,
+        batch,
+        in_h,
+        in_w,
+        input,
+        weight_q,
+        weight_scales,
+        bias,
+    )
+}
+
+/// [`conv2d_quantized`] with an explicit [`KernelBackend`] for the integer
+/// GEMM stage. Bit-identical across backends (exact `i32` accumulation).
+///
+/// # Panics
+///
+/// Same contract as [`conv2d_quantized`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_quantized_with(
+    kb: KernelBackend,
     params: &ConvParams,
     threads: usize,
     batch: usize,
@@ -285,16 +361,7 @@ pub fn conv2d_quantized(
                     let oc = g * ocg + first_oc + o;
                     acc.fill(0);
                     let w_row = &weight_q[oc * k_dim..(oc + 1) * k_dim];
-                    for (p, &w) in w_row.iter().enumerate() {
-                        if w == 0 {
-                            continue;
-                        }
-                        let w = w as i32;
-                        let col_row = &col_ref[p * out_plane..(p + 1) * out_plane];
-                        for (a, &c) in acc.iter_mut().zip(col_row) {
-                            *a += w * c as i32;
-                        }
-                    }
+                    accumulate_rows_i8(kb, &mut acc, col_ref, w_row);
                     let rescale = input_scales[b * groups + g] * weight_scales[oc];
                     let bias_v = if params.has_bias { bias[oc] } else { 0.0 };
                     for (slot, &a) in plane.iter_mut().zip(&acc) {

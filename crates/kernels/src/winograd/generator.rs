@@ -20,6 +20,8 @@
 //!
 //! which yields an exact algorithm using `(n + k − 1)²` multiplications per 2-D tile.
 
+use crate::simd::{axpy_f32, dot_f32, KernelBackend};
+
 /// Scalar used to spread the interpolation points and minimize numerical error
 /// (paper Eq. 8 sets `f = 0.5`).
 pub const POINT_SCALE: f64 = 0.5;
@@ -48,57 +50,80 @@ impl WinogradTransforms {
     /// Transform a `k×k` kernel tile: `W' = G · W · Gᵀ`, returning an `α×α` tile.
     pub fn transform_kernel(&self, w: &[f32]) -> Vec<f32> {
         assert_eq!(w.len(), self.k * self.k, "kernel tile must be k*k");
-        let gw = mat_mul(self.alpha, self.k, self.k, &self.g, w);
-        mat_mul_bt(self.alpha, self.k, self.alpha, &gw, &self.g)
+        let gw = mat_mul(
+            KernelBackend::Scalar,
+            self.alpha,
+            self.k,
+            self.k,
+            &self.g,
+            w,
+        );
+        mat_mul_bt(
+            KernelBackend::Scalar,
+            self.alpha,
+            self.k,
+            self.alpha,
+            &gw,
+            &self.g,
+        )
     }
 
     /// Transform an `α×α` input tile: `X' = Bᵀ · X · B`.
     pub fn transform_input(&self, x: &[f32]) -> Vec<f32> {
+        self.transform_input_with(KernelBackend::Scalar, x)
+    }
+
+    /// [`WinogradTransforms::transform_input`] with an explicit
+    /// [`KernelBackend`]: the two small matrix products use the SIMD
+    /// axpy/dot primitives (tolerance, not bit-identity, vs scalar).
+    pub fn transform_input_with(&self, kb: KernelBackend, x: &[f32]) -> Vec<f32> {
         assert_eq!(
             x.len(),
             self.alpha * self.alpha,
             "input tile must be alpha*alpha"
         );
-        let bx = mat_mul(self.alpha, self.alpha, self.alpha, &self.b_t, x);
-        mat_mul_bt(self.alpha, self.alpha, self.alpha, &bx, &self.b_t)
+        let bx = mat_mul(kb, self.alpha, self.alpha, self.alpha, &self.b_t, x);
+        mat_mul_bt(kb, self.alpha, self.alpha, self.alpha, &bx, &self.b_t)
     }
 
     /// Inverse-transform an `α×α` product tile: `Y = Aᵀ · Y' · A`, returning `n×n`.
     pub fn transform_output(&self, y: &[f32]) -> Vec<f32> {
+        self.transform_output_with(KernelBackend::Scalar, y)
+    }
+
+    /// [`WinogradTransforms::transform_output`] with an explicit
+    /// [`KernelBackend`] (see [`WinogradTransforms::transform_input_with`]).
+    pub fn transform_output_with(&self, kb: KernelBackend, y: &[f32]) -> Vec<f32> {
         assert_eq!(
             y.len(),
             self.alpha * self.alpha,
             "product tile must be alpha*alpha"
         );
-        let ay = mat_mul(self.n, self.alpha, self.alpha, &self.a_t, y);
-        mat_mul_bt(self.n, self.alpha, self.n, &ay, &self.a_t)
+        let ay = mat_mul(kb, self.n, self.alpha, self.alpha, &self.a_t, y);
+        mat_mul_bt(kb, self.n, self.alpha, self.n, &ay, &self.a_t)
     }
 }
 
 /// `C = A(m×k) · B(k×n)` for small row-major matrices.
-fn mat_mul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+fn mat_mul(kb: KernelBackend, m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
     for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
         for p in 0..k {
             let av = a[i * k + p];
-            for j in 0..n {
-                c[i * n + j] += av * b[p * n + j];
-            }
+            axpy_f32(kb, c_row, &b[p * n..(p + 1) * n], av);
         }
     }
     c
 }
 
 /// `C = A(m×k) · Bᵀ` where `B` is `n×k` row-major (so `Bᵀ` is `k×n`).
-fn mat_mul_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+fn mat_mul_bt(kb: KernelBackend, m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
     for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
         for j in 0..n {
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a[i * k + p] * b[j * k + p];
-            }
-            c[i * n + j] = acc;
+            c[i * n + j] = dot_f32(kb, a_row, &b[j * k..(j + 1) * k]);
         }
     }
     c

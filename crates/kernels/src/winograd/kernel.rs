@@ -6,8 +6,9 @@
 
 use super::generator::{generate, WinogradTransforms};
 use crate::conv::ConvParams;
-use crate::gemm::gemm_mt;
+use crate::gemm::gemm_mt_with;
 use crate::parallel::parallel_for;
+use crate::simd::KernelBackend;
 
 /// Winograd weights transformed once at preparation time (`W' = G·W·Gᵀ` for every
 /// `(oc, ic)` kernel tile), together with the transform matrices they were built
@@ -128,6 +129,39 @@ pub fn conv2d_winograd_prepared(
     input: &[f32],
     bias: &[f32],
 ) -> Vec<f32> {
+    conv2d_winograd_prepared_with(
+        KernelBackend::Scalar,
+        params,
+        prepared,
+        threads,
+        batch,
+        in_h,
+        in_w,
+        input,
+        bias,
+    )
+}
+
+/// [`conv2d_winograd_prepared`] with an explicit [`KernelBackend`]: the
+/// input/output transforms and the per-position `[tiles, ic] × [ic, oc]`
+/// GEMMs dispatch to the SIMD micro-kernels (tolerance, not bit-identity,
+/// vs scalar).
+///
+/// # Panics
+///
+/// Same contract as [`conv2d_winograd_prepared`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_winograd_prepared_with(
+    kb: KernelBackend,
+    params: &ConvParams,
+    prepared: &PreparedWinogradWeights,
+    threads: usize,
+    batch: usize,
+    in_h: usize,
+    in_w: usize,
+    input: &[f32],
+    bias: &[f32],
+) -> Vec<f32> {
     let tile_n = prepared.tile();
     check_winograd_params(params, tile_n);
     assert_eq!(
@@ -206,7 +240,7 @@ pub fn conv2d_winograd_prepared(
                                         };
                                     }
                                 }
-                                let xt = transforms_ref.transform_input(&patch);
+                                let xt = transforms_ref.transform_input_with(kb, &patch);
                                 for pos in 0..alpha * alpha {
                                     tile_buf[pos * ic + c] = xt[pos];
                                 }
@@ -244,7 +278,7 @@ pub fn conv2d_winograd_prepared(
                     let dst = unsafe {
                         std::slice::from_raw_parts_mut(base.0.add(pos * per_pos_dst), per_pos_dst)
                     };
-                    gemm_mt(1, tiles, ic, oc, src, w, dst);
+                    gemm_mt_with(kb, 1, tiles, ic, oc, src, w, dst);
                 }
             });
         }
@@ -270,7 +304,7 @@ pub fn conv2d_winograd_prepared(
                             for pos in 0..alpha * alpha {
                                 prod[pos] = dst_ref[(pos * tiles + tile) * oc + o];
                             }
-                            let y = transforms_ref.transform_output(&prod);
+                            let y = transforms_ref.transform_output_with(kb, &prod);
                             let oy0 = ty * tile_n;
                             let ox0 = tx * tile_n;
                             for dy in 0..tile_n {

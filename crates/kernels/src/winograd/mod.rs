@@ -15,7 +15,8 @@ mod kernel;
 
 pub use generator::{generate, WinogradTransforms};
 pub use kernel::{
-    conv2d_winograd, conv2d_winograd_prepared, prepare_winograd_weights, PreparedWinogradWeights,
+    conv2d_winograd, conv2d_winograd_prepared, conv2d_winograd_prepared_with,
+    prepare_winograd_weights, PreparedWinogradWeights,
 };
 
 /// Arithmetic cost `C(n)` of Winograd convolution with output tile size `n`,

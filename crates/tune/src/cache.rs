@@ -16,7 +16,11 @@ use std::path::Path;
 
 /// Version of the persisted tuning-cache format. Bump on any incompatible
 /// change; readers ignore files written by other versions.
-pub const TUNE_CACHE_VERSION: u32 = 1;
+///
+/// History: v1 had no `kernel_set` in the fingerprint; v2 adds it so a cache
+/// tuned with SIMD kernels can never be installed by a scalar-only process
+/// (and vice versa).
+pub const TUNE_CACHE_VERSION: u32 = 2;
 
 /// One candidate's measured latency (scheme stored as its canonical
 /// `ConvScheme` display string).
@@ -236,7 +240,8 @@ mod tests {
             concat!(
                 r#"{{"version": {future}, "#,
                 r#""fingerprint": {{"arch": "{arch}", "cpu_features": "{feat}", "#,
-                r#""threads": {threads}, "backend": "{backend}"}}, "#,
+                r#""threads": {threads}, "backend": "{backend}", "#,
+                r#""kernel_set": "{kernel_set}"}}, "#,
                 r#""cache": {{"entries": {{}}}}}}"#
             ),
             future = future,
@@ -244,12 +249,77 @@ mod tests {
             feat = fp.cpu_features,
             threads = fp.threads,
             backend = fp.backend,
+            kernel_set = fp.kernel_set,
         );
         std::fs::write(&path, text).unwrap();
         match load_cache_file(&path, &fp) {
             CacheLoad::VersionMismatch { found } => assert_eq!(found, future),
             other => panic!("expected VersionMismatch, got {other:?}"),
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_files_without_kernel_set_degrade_to_a_retune() {
+        // A real v1 file: no kernel_set in the fingerprint, version 1. The
+        // missing field makes the fingerprint unparseable, so the file is
+        // reported corrupt and ignored — never loaded, never a panic.
+        let path = temp_path("v1-legacy");
+        let fp = fingerprint(2);
+        let text = format!(
+            concat!(
+                r#"{{"version": 1, "#,
+                r#""fingerprint": {{"arch": "{arch}", "cpu_features": "{feat}", "#,
+                r#""threads": {threads}, "backend": "{backend}"}}, "#,
+                r#""cache": {{"entries": {{}}}}}}"#
+            ),
+            arch = fp.arch,
+            feat = fp.cpu_features,
+            threads = fp.threads,
+            backend = fp.backend,
+        );
+        std::fs::write(&path, text).unwrap();
+        match load_cache_file(&path, &fp) {
+            CacheLoad::Corrupt(_) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(load_cache_file(&path, &fp).into_cache().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_kernel_set_forces_a_retune() {
+        // A cache tuned on a SIMD host (entries naming SIMD schemes) loaded by
+        // a process with a different kernel set: the fingerprint mismatch must
+        // degrade it to an empty cache so the SIMD winners are never installed.
+        let path = temp_path("kernel-set");
+        let mut simd_host = fingerprint(2);
+        simd_host.kernel_set = "avx2fma".to_string();
+        let mut cache = TuneCache::default();
+        cache.insert(
+            &OpSignature::from_key("conv:simd-tuned"),
+            TuneEntry {
+                scheme: "im2col-simd".to_string(),
+                measured_ms: 0.1,
+                candidates: vec![CandidateMeasurement {
+                    scheme: "im2col-simd".to_string(),
+                    measured_ms: 0.1,
+                }],
+            },
+        );
+        save_cache_file(&path, &simd_host, &cache).unwrap();
+
+        let mut scalar_host = simd_host.clone();
+        scalar_host.kernel_set = "scalar".to_string();
+        match load_cache_file(&path, &scalar_host) {
+            CacheLoad::FingerprintMismatch { found } => {
+                assert_eq!(found.kernel_set, "avx2fma");
+            }
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+        assert!(load_cache_file(&path, &scalar_host).into_cache().is_empty());
+        // The matching host still loads its own cache.
+        assert!(load_cache_file(&path, &simd_host).is_loaded());
         let _ = std::fs::remove_file(&path);
     }
 

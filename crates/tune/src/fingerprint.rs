@@ -27,6 +27,13 @@ pub struct DeviceFingerprint {
     /// Canonical description of the backend the candidates ran on (forward
     /// type + estimated FLOPS).
     pub backend: String,
+    /// The kernel set the process dispatches with (`scalar`, `avx2fma`,
+    /// `neon`). Distinct from `cpu_features`: the hardware may support AVX2
+    /// while `MNN_SIMD=scalar` forces the scalar set, and measurements taken
+    /// under one set must never be trusted under another. Cache files written
+    /// before this field existed fail to parse (and are additionally rejected
+    /// by the format-version bump), so they degrade to a re-tune.
+    pub kernel_set: String,
 }
 
 impl DeviceFingerprint {
@@ -42,14 +49,15 @@ impl DeviceFingerprint {
                 descriptor.forward_type,
                 descriptor.flops / 1e6
             ),
+            kernel_set: mnn_kernels::simd::active_kernel_set().to_string(),
         }
     }
 
     /// Canonical single-string form, used as the in-process registry key.
     pub fn key(&self) -> String {
         format!(
-            "{}|{}|{}|{}",
-            self.arch, self.cpu_features, self.threads, self.backend
+            "{}|{}|{}|{}|{}",
+            self.arch, self.cpu_features, self.threads, self.backend, self.kernel_set
         )
     }
 }
@@ -112,6 +120,31 @@ mod tests {
         let f4 = DeviceFingerprint::detect(4, &d4);
         assert_ne!(f2, f4);
         assert_ne!(f2.key(), f4.key());
+    }
+
+    #[test]
+    fn kernel_set_is_recorded_and_keyed() {
+        let d = CpuBackend::new(2).descriptor();
+        let fp = DeviceFingerprint::detect(2, &d);
+        assert_eq!(fp.kernel_set, mnn_kernels::simd::active_kernel_set());
+        assert!(!fp.kernel_set.is_empty());
+        // A cache taken under a different kernel set (e.g. forced scalar, or a
+        // NEON host) must not key-collide with this process.
+        let foreign = DeviceFingerprint {
+            kernel_set: "some-other-set".to_string(),
+            ..fp.clone()
+        };
+        assert_ne!(fp, foreign);
+        assert_ne!(fp.key(), foreign.key());
+    }
+
+    #[test]
+    fn missing_kernel_set_field_is_a_parse_error_not_a_panic() {
+        // Fingerprints written before the kernel_set field existed fail to
+        // deserialize — the cache loader treats that as a corrupt file and
+        // re-tunes rather than trusting measurements from an unknown set.
+        let json = r#"{"arch":"x86_64","cpu_features":"avx2","threads":2,"backend":"CPU@1mflops"}"#;
+        assert!(serde_json::from_str::<DeviceFingerprint>(json).is_err());
     }
 
     #[test]

@@ -112,9 +112,10 @@
 //! [`converter::quantize_weights`](mnn_converter::quantize_weights) so BN
 //! folding and activation fusion happen on the float graph; the fused
 //! activation is carried into the quantized node. Depthwise convolutions are
-//! the deliberate exception: they deterministically stay on the f32 depthwise
-//! kernel (their weights are dequantized once at preparation time) because one
-//! input channel per group leaves no integer-GEMM reuse to exploit. Everything
+//! the deliberate exception: they stay on the f32 depthwise kernel (their
+//! weights are dequantized once at preparation time) because one input channel
+//! per group leaves no integer-GEMM reuse to exploit — on SIMD hosts the tuner
+//! still chooses between its scalar and vectorized forms. Everything
 //! else — dynamic resizing, the per-signature plan cache, [`SessionPool`] and
 //! `mnn-serve` micro-batching — composes with quantized graphs unchanged.
 //!
@@ -151,6 +152,39 @@
 //! # }
 //! ```
 //!
+//! ## SIMD kernels
+//!
+//! The hot kernels — f32 GEMM, int8 GEMM, the Winograd transforms and the
+//! depthwise convolution — have explicit `std::arch` implementations:
+//! AVX2+FMA on x86_64 and NEON on aarch64, selected **at runtime** by
+//! [`kernels::simd::KernelBackend::active`](mnn_kernels::simd::KernelBackend),
+//! with the portable scalar kernels as the always-available fallback. Rather
+//! than hard-switching, each vectorized kernel is registered as an additional
+//! *tuning candidate* (`Im2colGemmSimd`, `WinogradSimd`, `QuantizedGemmSimd`,
+//! `DepthwiseSimd` in [`ConvScheme`]), so auto-tuning decides scalar-vs-SIMD
+//! empirically per layer; with tuning off, the cost model keeps choosing among
+//! the scalar schemes only — SIMD placements are always measured, never
+//! guessed.
+//!
+//! Two overrides exist: the `MNN_SIMD=scalar` environment variable forces the
+//! scalar kernels process-wide (that is what the forced-scalar CI job sets),
+//! and [`SessionConfigBuilder::force_scalar`](SessionConfig) pins a single
+//! session to scalar by filtering its candidate pools. The chosen kernel set
+//! (`scalar` / `avx2fma` / `neon`) is part of the tuning-cache device
+//! fingerprint, so a cache tuned with SIMD kernels is never installed on a
+//! host that lacks them. The conformance contract — int8 paths bit-identical
+//! to scalar, f32 paths within a documented tolerance — is locked by
+//! `crates/kernels/tests/simd_conformance.rs`.
+//!
+//! ```
+//! use mnn::kernels::simd::{active_kernel_set, simd_available, KernelBackend};
+//!
+//! let kb = KernelBackend::active(); // detected once per process
+//! assert!(kb.hw_supported());
+//! assert_eq!(simd_available(), kb.is_simd());
+//! assert_eq!(active_kernel_set(), kb.name()); // "scalar" | "avx2fma" | "neon"
+//! ```
+//!
 //! ## Auto-tuning
 //!
 //! Scheme selection normally comes from the closed-form cost model (Eq. 2–3).
@@ -162,7 +196,8 @@
 //! "estimate" to "measure", without TVM-style offline tuning loops.
 //!
 //! Results land in a **device-keyed cache** (architecture + SIMD features +
-//! thread count + backend): all sessions of a process share it — a
+//! thread count + backend + active kernel set): all sessions of a process
+//! share it — a
 //! [`SessionPool`] or [`serve::Server`] pre-warms N workers with **one**
 //! tuning pass — and with a cache path
 //! ([`SessionConfigBuilder::tune_cache_path`](SessionConfig) or the
