@@ -233,8 +233,13 @@ impl Session {
         // disabled) `recorder` is `None` and the loop below takes no
         // timestamps. Scheme/placement strings come from the plan report,
         // snapshotted up front because the loop holds `self.plan` mutably.
+        // `capture` additionally feeds per-op spans to the request trace
+        // active on this thread, if any (see `mnn_obs::context`); its spans
+        // land on the request's timebase and flush when it drops.
         let mut recorder = self.config.profiler.as_ref().and_then(|p| p.begin_run());
-        let node_meta: HashMap<NodeId, (String, String)> = if recorder.is_some() {
+        let mut capture = mnn_obs::context::begin_op_capture();
+        let timed = recorder.is_some() || capture.is_some();
+        let node_meta: HashMap<NodeId, (String, String)> = if timed {
             self.plan
                 .report
                 .placements
@@ -292,7 +297,7 @@ impl Session {
             let mut output = Tensor::zeros(mnn_tensor::Shape::vector(1));
             // Bytes are summed *before* the timestamp so accounting never
             // inflates the measured kernel time.
-            let profiled = recorder.as_ref().map(|_| {
+            let profiled = timed.then(|| {
                 let input_bytes: u64 = activation_inputs.iter().map(|t| t.byte_size() as u64).sum();
                 (input_bytes, Instant::now())
             });
@@ -309,20 +314,35 @@ impl Session {
                 execution.run(&activation_inputs, &mut output)?;
             }
             drop(activation_inputs);
-            if let (Some(rec), Some((input_bytes, kernel_start))) = (recorder.as_mut(), profiled) {
+            if let Some((input_bytes, kernel_start)) = profiled {
                 let (scheme, placement) = node_meta
                     .get(&entry.node)
                     .map(|(s, p)| (s.as_str(), p.as_str()))
                     .unwrap_or(("-", "-"));
-                rec.record_node(
-                    &node.name,
-                    node.op.name(),
-                    scheme,
-                    placement,
-                    &output.shape().to_string(),
-                    kernel_start,
-                    input_bytes + output.byte_size() as u64,
-                );
+                let bytes = input_bytes + output.byte_size() as u64;
+                let shape = output.shape().to_string();
+                if let Some(rec) = recorder.as_mut() {
+                    rec.record_node(
+                        &node.name,
+                        node.op.name(),
+                        scheme,
+                        placement,
+                        &shape,
+                        kernel_start,
+                        bytes,
+                    );
+                }
+                if let Some(cap) = capture.as_mut() {
+                    cap.record_node(
+                        &node.name,
+                        node.op.name(),
+                        scheme,
+                        placement,
+                        &shape,
+                        kernel_start,
+                        bytes,
+                    );
+                }
             }
             storage.insert(node.outputs[0], output);
 

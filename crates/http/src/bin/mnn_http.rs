@@ -30,6 +30,8 @@ struct Args {
     max_connections: usize,
     drain_deadline_ms: u64,
     profiling: bool,
+    tracing: Option<bool>,
+    trace_slow_ms: u64,
 }
 
 impl Default for Args {
@@ -50,6 +52,8 @@ impl Default for Args {
             max_connections: 64,
             drain_deadline_ms: 10_000,
             profiling: false,
+            tracing: None,
+            trace_slow_ms: 250,
         }
     }
 }
@@ -79,6 +83,9 @@ SERVING OPTIONS:
     --drain-deadline-ms MS graceful-drain deadline       [default: 10000]
     --profiling            per-op runtime profiling for every model,
                            exposed at GET /v1/models/{name}/profile
+    --tracing MODE         request tracing: on|off  [default: MNN_TRACE env, on]
+                           traced waterfalls served at GET /v1/traces
+    --trace-slow-ms MS     slow-trace reservoir threshold [default: 250]
     --help                 print this message
 
 Metrics are always on: GET /metrics serves the Prometheus text format.
@@ -156,6 +163,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--drain-deadline-ms: {e}"))?
             }
             "--profiling" => args.profiling = true,
+            "--tracing" => {
+                args.tracing = match value("--tracing")?.as_str() {
+                    "on" => Some(true),
+                    "off" => Some(false),
+                    other => return Err(format!("--tracing: expected on|off, got '{other}'")),
+                }
+            }
+            "--trace-slow-ms" => {
+                args.trace_slow_ms = value("--trace-slow-ms")?
+                    .parse()
+                    .map_err(|e| format!("--trace-slow-ms: {e}"))?
+            }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -211,6 +230,8 @@ fn run(args: Args) -> Result<(), String> {
     let config = HttpConfig {
         max_connections: args.max_connections,
         drain_deadline: Duration::from_millis(args.drain_deadline_ms),
+        tracing: args.tracing,
+        slow_trace_threshold: Duration::from_millis(args.trace_slow_ms),
         ..HttpConfig::default()
     };
     let server = HttpServer::bind((args.host.as_str(), args.port), registry, config)

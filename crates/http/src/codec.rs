@@ -130,6 +130,21 @@ pub struct ProfileResponse {
     pub profile: mnn_obs::ProfileReport,
 }
 
+/// Body of `GET /v1/traces`: the flight recorder's retained request traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracesResponse {
+    /// Whether the recorder is currently collecting traces.
+    pub enabled: bool,
+    /// Request traces completed over the server's lifetime.
+    pub completed: u64,
+    /// Threshold above which a trace is kept in the slow reservoir, ms.
+    pub slow_threshold_ms: u64,
+    /// The retained ring of recent traces, most recent first.
+    pub traces: Vec<mnn_obs::RequestTrace>,
+    /// The always-kept slow-request reservoir, most recent last.
+    pub slow: Vec<mnn_obs::RequestTrace>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,13 +2,16 @@
 
 use crate::codec::{
     HealthResponse, InferRequest, InferResponse, ModelsResponse, NamedTensorJson, ProfileResponse,
-    StatsResponse,
+    StatsResponse, TracesResponse,
 };
 use crate::parser::HttpRequest;
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::response::HttpResponse;
+use mnn_obs::{ActiveTrace, FlightRecorder};
 use mnn_serve::ServeError;
 use mnn_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The router's verdict on one request.
 #[derive(Debug)]
@@ -24,6 +27,19 @@ pub enum Routed {
 /// `draining` marks a server that has begun graceful shutdown; it only
 /// changes what `/healthz` reports (admission control happens before routing).
 pub fn route(request: &HttpRequest, registry: &ModelRegistry, draining: bool) -> Routed {
+    route_traced(request, registry, draining, None, None)
+}
+
+/// [`route`] with the tracing context attached: `recorder` backs
+/// `GET /v1/traces`, and `trace` — the request's own in-flight trace — gets
+/// the decode / serve / encode stages stamped by the infer path.
+pub fn route_traced(
+    request: &HttpRequest,
+    registry: &ModelRegistry,
+    draining: bool,
+    recorder: Option<&Arc<FlightRecorder>>,
+    trace: Option<&ActiveTrace>,
+) -> Routed {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match segments.as_slice() {
         ["healthz"] => expect_method(request, "GET", || {
@@ -53,11 +69,12 @@ pub fn route(request: &HttpRequest, registry: &ModelRegistry, draining: bool) ->
             )
         }),
         ["v1", "models", name, "infer"] => with_model(request, registry, name, "POST", |entry| {
-            infer(request, entry)
+            infer(request, name, entry, trace)
         }),
         ["v1", "models", name, "profile"] => with_model(request, registry, name, "GET", |entry| {
             profile(request, name, entry)
         }),
+        ["v1", "traces"] => expect_method(request, "GET", || traces(request, recorder)),
         ["metrics"] => expect_method(request, "GET", || {
             HttpResponse::text(
                 200,
@@ -117,8 +134,16 @@ fn method_not_allowed(allowed: &str) -> HttpResponse {
 
 /// Decode the infer body, run it through the model's serving runtime, and
 /// encode the outputs. Backpressure surfaces as `429` with a `Retry-After`
-/// hint; shutdown races surface as `503`.
-fn infer(request: &HttpRequest, entry: &ModelEntry) -> HttpResponse {
+/// hint; shutdown races surface as `503`. A traced request gets decode /
+/// serve / encode stages in its waterfall, and the serving runtime nests
+/// queue-wait, batch-assembly, inference and scatter spans under `serve`.
+fn infer(
+    request: &HttpRequest,
+    model: &str,
+    entry: &ModelEntry,
+    trace: Option<&ActiveTrace>,
+) -> HttpResponse {
+    let decode_start = Instant::now();
     let body: InferRequest = match serde_json::from_slice(&request.body) {
         Ok(body) => body,
         Err(e) => return HttpResponse::error(400, format!("invalid JSON body: {e}")),
@@ -134,24 +159,91 @@ fn infer(request: &HttpRequest, entry: &ModelEntry) -> HttpResponse {
         .iter()
         .map(|(name, tensor)| (name.as_str(), tensor))
         .collect();
-    match entry.server.infer(&borrowed) {
-        Ok(outputs) => HttpResponse::json(
-            200,
-            &InferResponse {
-                outputs: entry
-                    .outputs
-                    .iter()
-                    .zip(&outputs)
-                    .map(|(name, tensor)| NamedTensorJson {
-                        name: name.clone(),
-                        shape: tensor.shape().dims().to_vec(),
-                        data: tensor.data_f32().to_vec(),
-                    })
-                    .collect(),
-            },
-        ),
+    if let Some(trace) = trace {
+        trace.add_stage("decode", 0, decode_start, Instant::now());
+    }
+    let serve_start = Instant::now();
+    let result = entry.server.infer_with_trace(&borrowed, trace.cloned());
+    if let Some(trace) = trace {
+        trace.stage_since("serve", 0, serve_start);
+        // The serving runtime stamps its graph name; the registry name the
+        // client addressed is the one worth reading back from `/v1/traces`.
+        trace.set_model(model);
+    }
+    match result {
+        Ok(outputs) => {
+            let encode_start = Instant::now();
+            let response = HttpResponse::json(
+                200,
+                &InferResponse {
+                    outputs: entry
+                        .outputs
+                        .iter()
+                        .zip(&outputs)
+                        .map(|(name, tensor)| NamedTensorJson {
+                            name: name.clone(),
+                            shape: tensor.shape().dims().to_vec(),
+                            data: tensor.data_f32().to_vec(),
+                        })
+                        .collect(),
+                },
+            );
+            if let Some(trace) = trace {
+                trace.add_stage("encode", 0, encode_start, Instant::now());
+            }
+            response
+        }
         Err(e) => serve_error_response(&e),
     }
+}
+
+/// Serve the flight recorder: the retained ring plus the slow reservoir as
+/// JSON by default, a single trace with `?id=<32 hex>`, or chrome://tracing
+/// JSON with `?format=trace` (load it at `chrome://tracing` or
+/// `ui.perfetto.dev`; the two filters compose).
+fn traces(request: &HttpRequest, recorder: Option<&Arc<FlightRecorder>>) -> HttpResponse {
+    let Some(recorder) = recorder else {
+        return HttpResponse::error(404, "tracing is not available on this frontend");
+    };
+    let wants_chrome = query_param(request, "format") == Some("trace");
+    let selected: Vec<Arc<mnn_obs::RequestTrace>> = match query_param(request, "id") {
+        Some(id) => match recorder.find(id) {
+            Some(found) => vec![found],
+            None => {
+                return HttpResponse::error(404, format!("no retained trace with id '{id}'"));
+            }
+        },
+        None => recorder.recent(),
+    };
+    if wants_chrome {
+        return HttpResponse::text(
+            200,
+            "application/json",
+            FlightRecorder::chrome_trace(&selected),
+        );
+    }
+    HttpResponse::json(
+        200,
+        &TracesResponse {
+            enabled: recorder.is_enabled(),
+            completed: recorder.completed(),
+            slow_threshold_ms: recorder.slow_threshold().as_millis() as u64,
+            traces: selected.iter().map(|trace| (**trace).clone()).collect(),
+            slow: recorder
+                .slow()
+                .iter()
+                .map(|trace| (**trace).clone())
+                .collect(),
+        },
+    )
+}
+
+/// The value of `key` in the request's query string, if present.
+fn query_param<'a>(request: &'a HttpRequest, key: &str) -> Option<&'a str> {
+    request.query.as_deref()?.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 /// Render a model's runtime profile: the aggregated [`ProfileResponse`] by
@@ -164,10 +256,7 @@ fn profile(request: &HttpRequest, name: &str, entry: &ModelEntry) -> HttpRespons
             format!("profiling is not enabled for model '{name}'; restart with --profiling"),
         );
     };
-    let wants_trace = request
-        .query
-        .as_deref()
-        .is_some_and(|q| q.split('&').any(|pair| pair == "format=trace"));
+    let wants_trace = query_param(request, "format") == Some("trace");
     if wants_trace {
         HttpResponse::text(200, "application/json", profiler.chrome_trace())
     } else {
@@ -404,6 +493,112 @@ mod tests {
         assert_eq!(trace.status, 200);
         assert_eq!(trace.content_type, "application/json");
         let text = String::from_utf8(trace.body).unwrap();
+        assert!(text.contains("\"traceEvents\""), "{text}");
+
+        registry.drain_with_deadline(std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn traces_route_serves_the_flight_recorder() {
+        let registry = tiny_registry();
+        // Routing without a recorder attached (the plain `route` entry
+        // point) answers 404 rather than panicking.
+        let missing = response_of(route(&request("GET", "/v1/traces", b""), &registry, false));
+        assert_eq!(missing.status, 404);
+
+        // A traced infer shows up in the listing with its full waterfall.
+        let recorder = Arc::new(FlightRecorder::new());
+        let trace = recorder.begin_trace(None).expect("recorder is enabled");
+        let entry = registry.get("tiny-cnn").unwrap();
+        let input_name = entry.inputs[0].clone();
+        let body = serde_json::to_vec(&InferRequest {
+            inputs: [(
+                input_name,
+                crate::codec::TensorJson {
+                    shape: vec![1, 3, 16, 16],
+                    data: vec![0.0; 3 * 16 * 16],
+                },
+            )]
+            .into_iter()
+            .collect(),
+        })
+        .unwrap();
+        let infer_request = request("POST", "/v1/models/tiny-cnn/infer", &body);
+        let ok = response_of(route_traced(
+            &infer_request,
+            &registry,
+            false,
+            Some(&recorder),
+            Some(&trace),
+        ));
+        assert_eq!(ok.status, 200, "{}", String::from_utf8_lossy(&ok.body));
+        trace.finish(200);
+
+        let listing = response_of(route_traced(
+            &request("GET", "/v1/traces", b""),
+            &registry,
+            false,
+            Some(&recorder),
+            None,
+        ));
+        assert_eq!(listing.status, 200);
+        let parsed: TracesResponse = serde_json::from_slice(&listing.body).unwrap();
+        assert!(parsed.enabled);
+        assert_eq!(parsed.completed, 1);
+        assert_eq!(parsed.traces.len(), 1);
+        let recorded = &parsed.traces[0];
+        assert_eq!(recorded.model, "tiny-cnn");
+        assert_eq!(recorded.status, 200);
+        let names: Vec<&str> = recorded.stages.iter().map(|s| s.name.as_str()).collect();
+        for stage in [
+            "decode",
+            "serve",
+            "queue_wait",
+            "batch_assembly",
+            "inference",
+            "scatter",
+        ] {
+            assert!(names.contains(&stage), "missing {stage} in {names:?}");
+        }
+
+        // `?id=` selects one trace, a bogus id 404s, and `?format=trace`
+        // renders chrome://tracing JSON.
+        let mut by_id = request("GET", "/v1/traces", b"");
+        by_id.query = Some(format!("id={}", recorded.trace_id));
+        let single = response_of(route_traced(
+            &by_id,
+            &registry,
+            false,
+            Some(&recorder),
+            None,
+        ));
+        assert_eq!(single.status, 200);
+        let single: TracesResponse = serde_json::from_slice(&single.body).unwrap();
+        assert_eq!(single.traces.len(), 1);
+
+        let mut bogus = request("GET", "/v1/traces", b"");
+        bogus.query = Some("id=ffffffffffffffffffffffffffffffff".to_string());
+        let not_found = response_of(route_traced(
+            &bogus,
+            &registry,
+            false,
+            Some(&recorder),
+            None,
+        ));
+        assert_eq!(not_found.status, 404);
+
+        let mut chrome = request("GET", "/v1/traces", b"");
+        chrome.query = Some("format=trace".to_string());
+        let export = response_of(route_traced(
+            &chrome,
+            &registry,
+            false,
+            Some(&recorder),
+            None,
+        ));
+        assert_eq!(export.status, 200);
+        assert_eq!(export.content_type, "application/json");
+        let text = String::from_utf8(export.body).unwrap();
         assert!(text.contains("\"traceEvents\""), "{text}");
 
         registry.drain_with_deadline(std::time::Duration::from_secs(5));

@@ -16,11 +16,20 @@
 //!   `.mnnr` files, or the built-in zoo.
 //! * [`handler`] — routing: `GET /healthz`, `GET /v1/models`,
 //!   `GET /v1/models/{name}/stats`, `POST /v1/models/{name}/infer`,
-//!   `POST /admin/shutdown`.
+//!   `GET /v1/traces`, `POST /admin/shutdown`.
 //! * [`server`] — the [`HttpServer`]: accept loop, connection threads,
 //!   admission control (connection cap → `503`, queue backpressure → `429`,
 //!   both with `Retry-After`), and deadline-bounded graceful drain in which
 //!   every accepted request is answered.
+//!
+//! Every request is traced end to end (W3C `traceparent` adopted from the
+//! client or a fresh root otherwise) through parse → decode → queue wait →
+//! batch assembly → inference → scatter → encode → write, and every
+//! response — success, rejection and drain alike — echoes `X-Request-Id`
+//! and `traceparent`. Completed waterfalls are retained in a bounded
+//! [`FlightRecorder`] served at `GET /v1/traces` (JSON, `?id=<trace id>`,
+//! or `?format=trace` for chrome://tracing). Disable with
+//! `MNN_TRACE=off` or [`HttpConfig::tracing`].
 //!
 //! ```
 //! use mnn_http::{HttpConfig, HttpServer, ModelRegistry, ServeOptions};
@@ -63,10 +72,12 @@ pub mod server;
 
 pub use codec::{
     HealthResponse, InferRequest, InferResponse, ModelSummary, ModelsResponse, NamedTensorJson,
-    ProfileResponse, StatsResponse, TensorJson,
+    ProfileResponse, StatsResponse, TensorJson, TracesResponse,
 };
 pub use error::HttpError;
 pub use parser::{HttpRequest, ParseError, ParseOutcome, RequestParser};
 pub use registry::{ModelEntry, ModelRegistry, ServeOptions};
 pub use response::HttpResponse;
 pub use server::{DrainSummary, HttpConfig, HttpServer};
+
+pub use mnn_obs::{ActiveTrace, FlightRecorder, RequestTrace, TraceContext};

@@ -8,12 +8,13 @@
 //! time) and the per-model bounded queue underneath (`429` + `Retry-After`
 //! from the router).
 
-use crate::handler::{route, Routed};
-use crate::parser::{ParseOutcome, RequestParser};
+use crate::handler::{route_traced, Routed};
+use crate::parser::{HttpRequest, ParseOutcome, RequestParser};
 use crate::registry::ModelRegistry;
 use crate::response::HttpResponse;
 use crate::HttpError;
 use mnn_obs::metrics::names;
+use mnn_obs::{ActiveTrace, FlightRecorder, TraceContext};
 use mnn_serve::DrainReport;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -38,6 +39,13 @@ pub struct HttpConfig {
     pub max_header_bytes: usize,
     /// Bound on a request body, bytes (default 64 MiB).
     pub max_body_bytes: usize,
+    /// Whether to record request traces into the flight recorder served at
+    /// `GET /v1/traces`. `None` (the default) follows the `MNN_TRACE`
+    /// environment variable, which is on unless set to `off`/`0`/`false`.
+    pub tracing: Option<bool>,
+    /// Requests slower than this are retained in the flight recorder's
+    /// always-kept slow reservoir (default 250 ms).
+    pub slow_trace_threshold: Duration,
 }
 
 impl Default for HttpConfig {
@@ -47,6 +55,8 @@ impl Default for HttpConfig {
             drain_deadline: Duration::from_secs(10),
             max_header_bytes: crate::parser::DEFAULT_MAX_HEADER_BYTES,
             max_body_bytes: crate::parser::DEFAULT_MAX_BODY_BYTES,
+            tracing: None,
+            slow_trace_threshold: Duration::from_millis(250),
         }
     }
 }
@@ -70,6 +80,8 @@ struct Shared {
     drain_deadline_at: Mutex<Option<Instant>>,
     active_connections: AtomicUsize,
     connections_gauge: mnn_obs::Gauge,
+    recorder: Arc<FlightRecorder>,
+    traces_counter: mnn_obs::Counter,
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
 }
@@ -137,6 +149,13 @@ impl HttpServer {
         // Pre-register the full metric schema so the first `/metrics` scrape
         // already lists every well-known series.
         mnn_obs::metrics::register_defaults();
+        let recorder = Arc::new(FlightRecorder::new());
+        recorder.set_enabled(
+            config
+                .tracing
+                .unwrap_or_else(mnn_obs::context::env_tracing_enabled),
+        );
+        recorder.set_slow_threshold(config.slow_trace_threshold);
         let shared = Arc::new(Shared {
             registry: RwLock::new(registry),
             config,
@@ -146,6 +165,11 @@ impl HttpServer {
             connections_gauge: mnn_obs::global().gauge(
                 names::HTTP_CONNECTIONS,
                 "HTTP connections currently being served.",
+            ),
+            recorder,
+            traces_counter: mnn_obs::global().counter(
+                names::TRACES_RECORDED,
+                "Request traces completed by the flight recorder.",
             ),
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
@@ -175,6 +199,12 @@ impl HttpServer {
     /// Number of connections currently being served.
     pub fn active_connections(&self) -> usize {
         self.shared.active_connections.load(Ordering::SeqCst)
+    }
+
+    /// The flight recorder behind `GET /v1/traces`: the retained ring of
+    /// recent request traces plus the slow-request reservoir.
+    pub fn trace_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.shared.recorder
     }
 
     /// Ask the owner blocked in [`HttpServer::wait_shutdown_requested`] to
@@ -303,12 +333,62 @@ fn accept_loop(
     }
 }
 
-/// Answer an over-capacity connection with `503` and close it.
+/// Answer an over-capacity connection with `503` and close it. No request
+/// bytes were read, so the response carries a freshly generated
+/// `X-Request-Id` for the client to quote when reporting the rejection.
 fn reject_over_capacity(mut stream: TcpStream) {
-    let response =
-        HttpResponse::error(503, "connection limit reached").with_header("retry-after", "1");
+    let response = HttpResponse::error(503, "connection limit reached")
+        .with_header("retry-after", "1")
+        .with_header("x-request-id", TraceContext::generate().trace_id_hex());
     count_response(response.status);
     let _ = response.write_to(&mut stream, false);
+}
+
+/// Open a trace for one parsed request, adopting the client's `traceparent`
+/// context when present and valid. `started` is the instant the request's
+/// first byte arrived (the waterfall's time zero). Costs one relaxed atomic
+/// load when the recorder is disabled.
+fn begin_request_trace(
+    shared: &Shared,
+    request: &HttpRequest,
+    started: Instant,
+) -> Option<ActiveTrace> {
+    if !shared.recorder.is_enabled() {
+        return None;
+    }
+    let parent = request
+        .header("traceparent")
+        .and_then(TraceContext::parse_traceparent);
+    let trace = shared.recorder.begin_trace_at(parent, started)?;
+    trace.add_stage("parse", 0, started, Instant::now());
+    Some(trace)
+}
+
+/// Stamp response identity headers: `x-request-id` (the client's own id when
+/// supplied, else the trace id, else freshly generated) and `traceparent`
+/// (the client's header echoed byte-exact when it was valid, else this
+/// trace's own context). Every response path carries these — success,
+/// rejection and drain alike.
+fn stamp_trace_headers(
+    response: HttpResponse,
+    request: &HttpRequest,
+    trace: Option<&ActiveTrace>,
+) -> HttpResponse {
+    let request_id = request
+        .header("x-request-id")
+        .map(str::to_string)
+        .or_else(|| trace.map(ActiveTrace::trace_id_hex))
+        .unwrap_or_else(|| TraceContext::generate().trace_id_hex());
+    let mut response = response.with_header("x-request-id", request_id);
+    let client_parent = request
+        .header("traceparent")
+        .filter(|value| TraceContext::parse_traceparent(value).is_some());
+    if let Some(raw) = client_parent {
+        response = response.with_header("traceparent", raw);
+    } else if let Some(trace) = trace {
+        response = response.with_header("traceparent", trace.traceparent());
+    }
+    response
 }
 
 /// Serve one connection until it closes, errors, or the server drains.
@@ -319,23 +399,43 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let mut parser =
         RequestParser::with_limits(shared.config.max_header_bytes, shared.config.max_body_bytes);
     let mut buf = [0u8; 8 * 1024];
+    // The instant the in-progress request's first byte arrived; the traced
+    // waterfall's time zero. Reset once that request has been answered.
+    let mut request_started: Option<Instant> = None;
     loop {
         // Serve everything already buffered (pipelining) before reading more.
         loop {
             match parser.next_request() {
                 ParseOutcome::Request(request) => {
+                    let started = request_started.take().unwrap_or_else(Instant::now);
+                    let trace = begin_request_trace(shared, &request, started);
                     let draining = shared.draining.load(Ordering::SeqCst);
                     let routed = {
                         let registry = shared.registry.read().unwrap_or_else(|e| e.into_inner());
-                        route(&request, &registry, draining)
+                        route_traced(
+                            &request,
+                            &registry,
+                            draining,
+                            Some(&shared.recorder),
+                            trace.as_ref(),
+                        )
                     };
                     let (response, is_shutdown) = match routed {
                         Routed::Response(response) => (response, false),
                         Routed::Shutdown(response) => (response, true),
                     };
                     let keep_alive = request.keep_alive && !draining && !is_shutdown;
+                    let response = stamp_trace_headers(response, &request, trace.as_ref());
                     count_response(response.status);
-                    if response.write_to(&mut stream, keep_alive).is_err() {
+                    let status = response.status;
+                    let write_start = Instant::now();
+                    let write_ok = response.write_to(&mut stream, keep_alive).is_ok();
+                    if let Some(trace) = &trace {
+                        trace.add_stage("write", 0, write_start, Instant::now());
+                        trace.finish(u64::from(status));
+                        shared.traces_counter.inc();
+                    }
+                    if !write_ok {
                         return;
                     }
                     if is_shutdown {
@@ -346,7 +446,10 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                     }
                 }
                 ParseOutcome::Error(error) => {
-                    let response = HttpResponse::error(error.status, error.message);
+                    // The request never parsed, so there is nothing to adopt;
+                    // the rejection still carries a fresh id to report.
+                    let response = HttpResponse::error(error.status, error.message)
+                        .with_header("x-request-id", TraceContext::generate().trace_id_hex());
                     count_response(response.status);
                     let _ = response.write_to(&mut stream, false);
                     return;
@@ -365,7 +468,12 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
 
         match stream.read(&mut buf) {
             Ok(0) => return, // peer closed
-            Ok(n) => parser.feed(&buf[..n]),
+            Ok(n) => {
+                if request_started.is_none() {
+                    request_started = Some(Instant::now());
+                }
+                parser.feed(&buf[..n]);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>

@@ -5,12 +5,13 @@
 use mnn_core::SessionConfig;
 use mnn_http::{
     HttpConfig, HttpServer, InferRequest, InferResponse, ModelRegistry, ServeOptions, TensorJson,
+    TracesResponse,
 };
 use mnn_models::ModelKind;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A minimal blocking HTTP/1.1 client response.
 #[derive(Debug)]
@@ -109,11 +110,29 @@ fn write_request(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_request_with_headers(stream, method, path, body, keep_alive, &[])
+}
+
+fn write_request_with_headers(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: {connection}\r\nContent-Length: {}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -276,12 +295,15 @@ fn malformed_requests_get_error_responses() {
     let response = read_response(&mut stream).unwrap();
     assert_eq!(response.status, 400);
     assert_eq!(response.header("connection"), Some("close"));
+    assert!(response.header("x-request-id").is_some());
 
     let bad_json = send(addr, "POST", "/v1/models/tiny-cnn/infer", b"{oops").unwrap();
     assert_eq!(bad_json.status, 400);
+    assert!(bad_json.header("x-request-id").is_some());
 
     let unknown = send(addr, "GET", "/v1/models/ghost/stats", b"").unwrap();
     assert_eq!(unknown.status, 404);
+    assert!(unknown.header("x-request-id").is_some());
 
     server.shutdown();
 }
@@ -313,6 +335,11 @@ fn overload_returns_429_with_retry_after() {
             for i in 0..per_client {
                 let body = infer_body(test_input(24, seed * per_client + i));
                 let response = send(addr, "POST", "/v1/models/tiny-cnn/infer", &body).unwrap();
+                assert!(
+                    response.header("x-request-id").is_some(),
+                    "{} without X-Request-Id",
+                    response.status
+                );
                 match response.status {
                     200 => saw.0 += 1,
                     429 => {
@@ -380,6 +407,8 @@ fn connection_cap_returns_503() {
     let response = read_response(&mut extra).unwrap();
     assert_eq!(response.status, 503);
     assert!(response.header("retry-after").is_some());
+    // Even a pre-parse rejection carries an id the client can report.
+    assert!(response.header("x-request-id").is_some());
 
     drop(held);
     server.shutdown();
@@ -526,6 +555,8 @@ fn shutdown_mid_load_answers_every_accepted_request() {
                 response.status,
                 String::from_utf8_lossy(&response.body)
             );
+            // The drain path answers with identity headers too.
+            assert!(response.header("x-request-id").is_some());
             response.status
         }));
     }
@@ -549,4 +580,209 @@ fn shutdown_mid_load_answers_every_accepted_request() {
             || send(addr, "GET", "/healthz", b"").is_err(),
         "server still accepting after shutdown"
     );
+}
+
+/// Satellite of the tracing work: a client-supplied `traceparent` round-trips
+/// byte-exact over a real socket, and the completed request shows up in
+/// `GET /v1/traces` with its full stage waterfall, per-op spans, batch link,
+/// chrome export, and a `/metrics` exemplar pointing back at the trace.
+#[test]
+fn traceparent_round_trips_and_traces_capture_the_waterfall() {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_zoo(ModelKind::TinyCnn, 32, &tiny_options(1))
+        .unwrap();
+    // Explicit opt-in so the test also passes under a forced MNN_TRACE=off
+    // environment: explicit configuration wins over the env default.
+    let config = HttpConfig {
+        tracing: Some(true),
+        ..HttpConfig::default()
+    };
+    let server = HttpServer::bind("127.0.0.1:0", registry, config).unwrap();
+    let addr = server.local_addr();
+
+    const TRACEPARENT: &str = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+    const TRACE_ID: &str = "0af7651916cd43dd8448eb211c80319c";
+
+    let body = infer_body(test_input(32, 3));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write_request_with_headers(
+        &mut stream,
+        "POST",
+        "/v1/models/tiny-cnn/infer",
+        &body,
+        false,
+        &[("traceparent", TRACEPARENT)],
+    )
+    .unwrap();
+    let response = read_response(&mut stream).unwrap();
+    assert_eq!(
+        response.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&response.body)
+    );
+    // Byte-exact echo of the client's context, and its trace id as the
+    // request id.
+    assert_eq!(response.header("traceparent"), Some(TRACEPARENT));
+    assert_eq!(response.header("x-request-id"), Some(TRACE_ID));
+
+    // The trace is sealed just after the response bytes leave, so poll
+    // briefly instead of racing the connection thread.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let trace = loop {
+        let listing = send(addr, "GET", &format!("/v1/traces?id={TRACE_ID}"), b"").unwrap();
+        if listing.status == 200 {
+            let parsed: TracesResponse = serde_json::from_slice(&listing.body).unwrap();
+            assert_eq!(parsed.traces.len(), 1);
+            break parsed.traces.into_iter().next().unwrap();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "trace {TRACE_ID} never appeared in /v1/traces"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(trace.trace_id, TRACE_ID);
+    assert!(
+        trace.adopted,
+        "client context must be adopted, not replaced"
+    );
+    assert_eq!(trace.parent_span_id, "b7ad6b7169203331");
+    assert_eq!(trace.status, 200);
+    assert_eq!(trace.model, "tiny-cnn");
+    for (stage, depth) in [
+        ("parse", 0),
+        ("decode", 0),
+        ("serve", 0),
+        ("encode", 0),
+        ("write", 0),
+        ("queue_wait", 1),
+        ("batch_assembly", 1),
+        ("inference", 1),
+        ("scatter", 1),
+    ] {
+        assert!(
+            trace
+                .stages
+                .iter()
+                .any(|s| s.name == stage && s.depth == depth),
+            "missing stage {stage}@{depth} in {:?}",
+            trace.stages
+        );
+    }
+    assert!(
+        trace.coverage >= 0.95,
+        "depth-0 stages must tile the request: coverage = {}",
+        trace.coverage
+    );
+    assert!(!trace.ops.is_empty(), "per-op kernel spans must be nested");
+    assert!(trace.ops.iter().all(|op| op.trace_id == TRACE_ID));
+    assert!(trace.batch.is_some(), "executed batches are linked");
+
+    // The chrome://tracing export serves over the wire.
+    let chrome = send(addr, "GET", "/v1/traces?format=trace", b"").unwrap();
+    assert_eq!(chrome.status, 200);
+    let chrome_text = String::from_utf8(chrome.body).unwrap();
+    assert!(chrome_text.contains("\"traceEvents\""), "{chrome_text}");
+    assert!(chrome_text.contains("\"ph\":\"X\""), "{chrome_text}");
+
+    // The latency histogram carries an exemplar linking back to a trace —
+    // ours, unless a concurrently running test overwrote the bucket.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let metrics = send(addr, "GET", "/metrics", b"").unwrap();
+        let text = String::from_utf8(metrics.body).unwrap();
+        if text.contains(&format!("# {{trace_id=\"{TRACE_ID}\"}}")) {
+            break;
+        }
+        if Instant::now() > deadline {
+            assert!(
+                text.contains("# {trace_id=\""),
+                "no exemplar in /metrics:\n{text}"
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    server.shutdown();
+}
+
+/// Every response path answers with an `X-Request-Id` — success, client
+/// echo, unknown routes, wrong methods, oversized bodies and raw garbage.
+#[test]
+fn request_identity_echoes_on_every_response_path() {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register_zoo(ModelKind::TinyCnn, 16, &tiny_options(1))
+        .unwrap();
+    let config = HttpConfig {
+        max_body_bytes: 1024,
+        tracing: Some(true),
+        ..HttpConfig::default()
+    };
+    let server = HttpServer::bind("127.0.0.1:0", registry, config).unwrap();
+    let addr = server.local_addr();
+
+    // A client-supplied id is echoed verbatim; the server still attaches
+    // its own traceparent for correlation.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_request_with_headers(
+        &mut stream,
+        "GET",
+        "/healthz",
+        b"",
+        false,
+        &[("x-request-id", "client-chosen-42")],
+    )
+    .unwrap();
+    let echoed = read_response(&mut stream).unwrap();
+    assert_eq!(echoed.status, 200);
+    assert_eq!(echoed.header("x-request-id"), Some("client-chosen-42"));
+    let traceparent = echoed
+        .header("traceparent")
+        .expect("traced responses carry traceparent");
+    assert!(traceparent.starts_with("00-"), "{traceparent}");
+
+    // Without a client id, the trace id is the request id.
+    let plain = send(addr, "GET", "/healthz", b"").unwrap();
+    let id = plain.header("x-request-id").expect("generated id");
+    assert_eq!(id.len(), 32, "trace ids are 32 lowerhex chars: {id}");
+
+    // Unknown route and wrong method still answer with identity.
+    let missing = send(addr, "GET", "/nope", b"").unwrap();
+    assert_eq!(missing.status, 404);
+    assert!(missing.header("x-request-id").is_some());
+    let wrong_method = send(addr, "DELETE", "/healthz", b"").unwrap();
+    assert_eq!(wrong_method.status, 405);
+    assert!(wrong_method.header("x-request-id").is_some());
+
+    // An oversized body is rejected at parse time, before a request object
+    // exists — the 413 carries a generated id and closes the connection.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let oversized = vec![b'x'; 4096];
+    write_request(
+        &mut stream,
+        "POST",
+        "/v1/models/tiny-cnn/infer",
+        &oversized,
+        true,
+    )
+    .unwrap();
+    let rejected = read_response(&mut stream).unwrap();
+    assert_eq!(rejected.status, 413);
+    assert!(rejected.header("x-request-id").is_some());
+    assert_eq!(rejected.header("connection"), Some("close"));
+
+    server.shutdown();
 }

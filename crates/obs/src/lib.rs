@@ -22,18 +22,32 @@
 //! * [`log`] — a leveled structured log facade ([`log!`], [`error!`],
 //!   [`warn!`], [`info!`], [`debug!`], [`trace!`]) filtered by the `MNN_LOG`
 //!   environment variable with an injectable sink, replacing the workspace's
-//!   ad-hoc `eprintln!`s.
+//!   ad-hoc `eprintln!`s. Lines emitted inside a trace scope automatically
+//!   carry `trace_id=`.
+//! * [`context`] + [`recorder`] — request-scoped distributed tracing: a
+//!   [`TraceContext`] (W3C `traceparent` parse/format) is created or adopted
+//!   per request, carried through queueing, batching and inference, and every
+//!   completed request lands as a [`RequestTrace`] — a per-stage waterfall
+//!   (`parse → queue_wait → batch_assembly → inference → scatter → write`)
+//!   with nested per-op spans — in a bounded [`FlightRecorder`] (ring of
+//!   recent traces + always-kept slow-request reservoir), exported as JSON
+//!   and chrome://tracing. With tracing off, every instrumented path costs a
+//!   single relaxed atomic load, like the profiler.
 //!
 //! The crate sits below every engine layer (it depends only on `serde`), so
 //! tensor-to-HTTP code can share one vocabulary of evidence.
 
 #![deny(missing_docs)]
 
+pub mod context;
 pub mod log;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 mod trace;
 
+pub use context::{OpCapture, TraceContext, TraceScope};
 pub use log::{set_max_level, set_sink, Level, LogSink, StderrSink};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use profile::{NodeBreakdown, OpBreakdown, ProfileReport, Profiler, RunRecorder, SpanRecord};
+pub use recorder::{ActiveTrace, BatchLink, FlightRecorder, RequestTrace, StageSpan};

@@ -130,12 +130,22 @@ pub fn set_sink(sink: Arc<dyn LogSink>) -> Arc<dyn LogSink> {
 
 /// Deliver one pre-checked record to the sink. Call through [`log!`] (which
 /// performs the level check) rather than directly.
+///
+/// When a request trace scope is active on the calling thread (see
+/// [`crate::context::scope`]), the message is suffixed with
+/// ` trace_id=<32 hex>` so log lines correlate with the flight recorder.
+/// Outside any scope that check is one relaxed atomic load.
 pub fn emit(level: Level, target: &str, args: fmt::Arguments<'_>) {
     let sink = {
         let guard = sink_slot().read().unwrap_or_else(|e| e.into_inner());
         Arc::clone(&*guard)
     };
-    sink.log(level, target, &args.to_string());
+    let mut message = args.to_string();
+    if let Some(trace_id) = crate::context::current_trace_id_hex() {
+        message.push_str(" trace_id=");
+        message.push_str(&trace_id);
+    }
+    sink.log(level, target, &message);
 }
 
 /// Log at an explicit [`Level`]: `log!(Level::Info, "target", "fmt {}", x)`.
@@ -229,16 +239,29 @@ mod tests {
         set_max_level(Some(Level::Trace));
         crate::trace!("test-target", "fine-grained");
 
+        // Lines emitted inside a trace scope carry trace_id=.
+        let ctx = crate::context::TraceContext::generate();
+        {
+            let _scope = crate::context::scope(ctx, std::time::Instant::now(), None);
+            crate::info!("test-target", "traced line");
+        }
+        crate::info!("test-target", "untagged again");
+
         let records = capture.records.lock().unwrap().clone();
         set_sink(previous);
         set_max_level(Some(DEFAULT_LEVEL));
 
-        assert_eq!(records.len(), 2);
+        assert_eq!(records.len(), 4);
         assert_eq!(records[0].0, Level::Info);
         assert_eq!(records[0].1, "test-target");
         assert_eq!(records[0].2, "answer is 42");
         assert_eq!(records[1].0, Level::Trace);
         assert_eq!(records[1].2, "fine-grained");
+        assert_eq!(
+            records[2].2,
+            format!("traced line trace_id={}", ctx.trace_id_hex())
+        );
+        assert_eq!(records[3].2, "untagged again");
     }
 
     #[test]

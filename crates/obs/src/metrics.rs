@@ -65,6 +65,12 @@ pub mod names {
     pub const HTTP_CONNECTIONS: &str = "mnn_http_connections_active";
     /// Seconds since this process first touched the metrics registry (gauge).
     pub const UPTIME_SECONDS: &str = "mnn_uptime_seconds";
+    /// Time requests spent waiting in serve queues, milliseconds (histogram).
+    pub const QUEUE_WAIT_MS: &str = "mnn_queue_wait_ms";
+    /// Time from dequeue to inference start (stacking, geometry), ms (histogram).
+    pub const BATCH_ASSEMBLY_MS: &str = "mnn_batch_assembly_ms";
+    /// Request traces completed by the flight recorder (counter).
+    pub const TRACES_RECORDED: &str = "mnn_traces_recorded_total";
 }
 
 /// Default latency bucket bounds, milliseconds.
@@ -147,6 +153,11 @@ struct HistogramInner {
     /// Sum of observed values, as `f64` bits.
     sum_bits: AtomicU64,
     observations: AtomicU64,
+    /// Most recent `(value, trace_id)` exemplar per bucket, rendered as an
+    /// OpenMetrics exemplar suffix. Only written by
+    /// [`Histogram::observe_with_exemplar`], so exemplar-free histograms
+    /// render byte-identically to before.
+    exemplars: Vec<Mutex<Option<(f64, String)>>>,
 }
 
 /// A histogram with fixed bucket bounds (Prometheus classic histogram).
@@ -157,6 +168,22 @@ impl Histogram {
     /// Record one observation.
     #[inline]
     pub fn observe(&self, value: f64) {
+        self.observe_slot(value);
+    }
+
+    /// Record one observation and attach `trace_id` as the bucket's exemplar,
+    /// so an operator can go from a bad latency bucket straight to the
+    /// offending trace in the flight recorder (`GET /v1/traces?id=...`).
+    pub fn observe_with_exemplar(&self, value: f64, trace_id: &str) {
+        let slot = self.observe_slot(value);
+        let mut exemplar = self.0.exemplars[slot]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *exemplar = Some((value, trace_id.to_string()));
+    }
+
+    #[inline]
+    fn observe_slot(&self, value: f64) -> usize {
         let inner = &self.0;
         let slot = inner
             .bounds
@@ -174,7 +201,7 @@ impl Histogram {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => return slot,
                 Err(observed) => current = observed,
             }
         }
@@ -307,11 +334,13 @@ impl Registry {
         );
         match self.series(name, help, &[], MetricKind::Histogram, || {
             let counts = (0..=buckets.len()).map(|_| AtomicU64::new(0)).collect();
+            let exemplars = (0..=buckets.len()).map(|_| Mutex::new(None)).collect();
             Series::Histogram(Histogram(Arc::new(HistogramInner {
                 bounds: buckets.to_vec(),
                 counts,
                 sum_bits: AtomicU64::new(0.0f64.to_bits()),
                 observations: AtomicU64::new(0),
+                exemplars,
             })))
         }) {
             Series::Histogram(h) => h,
@@ -357,6 +386,7 @@ impl Registry {
                                 Some(("le", &format_f64(*bound))),
                                 &format_u64(cumulative),
                             );
+                            append_exemplar(&mut out, &inner.exemplars[i]);
                         }
                         cumulative += inner.counts[inner.bounds.len()].load(Ordering::Relaxed);
                         render_sample(
@@ -366,6 +396,7 @@ impl Registry {
                             Some(("le", "+Inf")),
                             &format_u64(cumulative),
                         );
+                        append_exemplar(&mut out, &inner.exemplars[inner.bounds.len()]);
                         render_sample(
                             &mut out,
                             &format!("{name}_sum"),
@@ -423,6 +454,22 @@ fn render_sample(
     out.push(' ');
     out.push_str(value);
     out.push('\n');
+}
+
+/// Rewrite the just-rendered bucket line to carry an OpenMetrics exemplar
+/// suffix (` # {trace_id="..."} value`) when the bucket has one. Buckets
+/// without exemplars render byte-identically to the classic format.
+fn append_exemplar(out: &mut String, slot: &Mutex<Option<(f64, String)>>) {
+    let exemplar = slot.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some((value, trace_id)) = exemplar.as_ref() {
+        debug_assert!(out.ends_with('\n'));
+        out.pop();
+        out.push_str(" # {trace_id=\"");
+        out.push_str(&escape_label_value(trace_id));
+        out.push_str("\"} ");
+        out.push_str(&format_f64(*value));
+        out.push('\n');
+    }
 }
 
 /// Escape a HELP string: backslash and newline.
@@ -546,6 +593,20 @@ pub fn register_defaults() {
         names::HTTP_CONNECTIONS,
         "HTTP connections currently being served.",
     );
+    registry.histogram(
+        names::QUEUE_WAIT_MS,
+        "Time requests spent waiting in serve queues, milliseconds.",
+        LATENCY_MS_BUCKETS,
+    );
+    registry.histogram(
+        names::BATCH_ASSEMBLY_MS,
+        "Time from dequeue to inference start (stacking, geometry), milliseconds.",
+        LATENCY_MS_BUCKETS,
+    );
+    registry.counter(
+        names::TRACES_RECORDED,
+        "Request traces completed by the flight recorder.",
+    );
 }
 
 /// Refresh the `mnn_uptime_seconds` gauge and render the [`global`] registry,
@@ -648,6 +709,42 @@ mod tests {
                 "zz_requests_total 7\n",
             )
         );
+    }
+
+    /// Exemplars attach to the bucket the observation landed in and leave
+    /// every other line untouched; plain observations never produce one.
+    #[test]
+    fn histogram_exemplars_render_on_their_bucket_only() {
+        let registry = Registry::new();
+        let h = registry.histogram("ex_ms", "m", &[1.0, 5.0]);
+        h.observe(0.5);
+        let before = registry.render_prometheus();
+        assert!(!before.contains("trace_id"), "{before}");
+
+        h.observe_with_exemplar(3.0, "0af7651916cd43dd8448eb211c80319c");
+        h.observe_with_exemplar(99.0, "b7ad6b7169203331b7ad6b7169203331");
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains(
+                "ex_ms_bucket{le=\"5\"} 2 # {trace_id=\"0af7651916cd43dd8448eb211c80319c\"} 3\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "ex_ms_bucket{le=\"+Inf\"} 3 # {trace_id=\"b7ad6b7169203331b7ad6b7169203331\"} 99\n"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("ex_ms_bucket{le=\"1\"} 1\n"), "{text}");
+        // A later exemplar in the same bucket replaces the earlier one.
+        h.observe_with_exemplar(2.0, "deadbeefdeadbeefdeadbeefdeadbeef");
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("# {trace_id=\"deadbeefdeadbeefdeadbeefdeadbeef\"} 2\n"),
+            "{text}"
+        );
+        assert!(!text.contains("0af7651916cd43dd8448eb211c80319c"), "{text}");
     }
 
     #[test]

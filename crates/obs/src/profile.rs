@@ -46,6 +46,9 @@ pub struct SpanRecord {
     pub bytes: u64,
     /// Index of the session run this span belongs to (0-based).
     pub run: u64,
+    /// 32-hex-digit id of the request trace active when the span was
+    /// recorded (empty when the run was not inside a trace scope).
+    pub trace_id: String,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -123,6 +126,10 @@ impl Profiler {
 
     /// Open a recorder for one session run, or `None` when disabled. The
     /// single atomic load here is the entire disabled-path cost.
+    ///
+    /// When a request trace scope is active on the calling thread (see
+    /// [`crate::context::scope`]), every span of the run is stamped with
+    /// its trace id, keying the profiler ring by request.
     pub fn begin_run(self: &Arc<Self>) -> Option<RunRecorder> {
         if !self.is_enabled() {
             return None;
@@ -130,6 +137,7 @@ impl Profiler {
         Some(RunRecorder {
             profiler: Arc::clone(self),
             run_start: Instant::now(),
+            trace_id: crate::context::current_trace_id_hex().unwrap_or_default(),
             spans: Vec::new(),
         })
     }
@@ -222,6 +230,7 @@ impl Profiler {
 pub struct RunRecorder {
     profiler: Arc<Profiler>,
     run_start: Instant,
+    trace_id: String,
     spans: Vec<SpanRecord>,
 }
 
@@ -256,6 +265,7 @@ impl RunRecorder {
             dur_us,
             bytes,
             run: 0, // assigned at finish()
+            trace_id: self.trace_id.clone(),
         });
     }
 
@@ -285,6 +295,7 @@ impl RunRecorder {
                 dur_us: run_dur_us,
                 bytes: 0,
                 run: run_index,
+                trace_id: self.trace_id.clone(),
             },
         );
         for mut span in self.spans {

@@ -63,6 +63,12 @@ pub(crate) fn render(spans: &[&SpanRecord]) -> String {
             },
         })
         .collect();
+    render_events(events)
+}
+
+/// Render pre-built events as Trace Event Format JSON (used by the flight
+/// recorder to merge request-, stage- and op-level spans).
+pub(crate) fn render_events(events: Vec<TraceEvent>) -> String {
     let trace = ChromeTrace {
         traceEvents: events,
         displayTimeUnit: "ms".to_string(),

@@ -1,0 +1,71 @@
+//! Tracing-off overhead guard (`cargo bench -p mnn-serve --bench trace_overhead`).
+//!
+//! The flight recorder's contract mirrors the profiler's: a server with a
+//! *disabled* recorder attached must serve exactly as fast as a server with
+//! no recorder at all — `begin_owned_trace_at` bails after one relaxed
+//! atomic load, so the request path takes no tracing timestamps. This bench
+//! times both end to end (submit → batch → inference → response) and
+//! **asserts** the ratio, so a regression that sneaks always-on tracing work
+//! into the serving path fails CI instead of silently taxing every request.
+
+use mnn_models::{build, ModelKind};
+use mnn_serve::{FlightRecorder, Server};
+use mnn_tensor::{Shape, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn make_server(recorder: Option<Arc<FlightRecorder>>) -> Server {
+    let mut builder = Server::builder().workers(1).max_batch(1);
+    if let Some(recorder) = recorder {
+        builder = builder.trace_recorder(recorder);
+    }
+    builder
+        .build(build(ModelKind::TinyCnn, 1, 16))
+        .expect("server builds")
+}
+
+/// Mean wall time per request over `iters` blocking inferences (after
+/// warm-up).
+fn mean_infer_ns(server: &Server, input: &Tensor, iters: usize) -> f64 {
+    for _ in 0..10 {
+        std::hint::black_box(server.infer(&[("data", input)]).unwrap());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(server.infer(&[("data", input)]).unwrap());
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn main() {
+    let input = Tensor::full(Shape::nchw(1, 3, 16, 16), 0.5);
+    let plain = make_server(None);
+    let recorder = Arc::new(FlightRecorder::new());
+    recorder.set_enabled(false);
+    let attached = make_server(Some(Arc::clone(&recorder)));
+
+    const ITERS: usize = 50;
+    // Timing on shared CI machines is noisy; accept the best of several
+    // attempts before declaring a regression, interleaving the measurements
+    // so frequency scaling hits both servers equally.
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..5 {
+        let base = mean_infer_ns(&plain, &input, ITERS);
+        let off = mean_infer_ns(&attached, &input, ITERS);
+        best_ratio = best_ratio.min(off / base);
+        if best_ratio <= 1.10 {
+            break;
+        }
+    }
+    assert_eq!(
+        recorder.completed(),
+        0,
+        "disabled recorder must record nothing"
+    );
+    assert!(
+        best_ratio <= 1.25,
+        "disabled tracing costs {:.1}% per request — the off path must stay free",
+        (best_ratio - 1.0) * 100.0
+    );
+    println!("tracing-off overhead: best ratio {best_ratio:.3} (<= 1.25 required)");
+}

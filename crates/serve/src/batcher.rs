@@ -15,7 +15,18 @@ use crate::request::QueuedRequest;
 use crate::stats::StatsCollector;
 use crate::ServeError;
 use mnn_core::{CoreError, Session};
+use mnn_obs::TraceContext;
 use mnn_tensor::{Shape, Tensor};
+use std::time::Instant;
+
+/// Instants a batch run passes back so stages can be attributed: everything
+/// before `run_start` is batch assembly (stacking, geometry), `run_start →
+/// run_end` is the inference itself, and `run_end` onward is scatter.
+#[derive(Default)]
+struct RunMarks {
+    run_start: Option<Instant>,
+    run_end: Option<Instant>,
+}
 
 /// Run `batch` (1..=max_batch requests with one shared signature) on
 /// `session`, fulfilling every request's response slot and recording stats.
@@ -24,33 +35,54 @@ pub(crate) fn process_batch(
     mut batch: Vec<QueuedRequest>,
     stats: &StatsCollector,
 ) {
+    // The first traced member's scope wraps the run: the session executor
+    // captures per-op spans into its sink, log lines carry its trace id, and
+    // the profiler (if on) stamps its spans with the same id. Ops are copied
+    // to the other traced members afterwards — the batch runs once, so every
+    // member's waterfall shows the same kernels.
+    let scope_trace = batch.iter().find_map(|request| request.trace.clone());
+    let mut marks = RunMarks::default();
     // A panic anywhere in the engine (kernel asserts, layout checks) must not
     // kill the worker with the batch's slots unfulfilled — clients blocked in
     // `wait()` would hang forever. Contain it and fan out an error instead.
     // The session is safe to reuse: a run mutates only per-run state.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_batch(session, &mut batch)
-    }))
-    .unwrap_or_else(|panic| {
-        let msg = panic
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_string())
-            .or_else(|| panic.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "worker panicked".to_string());
-        stats.record_worker_panic();
-        mnn_obs::warn!(
-            "mnn-serve",
-            "worker panic contained, failing its batch: {msg}"
-        );
-        Err(ServeError::Inference(format!("worker panicked: {msg}")))
-    });
+    let result = {
+        let _scope = scope_trace.as_ref().map(|trace| trace.enter());
+        if scope_trace.is_some() {
+            mnn_obs::debug!("mnn-serve", "executing batch of {}", batch.len());
+        }
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(session, &mut batch, &mut marks)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            stats.record_worker_panic();
+            mnn_obs::warn!(
+                "mnn-serve",
+                "worker panic contained, failing its batch: {msg}"
+            );
+            Err(ServeError::Inference(format!("worker panicked: {msg}")))
+        })
+    };
+    let scatter_end = Instant::now();
+    attribute_stages(&batch, scope_trace.as_ref(), &marks, scatter_end, stats);
     // Record stats BEFORE fulfilling any slot: a client that wakes from
     // `wait()` must already see its request in the counters.
-    let latencies: Vec<f64> = batch
+    let latencies: Vec<(f64, Option<String>)> = batch
         .iter()
-        .map(|request| request.enqueued.elapsed().as_secs_f64() * 1000.0)
+        .map(|request| {
+            (
+                request.enqueued.elapsed().as_secs_f64() * 1000.0,
+                request.trace.as_ref().map(|trace| trace.trace_id_hex()),
+            )
+        })
         .collect();
     stats.record_batch(&latencies, result.is_ok());
+    let status = if result.is_ok() { 200 } else { 500 };
     match result {
         Ok(outputs) => {
             for (request, outputs) in batch.iter().zip(outputs) {
@@ -63,6 +95,102 @@ pub(crate) fn process_batch(
             }
         }
     }
+    // Traces the serve layer opened itself (no HTTP frontend) end here, at
+    // fulfillment; frontend-owned traces are finished after the response
+    // write so the waterfall covers encode + write too.
+    for request in &batch {
+        if let Some(trace) = &request.trace {
+            if trace.finishes_on_fulfill() {
+                trace.stage_since("serve", 0, trace.started());
+                trace.finish(status);
+                stats.record_trace_finished();
+            }
+        }
+    }
+}
+
+/// Attach queue-wait / batch-assembly / inference / scatter stage spans to
+/// every traced member, link them all to one generated batch span, fan the
+/// head's captured op spans out to the other members (shifted onto their
+/// timebases), and feed the stage-wait stats windows.
+fn attribute_stages(
+    batch: &[QueuedRequest],
+    scope_trace: Option<&mnn_obs::ActiveTrace>,
+    marks: &RunMarks,
+    scatter_end: Instant,
+    stats: &StatsCollector,
+) {
+    // Stats stage windows are fed for every request, traced or not: the
+    // dequeue stamp comes from the queue unconditionally.
+    for request in batch {
+        if let Some(dequeued) = request.dequeued {
+            let queue_wait_ms = dequeued
+                .saturating_duration_since(request.enqueued)
+                .as_secs_f64()
+                * 1000.0;
+            let assembly_ms = marks
+                .run_start
+                .map(|rs| rs.saturating_duration_since(dequeued).as_secs_f64() * 1000.0)
+                .unwrap_or(0.0);
+            let id = request.trace.as_ref().map(|trace| trace.trace_id_hex());
+            stats.record_stage_waits(queue_wait_ms, assembly_ms, id.as_deref());
+        }
+    }
+    let Some(head) = scope_trace else {
+        return;
+    };
+    // One span id names this batch execution; every traced member records it
+    // together with the trace ids of its co-batched peers.
+    let batch_span_id = TraceContext::generate().span_id_hex();
+    let members: Vec<String> = batch
+        .iter()
+        .filter_map(|request| request.trace.as_ref().map(|trace| trace.trace_id_hex()))
+        .collect();
+    let head_ops = head
+        .ops_sink()
+        .lock()
+        .map(|ops| ops.clone())
+        .unwrap_or_default();
+    for request in batch {
+        let Some(trace) = &request.trace else {
+            continue;
+        };
+        if let Some(dequeued) = request.dequeued {
+            trace.add_stage("queue_wait", 1, request.enqueued, dequeued);
+            if let Some(run_start) = marks.run_start {
+                trace.add_stage("batch_assembly", 1, dequeued, run_start);
+            }
+        }
+        if let (Some(run_start), Some(run_end)) = (marks.run_start, marks.run_end) {
+            trace.add_stage("inference", 1, run_start, run_end);
+            trace.add_stage("scatter", 1, run_end, scatter_end);
+        }
+        trace.set_batch(&batch_span_id, members.clone());
+        let is_head = trace.context() == head.context();
+        if !is_head && !head_ops.is_empty() {
+            // The ops were timed against the head's start; shift them onto
+            // this member's timebase and restamp the trace id.
+            let shift_us = match trace.started().checked_duration_since(head.started()) {
+                Some(later) => -(later.as_secs_f64() * 1e6),
+                None => {
+                    head.started()
+                        .saturating_duration_since(trace.started())
+                        .as_secs_f64()
+                        * 1e6
+                }
+            };
+            let trace_id = trace.trace_id_hex();
+            let shifted = head_ops.iter().map(|op| {
+                let mut op = op.clone();
+                op.start_us += shift_us;
+                op.trace_id = trace_id.clone();
+                op
+            });
+            if let Ok(mut sink) = trace.ops_sink().lock() {
+                sink.extend(shifted);
+            }
+        }
+    }
 }
 
 /// The batched inference itself: returns per-request outputs in graph-output
@@ -70,6 +198,7 @@ pub(crate) fn process_batch(
 fn run_batch(
     session: &mut Session,
     batch: &mut [QueuedRequest],
+    marks: &mut RunMarks,
 ) -> Result<Vec<Vec<Tensor>>, ServeError> {
     let k = batch.len();
     debug_assert!(k > 0, "next_batch never returns an empty batch");
@@ -106,7 +235,9 @@ fn run_batch(
         .iter()
         .map(|(name, tensor)| (name.as_str(), tensor))
         .collect();
+    marks.run_start = Some(Instant::now());
     let outputs = session.run_with(&refs)?;
+    marks.run_end = Some(Instant::now());
 
     if k == 1 {
         return Ok(vec![outputs]);

@@ -23,8 +23,14 @@
 //!   fan-out; every sample is still computed independently, so responses stay
 //!   **bit-identical** to unbatched inference.
 //! * **Observability** — [`Server::stats`] snapshots throughput, latency
-//!   percentiles (p50/p99), the batch-size histogram and queue depth as a
-//!   [`ServerStats`].
+//!   percentiles (p50/p99), queue-wait and batch-assembly percentiles, the
+//!   batch-size histogram and queue depth as a [`ServerStats`]. With a
+//!   [`FlightRecorder`] attached ([`ServerBuilder::trace_recorder`]) every
+//!   request carries an [`ActiveTrace`]: the queue stamps queue-wait, the
+//!   batcher attributes batch-assembly / inference / scatter stage spans plus
+//!   a batch link naming its co-batched peers, and per-op kernel spans nest
+//!   under the inference stage — the per-request waterfall served by
+//!   `mnn-http` at `GET /v1/traces`.
 //!
 //! # Example
 //!
@@ -71,3 +77,5 @@ pub use error::ServeError;
 pub use request::ResponseHandle;
 pub use server::{DrainReport, Server, ServerBuilder};
 pub use stats::ServerStats;
+
+pub use mnn_obs::{ActiveTrace, FlightRecorder, RequestTrace, TraceContext};

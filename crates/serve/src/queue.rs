@@ -129,7 +129,8 @@ impl RequestQueue {
     ) -> Option<Vec<QueuedRequest>> {
         let mut state = self.lock();
         let first = loop {
-            if let Some(request) = state.deque.pop_front() {
+            if let Some(mut request) = state.deque.pop_front() {
+                request.dequeued = Some(Instant::now());
                 break request;
             }
             if state.closed {
@@ -187,7 +188,9 @@ fn drain_compatible(
         let compatible = deque[index].batchable && &deque[index].signature == signature;
         if compatible {
             // `remove` keeps the relative order of the remaining requests.
-            batch.push(deque.remove(index).expect("index bounded by len"));
+            let mut request = deque.remove(index).expect("index bounded by len");
+            request.dequeued = Some(Instant::now());
+            batch.push(request);
         } else {
             index += 1;
         }
@@ -214,6 +217,22 @@ mod tests {
             batchable,
             slot: ResponseSlot::new(),
             enqueued: Instant::now(),
+            dequeued: None,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn next_batch_stamps_dequeue_time_on_every_member() {
+        let queue = RequestQueue::new(16);
+        for _ in 0..3 {
+            queue.try_push(request(8, true)).unwrap();
+        }
+        let batch = queue.next_batch(4, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 3);
+        for member in &batch {
+            let dequeued = member.dequeued.expect("queue stamps dequeue time");
+            assert!(dequeued >= member.enqueued);
         }
     }
 

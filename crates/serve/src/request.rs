@@ -42,6 +42,13 @@ pub(crate) struct QueuedRequest {
     pub(crate) batchable: bool,
     pub(crate) slot: Arc<ResponseSlot>,
     pub(crate) enqueued: Instant,
+    /// Stamped by the queue the moment a worker takes the request (head pop
+    /// or window drain). `enqueued → dequeued` is the queue-wait stage;
+    /// `dequeued → inference start` is the batch-assembly stage.
+    pub(crate) dequeued: Option<Instant>,
+    /// The request's trace, when tracing is enabled. Rides the request across
+    /// threads so the batch worker can attribute stages to it.
+    pub(crate) trace: Option<mnn_obs::ActiveTrace>,
 }
 
 /// Lifecycle of a [`ResponseSlot`].

@@ -7,6 +7,7 @@ use crate::stats::{ServerStats, StatsCollector};
 use crate::ServeError;
 use mnn_core::{Interpreter, SessionConfig, SessionPool, TuningMode};
 use mnn_graph::Graph;
+use mnn_obs::{ActiveTrace, FlightRecorder};
 use mnn_tensor::Tensor;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -20,6 +21,7 @@ pub struct ServerBuilder {
     batch_window: Duration,
     queue_capacity: Option<usize>,
     session: SessionConfig,
+    trace_recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServerBuilder {
@@ -30,6 +32,7 @@ impl Default for ServerBuilder {
             batch_window: Duration::from_millis(1),
             queue_capacity: None,
             session: SessionConfig::default(),
+            trace_recorder: None,
         }
     }
 }
@@ -86,6 +89,16 @@ impl ServerBuilder {
     /// starts warm.
     pub fn tuning(mut self, mode: TuningMode) -> Self {
         self.session.tuning = mode;
+        self
+    }
+
+    /// Attach a [`FlightRecorder`]: every [`Server::submit`] without an
+    /// explicit trace opens one (finished at fulfillment), and traces handed
+    /// in through [`Server::submit_with_trace`] gain serve-side stage spans.
+    /// Without a recorder the server never takes tracing timestamps beyond
+    /// the queue's dequeue stamp.
+    pub fn trace_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.trace_recorder = Some(recorder);
         self
     }
 
@@ -157,6 +170,7 @@ impl ServerBuilder {
             max_batch: self.max_batch,
             batch_window: self.batch_window,
             queue_capacity,
+            trace_recorder: self.trace_recorder,
         })
     }
 }
@@ -195,6 +209,7 @@ pub struct Server {
     max_batch: usize,
     batch_window: Duration,
     queue_capacity: usize,
+    trace_recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Server {
@@ -223,6 +238,32 @@ impl Server {
     ///   back off and retry.
     /// * [`ServeError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, inputs: &[(&str, &Tensor)]) -> Result<ResponseHandle, ServeError> {
+        // With a recorder attached (and enabled — one relaxed load decides),
+        // embedded submissions open their own trace; it is finished when the
+        // worker fulfills the response slot.
+        let trace = self
+            .trace_recorder
+            .as_ref()
+            .and_then(|recorder| recorder.begin_owned_trace_at(None, Instant::now()));
+        self.submit_with_trace(inputs, trace)
+    }
+
+    /// Like [`Server::submit`], carrying a caller-created trace (usually one
+    /// the HTTP frontend opened at accept time and will finish after the
+    /// response write). The serve layer attributes queue-wait,
+    /// batch-assembly, inference and scatter stage spans — and the micro-batch
+    /// link — to it. `None` disables tracing for this request.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::submit`]. [`ActiveTrace`] is a cheap `Arc` handle:
+    /// callers that must seal the trace themselves (e.g. with a rejection
+    /// status) pass a clone and keep one.
+    pub fn submit_with_trace(
+        &self,
+        inputs: &[(&str, &Tensor)],
+        trace: Option<ActiveTrace>,
+    ) -> Result<ResponseHandle, ServeError> {
         // Fail on backpressure BEFORE cloning any tensor: rejected submissions
         // must stay cheap precisely when the server is saturated. (`try_push`
         // re-checks authoritatively under the same lock.)
@@ -259,6 +300,9 @@ impl Server {
         let batchable = normalized
             .iter()
             .all(|(_, t)| t.shape().is_4d() && t.shape().batch() == 1);
+        if let Some(trace) = &trace {
+            trace.set_model(self.graph.name());
+        }
         let slot = ResponseSlot::new();
         let request = QueuedRequest {
             signature: Signature::of(&normalized),
@@ -266,6 +310,8 @@ impl Server {
             batchable,
             slot: Arc::clone(&slot),
             enqueued: Instant::now(),
+            dequeued: None,
+            trace,
         };
         match self.queue.try_push(request) {
             Ok(()) => {
@@ -290,6 +336,25 @@ impl Server {
     /// surfaced by the worker.
     pub fn infer(&self, inputs: &[(&str, &Tensor)]) -> Result<Vec<Tensor>, ServeError> {
         self.submit(inputs)?.wait()
+    }
+
+    /// Blocking inference carrying a caller-created trace; see
+    /// [`Server::submit_with_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::infer`].
+    pub fn infer_with_trace(
+        &self,
+        inputs: &[(&str, &Tensor)],
+        trace: Option<ActiveTrace>,
+    ) -> Result<Vec<Tensor>, ServeError> {
+        self.submit_with_trace(inputs, trace)?.wait()
+    }
+
+    /// The flight recorder attached at build time, if any.
+    pub fn trace_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.trace_recorder.as_ref()
     }
 
     /// Snapshot of throughput, latency percentiles, batch histogram and queue
@@ -371,6 +436,15 @@ impl Server {
         }
         for request in evicted {
             request.slot.fulfill(Err(ServeError::ShuttingDown));
+            // Serve-owned traces end here; frontend-owned ones are sealed by
+            // the frontend's error path.
+            if let Some(trace) = &request.trace {
+                if trace.finishes_on_fulfill() {
+                    trace.stage_since("serve", 0, trace.started());
+                    trace.finish(503);
+                    self.stats.record_trace_finished();
+                }
+            }
         }
         count
     }

@@ -23,6 +23,10 @@ struct StatsInner {
     worker_panics: u64,
     /// Per-request end-to-end latencies (enqueue → response), milliseconds.
     latencies_ms: VecDeque<f64>,
+    /// Per-request queue wait (enqueue → dequeue), milliseconds.
+    queue_wait_ms: VecDeque<f64>,
+    /// Per-request batch assembly (dequeue → inference start), milliseconds.
+    batch_assembly_ms: VecDeque<f64>,
     /// `batch_histogram[k - 1]` counts executed batches of size `k`.
     batch_histogram: Vec<u64>,
 }
@@ -39,6 +43,9 @@ struct GlobalMetrics {
     worker_panics: mnn_obs::Counter,
     latency_ms: mnn_obs::Histogram,
     batch_size: mnn_obs::Histogram,
+    queue_wait_ms: mnn_obs::Histogram,
+    batch_assembly_ms: mnn_obs::Histogram,
+    traces: mnn_obs::Counter,
 }
 
 impl GlobalMetrics {
@@ -77,6 +84,20 @@ impl GlobalMetrics {
                 "Executed micro-batch sizes.",
                 mnn_obs::metrics::BATCH_SIZE_BUCKETS,
             ),
+            queue_wait_ms: global.histogram(
+                names::QUEUE_WAIT_MS,
+                "Time requests spent waiting in serve queues, milliseconds.",
+                mnn_obs::metrics::LATENCY_MS_BUCKETS,
+            ),
+            batch_assembly_ms: global.histogram(
+                names::BATCH_ASSEMBLY_MS,
+                "Time from dequeue to inference start (stacking, geometry), milliseconds.",
+                mnn_obs::metrics::LATENCY_MS_BUCKETS,
+            ),
+            traces: global.counter(
+                names::TRACES_RECORDED,
+                "Request traces completed by the flight recorder.",
+            ),
         }
     }
 }
@@ -99,6 +120,8 @@ impl StatsCollector {
                 aborted: 0,
                 worker_panics: 0,
                 latencies_ms: VecDeque::new(),
+                queue_wait_ms: VecDeque::new(),
+                batch_assembly_ms: VecDeque::new(),
                 batch_histogram: vec![0; max_batch.max(1)],
             }),
             metrics: GlobalMetrics::register(),
@@ -133,8 +156,10 @@ impl StatsCollector {
         self.metrics.worker_panics.inc();
     }
 
-    /// Record one executed batch: its size and each member's latency.
-    pub(crate) fn record_batch(&self, latencies_ms: &[f64], ok: bool) {
+    /// Record one executed batch: its size and each member's latency. A
+    /// member with a trace id attaches it as the latency bucket's exemplar,
+    /// so `/metrics` points straight at a representative trace.
+    pub(crate) fn record_batch(&self, latencies_ms: &[(f64, Option<String>)], ok: bool) {
         let mut inner = self.lock();
         let size = latencies_ms.len();
         if size == 0 {
@@ -150,13 +175,55 @@ impl StatsCollector {
             self.metrics.errors.add(size as u64);
         }
         self.metrics.batch_size.observe(size as f64);
-        for &latency in latencies_ms {
+        for (latency, trace_id) in latencies_ms {
             if inner.latencies_ms.len() == LATENCY_WINDOW {
                 inner.latencies_ms.pop_front();
             }
-            inner.latencies_ms.push_back(latency);
-            self.metrics.latency_ms.observe(latency);
+            inner.latencies_ms.push_back(*latency);
+            match trace_id {
+                Some(id) => self.metrics.latency_ms.observe_with_exemplar(*latency, id),
+                None => self.metrics.latency_ms.observe(*latency),
+            }
         }
+    }
+
+    /// Record one request's queue-wait and batch-assembly stages (derived
+    /// from the queue's dequeue stamp, so they exist with tracing off too).
+    pub(crate) fn record_stage_waits(
+        &self,
+        queue_wait_ms: f64,
+        batch_assembly_ms: f64,
+        trace_id: Option<&str>,
+    ) {
+        let mut inner = self.lock();
+        if inner.queue_wait_ms.len() == LATENCY_WINDOW {
+            inner.queue_wait_ms.pop_front();
+        }
+        inner.queue_wait_ms.push_back(queue_wait_ms);
+        if inner.batch_assembly_ms.len() == LATENCY_WINDOW {
+            inner.batch_assembly_ms.pop_front();
+        }
+        inner.batch_assembly_ms.push_back(batch_assembly_ms);
+        drop(inner);
+        match trace_id {
+            Some(id) => {
+                self.metrics
+                    .queue_wait_ms
+                    .observe_with_exemplar(queue_wait_ms, id);
+                self.metrics
+                    .batch_assembly_ms
+                    .observe_with_exemplar(batch_assembly_ms, id);
+            }
+            None => {
+                self.metrics.queue_wait_ms.observe(queue_wait_ms);
+                self.metrics.batch_assembly_ms.observe(batch_assembly_ms);
+            }
+        }
+    }
+
+    /// Count one request trace sealed into the flight recorder.
+    pub(crate) fn record_trace_finished(&self) {
+        self.metrics.traces.inc();
     }
 
     pub(crate) fn snapshot(&self, queue_depth: usize, workers: usize) -> ServerStats {
@@ -164,6 +231,10 @@ impl StatsCollector {
         let uptime_ms = self.started.elapsed().as_secs_f64() * 1000.0;
         let mut sorted: Vec<f64> = inner.latencies_ms.iter().copied().collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mut queue_wait: Vec<f64> = inner.queue_wait_ms.iter().copied().collect();
+        queue_wait.sort_by(|a, b| a.partial_cmp(b).expect("waits are finite"));
+        let mut assembly: Vec<f64> = inner.batch_assembly_ms.iter().copied().collect();
+        assembly.sort_by(|a, b| a.partial_cmp(b).expect("waits are finite"));
         let batches: u64 = inner.batch_histogram.iter().sum();
         let batched_requests: u64 = inner
             .batch_histogram
@@ -190,6 +261,10 @@ impl StatsCollector {
             mean_latency_ms: mean(&sorted),
             p50_latency_ms: percentile(&sorted, 50.0),
             p99_latency_ms: percentile(&sorted, 99.0),
+            queue_wait_p50_ms: percentile(&queue_wait, 50.0),
+            queue_wait_p99_ms: percentile(&queue_wait, 99.0),
+            batch_assembly_p50_ms: percentile(&assembly, 50.0),
+            batch_assembly_p99_ms: percentile(&assembly, 99.0),
             mean_batch_size: if batches > 0 {
                 batched_requests as f64 / batches as f64
             } else {
@@ -265,6 +340,17 @@ pub struct ServerStats {
     pub p50_latency_ms: f64,
     /// 99th-percentile end-to-end latency over the recent window.
     pub p99_latency_ms: f64,
+    /// Median time requests spent waiting in the queue (enqueue → dequeue)
+    /// over the recent window, from the tracing stage spans.
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile queue wait over the recent window.
+    pub queue_wait_p99_ms: f64,
+    /// Median time from dequeue to inference start (batch-window wait,
+    /// stacking, geometry) over the recent window — the latency a request
+    /// pays for micro-batching.
+    pub batch_assembly_p50_ms: f64,
+    /// 99th-percentile batch-assembly time over the recent window.
+    pub batch_assembly_p99_ms: f64,
     /// Mean number of requests coalesced per executed batch.
     pub mean_batch_size: f64,
     /// `(batch_size, executed_batches)` pairs, ascending, zero entries omitted.
@@ -290,6 +376,14 @@ impl fmt::Display for ServerStats {
             f,
             "throughput {:.1} req/s | latency mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms",
             self.throughput_rps, self.mean_latency_ms, self.p50_latency_ms, self.p99_latency_ms
+        )?;
+        writeln!(
+            f,
+            "queue wait p50 {:.3} ms, p99 {:.3} ms | batch assembly p50 {:.3} ms, p99 {:.3} ms",
+            self.queue_wait_p50_ms,
+            self.queue_wait_p99_ms,
+            self.batch_assembly_p50_ms,
+            self.batch_assembly_p99_ms
         )?;
         write!(f, "batches (size×count):")?;
         if self.batch_histogram.is_empty() {
@@ -322,9 +416,9 @@ mod tests {
         stats.record_submitted();
         stats.record_submitted();
         stats.record_submitted();
-        stats.record_batch(&[1.0, 2.0], true);
-        stats.record_batch(&[3.0], true);
-        stats.record_batch(&[4.0], false);
+        stats.record_batch(&[(1.0, None), (2.0, None)], true);
+        stats.record_batch(&[(3.0, None)], true);
+        stats.record_batch(&[(4.0, Some("deadbeef".into()))], false);
         let snap = stats.snapshot(5, 2);
         assert_eq!(snap.submitted, 3);
         assert_eq!(snap.completed, 3);
@@ -349,9 +443,23 @@ mod tests {
     }
 
     #[test]
+    fn stage_waits_surface_as_percentiles() {
+        let stats = StatsCollector::new(4);
+        for wait in [1.0, 2.0, 3.0, 4.0] {
+            stats.record_stage_waits(wait, wait / 10.0, None);
+        }
+        stats.record_stage_waits(100.0, 10.0, Some("deadbeef"));
+        let snap = stats.snapshot(0, 1);
+        assert_eq!(snap.queue_wait_p50_ms, 3.0);
+        assert_eq!(snap.queue_wait_p99_ms, 100.0);
+        assert_eq!(snap.batch_assembly_p50_ms, 0.3);
+        assert_eq!(snap.batch_assembly_p99_ms, 10.0);
+    }
+
+    #[test]
     fn oversized_batches_fold_into_last_bucket() {
         let stats = StatsCollector::new(2);
-        stats.record_batch(&[1.0, 1.0, 1.0], true); // size 3 with max_batch 2
+        stats.record_batch(&[(1.0, None), (1.0, None), (1.0, None)], true); // size 3 with max_batch 2
         let snap = stats.snapshot(0, 1);
         assert_eq!(snap.batch_histogram, vec![(2, 1)]);
     }
@@ -376,6 +484,10 @@ mod tests {
             mean_latency_ms: 2.25,
             p50_latency_ms: 2.0,
             p99_latency_ms: 4.5,
+            queue_wait_p50_ms: 0.5,
+            queue_wait_p99_ms: 1.75,
+            batch_assembly_p50_ms: 0.25,
+            batch_assembly_p99_ms: 0.75,
             mean_batch_size: 1.5,
             batch_histogram: vec![(1, 4), (2, 2)],
         };
@@ -388,6 +500,8 @@ mod tests {
                 "\"queue_depth\":3,\"uptime_ms\":1500.0,\"uptime_seconds\":1.5,",
                 "\"throughput_rps\":5.5,\"mean_latency_ms\":2.25,",
                 "\"p50_latency_ms\":2.0,\"p99_latency_ms\":4.5,",
+                "\"queue_wait_p50_ms\":0.5,\"queue_wait_p99_ms\":1.75,",
+                "\"batch_assembly_p50_ms\":0.25,\"batch_assembly_p99_ms\":0.75,",
                 "\"mean_batch_size\":1.5,\"batch_histogram\":[[1,4],[2,2]]}"
             )
         );
@@ -398,9 +512,10 @@ mod tests {
     #[test]
     fn display_is_human_readable() {
         let stats = StatsCollector::new(4);
-        stats.record_batch(&[1.0, 2.0, 3.0, 4.0], true);
+        stats.record_batch(&[(1.0, None), (2.0, None), (3.0, None), (4.0, None)], true);
         let text = stats.snapshot(0, 2).to_string();
         assert!(text.contains("throughput"));
+        assert!(text.contains("queue wait"));
         assert!(text.contains("4×1"));
     }
 }

@@ -1,0 +1,180 @@
+//! End-to-end request tracing: a client `traceparent` followed through the
+//! whole serving stack and read back as a waterfall.
+//!
+//! ```text
+//! cargo run --release --example traced_request
+//! ```
+//!
+//! Starts an [`mnn::http::HttpServer`] with tracing on, sends one inference
+//! carrying a W3C `traceparent` header, and shows what the tracing surface
+//! gives back: the byte-exact `traceparent` echo and `X-Request-Id` on the
+//! response, the per-stage waterfall (parse → decode → queue wait → batch
+//! assembly → inference → scatter → encode → write, with per-op kernel spans
+//! nested under inference) from `GET /v1/traces?id=...`, the latency-histogram
+//! exemplar in `/metrics` that points back at the trace, and the
+//! chrome://tracing export.
+
+use mnn::http::{HttpConfig, HttpServer, InferRequest, ModelRegistry, ServeOptions, TensorJson};
+use mnn::models::ModelKind;
+use mnn::SessionConfig;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const INPUT_SIZE: usize = 32;
+const TRACEPARENT: &str = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+const TRACE_ID: &str = "0af7651916cd43dd8448eb211c80319c";
+
+type Response = (String, Vec<(String, String)>, String);
+
+/// Send one request on a fresh connection; return (status line, headers, body).
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let mut lines = head.lines();
+    let status = lines.next().unwrap_or_default().to_string();
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, headers, body.to_string()))
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> &'a str {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("<missing>")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== starting the HTTP frontend with tracing on ==");
+    let mut registry = ModelRegistry::new();
+    registry.register_zoo(
+        ModelKind::TinyCnn,
+        INPUT_SIZE,
+        &ServeOptions {
+            workers: 2,
+            session: SessionConfig::cpu(1),
+            ..ServeOptions::default()
+        },
+    )?;
+    let config = HttpConfig {
+        tracing: Some(true), // the default follows MNN_TRACE; pin it on here
+        ..HttpConfig::default()
+    };
+    let server = HttpServer::bind("127.0.0.1:0", registry, config)?;
+    let addr = server.local_addr();
+    println!("listening on http://{addr}\n");
+
+    // One inference carrying a W3C trace context, as an upstream service
+    // participating in a distributed trace would send it.
+    let infer = InferRequest {
+        inputs: BTreeMap::from([(
+            "data".to_string(),
+            TensorJson {
+                shape: vec![1, 3, INPUT_SIZE, INPUT_SIZE],
+                data: (0..3 * INPUT_SIZE * INPUT_SIZE)
+                    .map(|i| (i % 255) as f32 / 255.0)
+                    .collect(),
+            },
+        )]),
+    };
+    let (status, headers, _) = request(
+        addr,
+        "POST",
+        "/v1/models/tiny-cnn/infer",
+        &[("traceparent", TRACEPARENT)],
+        &serde_json::to_vec(&infer)?,
+    )?;
+    println!("POST /v1/models/tiny-cnn/infer  (traceparent: {TRACEPARENT})");
+    println!("  {status}");
+    println!("  x-request-id: {}", header(&headers, "x-request-id"));
+    println!("  traceparent:  {}\n", header(&headers, "traceparent"));
+
+    // The trace is sealed just after the response bytes leave; poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let trace = loop {
+        let (status, _, body) =
+            request(addr, "GET", &format!("/v1/traces?id={TRACE_ID}"), &[], b"")?;
+        if status.contains("200") {
+            let parsed: mnn::http::TracesResponse = serde_json::from_str(&body)?;
+            break parsed.traces.into_iter().next().expect("one trace");
+        }
+        assert!(Instant::now() < deadline, "trace never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    println!("GET /v1/traces?id={TRACE_ID}");
+    println!(
+        "  model={} status={} adopted={} total={:.1}ms coverage={:.1}%",
+        trace.model,
+        trace.status,
+        trace.adopted,
+        trace.total_us / 1e3,
+        trace.coverage * 100.0
+    );
+    println!("  waterfall:");
+    for stage in &trace.stages {
+        println!(
+            "    {:indent$}{:<16} {:>9.1}us  +{:.1}us",
+            "",
+            stage.name,
+            stage.dur_us,
+            stage.start_us,
+            indent = stage.depth as usize * 2
+        );
+    }
+    println!(
+        "  {} kernel span(s) nested under inference, e.g. {}",
+        trace.ops.len(),
+        trace.ops.first().map(|op| op.name.as_str()).unwrap_or("-")
+    );
+    if let Some(batch) = &trace.batch {
+        println!(
+            "  batch span {} coalesced {} request(s)\n",
+            batch.span_id, batch.size
+        );
+    }
+
+    // The latency histogram's exemplar points back at this trace.
+    let (_, _, metrics) = request(addr, "GET", "/metrics", &[], b"")?;
+    if let Some(line) = metrics.lines().find(|l| l.contains("# {trace_id=")) {
+        println!("/metrics exemplar:\n  {line}\n");
+    }
+
+    // And the same waterfall renders in chrome://tracing / ui.perfetto.dev.
+    let (status, _, chrome) = request(addr, "GET", "/v1/traces?format=trace", &[], b"")?;
+    let preview: String = chrome.chars().take(120).collect();
+    println!("GET /v1/traces?format=trace\n  {status}\n  {preview}...\n");
+
+    server.request_shutdown();
+    server.wait_shutdown_requested();
+    let summary = server.shutdown();
+    println!(
+        "== drained: {} (aborted {} request(s)) ==",
+        summary.drained, summary.aborted_requests
+    );
+    Ok(())
+}

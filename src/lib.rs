@@ -295,7 +295,8 @@
 //! values bit-exactly, so wire responses match in-process inference.
 //!
 //! Routes: `GET /healthz`, `GET /v1/models`, `GET /v1/models/{name}/stats`,
-//! `POST /v1/models/{name}/infer`, `POST /admin/shutdown`. Admission control
+//! `POST /v1/models/{name}/infer`, `GET /v1/traces`,
+//! `POST /admin/shutdown`. Admission control
 //! is layered: a connection cap answers excess connections with `503`, and
 //! the per-model bounded queue surfaces as `429` — both with `Retry-After`.
 //! Graceful shutdown drains every accepted request within a deadline; none
@@ -395,6 +396,66 @@
 //! [`ServeOptions::profiling`](mnn_http::ServeOptions)); append
 //! `?format=trace` for the chrome://tracing export. See
 //! `examples/profiled_inference.rs` for the profile table on a zoo model.
+//!
+//! ## Request tracing
+//!
+//! Profiling answers "where does *this model* spend time on average"; request
+//! tracing answers "where did *this request* spend time". Every layer of the
+//! serving stack participates: the HTTP frontend opens a trace per request
+//! (adopting the client's W3C `traceparent` context when one is sent, so the
+//! engine slots into an existing distributed trace), the queue stamps queue
+//! wait, the micro-batcher attributes batch assembly / inference / scatter
+//! and links the requests it coalesced under one batch span, and per-op
+//! kernel spans nest under the inference stage. Completed waterfalls land in
+//! a bounded [`FlightRecorder`](serve::FlightRecorder) — a ring of recent
+//! traces plus an always-kept slow-request reservoir — and every response
+//! echoes `X-Request-Id` and `traceparent`, including rejections. With
+//! tracing disabled (`MNN_TRACE=off`) the request path pays one relaxed
+//! atomic load.
+//!
+//! ```
+//! use mnn::models::{build, ModelKind};
+//! use mnn::serve::{FlightRecorder, Server, TraceContext};
+//! use mnn::tensor::{Shape, Tensor};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let recorder = Arc::new(FlightRecorder::new());
+//! let server = Server::builder()
+//!     .workers(1)
+//!     .trace_recorder(Arc::clone(&recorder))
+//!     .build(build(ModelKind::TinyCnn, 1, 16))?;
+//! let input = Tensor::zeros(Shape::nchw(1, 3, 16, 16));
+//! server.infer(&[("data", &input)])?;
+//!
+//! // The trace is sealed a beat after the response; wait for it.
+//! while recorder.completed() < 1 {
+//!     std::thread::sleep(std::time::Duration::from_millis(1));
+//! }
+//! let trace = &recorder.recent()[0];
+//! assert_eq!(trace.status, 200);
+//! for stage in ["queue_wait", "batch_assembly", "inference", "scatter"] {
+//!     assert!(trace.stages.iter().any(|s| s.name == stage));
+//! }
+//! assert!(!trace.ops.is_empty()); // kernel spans, stamped with the trace id
+//! assert!(trace.coverage > 0.9);  // top-level stages tile the request
+//!
+//! // W3C trace-context round trip — what the HTTP frontend does per request:
+//! let parent =
+//!     TraceContext::parse_traceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+//!         .expect("valid traceparent");
+//! assert_eq!(parent.trace_id_hex(), "0af7651916cd43dd8448eb211c80319c");
+//! assert_eq!(parent.child().trace_id_hex(), parent.trace_id_hex());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Over HTTP the recorder is on by default (`--tracing off` or `MNN_TRACE=off`
+//! disables it): `GET /v1/traces` lists retained waterfalls as JSON,
+//! `?id=<trace id>` fetches one — the id to use comes off a response's
+//! `X-Request-Id` header or a latency-histogram exemplar in `/metrics` —
+//! and `?format=trace` exports chrome://tracing JSON. See
+//! `examples/traced_request.rs` for an end-to-end session.
 
 #![deny(missing_docs)]
 
@@ -440,5 +501,8 @@ pub use mnn_core::{
     SessionConfigBuilder, SessionPool, TuningMode, TuningStats,
 };
 pub use mnn_graph::{Graph, GraphBuilder};
-pub use mnn_serve::{ServeError, Server, ServerBuilder, ServerStats};
+pub use mnn_serve::{
+    ActiveTrace, FlightRecorder, RequestTrace, ServeError, Server, ServerBuilder, ServerStats,
+    TraceContext,
+};
 pub use mnn_tensor::{Shape, Tensor};
