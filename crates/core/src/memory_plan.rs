@@ -108,6 +108,10 @@ impl MemoryPlan {
 
     /// Arena size in bytes required with reuse (dtype-accurate: int8 slots count
     /// one byte per element).
+    ///
+    /// This is also the figure a session charges to the `mnn_obs::resources`
+    /// ledger for its active plan (and per parked plan in the plan cache), so
+    /// `/v1/status` per-model "arena" bytes are sums of this value.
     pub fn planned_bytes(&self) -> usize {
         self.planned_bytes
     }

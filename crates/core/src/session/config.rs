@@ -56,6 +56,15 @@ pub struct SessionConfig {
     /// equivalent is `MNN_SIMD=scalar`; this knob scopes it to one session
     /// (e.g. for scalar-vs-SIMD A/B measurements in the same process).
     pub force_scalar: bool,
+    /// Scope (usually: model name) the session's arena and plan-cache bytes
+    /// are charged to in the `mnn_obs::resources` ledger. `None` charges
+    /// under the graph's name. Servers set this to the registry name so
+    /// `/v1/status` rolls every pooled session up per model.
+    pub resource_scope: Option<String>,
+    /// Whether this session charges its memory to the `mnn_obs::resources`
+    /// ledger at all (default `true`; the accounting-overhead bench turns it
+    /// off for its baseline arm).
+    pub account_resources: bool,
 }
 
 impl Default for SessionConfig {
@@ -73,6 +82,8 @@ impl Default for SessionConfig {
             cost_model: CostModel::default(),
             profiler: None,
             force_scalar: false,
+            resource_scope: None,
+            account_resources: true,
         }
     }
 }
@@ -203,6 +214,19 @@ impl SessionConfigBuilder {
     /// therefore rejected by the candidate-membership guard). Default `false`.
     pub fn force_scalar(mut self, force: bool) -> Self {
         self.config.force_scalar = force;
+        self
+    }
+
+    /// Charge this session's arena and plan-cache bytes under `scope` in the
+    /// `mnn_obs::resources` ledger instead of the graph's name.
+    pub fn resource_scope(mut self, scope: impl Into<String>) -> Self {
+        self.config.resource_scope = Some(scope.into());
+        self
+    }
+
+    /// Enable/disable resource accounting for this session (default on).
+    pub fn account_resources(mut self, account: bool) -> Self {
+        self.config.account_resources = account;
         self
     }
 

@@ -92,6 +92,19 @@ impl Interpreter {
 struct CachedPlan {
     graph: Arc<Graph>,
     plan: ExecutionPlan,
+    /// The plan's arena size, remembered so cache eviction/restoration can
+    /// move the figure between the `plan_cache` and `arena` accounts without
+    /// touching the plan.
+    arena_bytes: u64,
+}
+
+/// The session's handles into the `mnn_obs::resources` ledger: the active
+/// plan's arena bytes and the parked plans' bytes, charged under the
+/// session's scope ([`SessionConfig::resource_scope`], defaulting to the
+/// graph name). Every charge/release is one relaxed atomic op.
+struct SessionAccounts {
+    arena: mnn_obs::AccountedBytes,
+    plan_cache: mnn_obs::AccountedBytes,
 }
 
 /// An inference session: pre-inference results plus runtime state.
@@ -122,6 +135,8 @@ pub struct Session {
     /// Measured scheme selection over the process-shared, device-keyed tuning
     /// cache; `None` when tuning is off.
     tuner: Option<Tuner>,
+    /// Resource-ledger accounts; `None` when accounting is disabled.
+    accounts: Option<SessionAccounts>,
 }
 
 // Sessions must stay movable across threads; this fails to compile if a
@@ -198,6 +213,24 @@ impl Session {
             .observe(prepare_start.elapsed().as_secs_f64() * 1000.0);
         let inputs = Self::fresh_inputs(&graph)?;
 
+        // Charge the freshly planned arena to the resource ledger. The hot
+        // path is exactly one relaxed atomic add; roll-ups happen at
+        // snapshot/render time.
+        let accounts = if config.account_resources {
+            let scope = config
+                .resource_scope
+                .clone()
+                .unwrap_or_else(|| graph.name().to_string());
+            let accounts = SessionAccounts {
+                arena: mnn_obs::resources::account(&scope, "arena"),
+                plan_cache: mnn_obs::resources::account(&scope, "plan_cache"),
+            };
+            accounts.arena.add(plan.memory_plan.planned_bytes() as u64);
+            Some(accounts)
+        } else {
+            None
+        };
+
         Ok(Session {
             graph,
             config,
@@ -211,6 +244,7 @@ impl Session {
             cache_hits: 0,
             last_stats: RunStats::default(),
             tuner,
+            accounts,
         })
     }
 
@@ -292,5 +326,19 @@ impl Session {
     /// The output names, in positional order.
     pub fn output_names(&self) -> Vec<&str> {
         self.graph.output_names()
+    }
+}
+
+impl Drop for Session {
+    /// Release everything this session charged to the resource ledger: the
+    /// active plan's arena plus every parked plan.
+    fn drop(&mut self) {
+        if let Some(accounts) = &self.accounts {
+            accounts
+                .arena
+                .sub(self.plan.memory_plan.planned_bytes() as u64);
+            let cached: u64 = self.plan_cache.values().map(|c| c.arena_bytes).sum();
+            accounts.plan_cache.sub(cached);
+        }
     }
 }

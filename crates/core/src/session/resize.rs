@@ -81,6 +81,12 @@ impl Session {
             .inc();
 
         if let Some(mut cached) = self.plan_cache.remove(&target_key) {
+            // The restored plan leaves the cache account immediately; if
+            // execution re-creation below fails the plan is dropped, so its
+            // bytes must already be off the books.
+            if let Some(accounts) = &self.accounts {
+                accounts.plan_cache.sub(cached.arena_bytes);
+            }
             // Cache hit: swap plans. Executions that migrated to a newer plan in
             // the meantime are re-created; everything else is reused as-is.
             let retained = ensure_executions(
@@ -94,13 +100,20 @@ impl Session {
             // still held, not whatever the original cold build reused.
             cached.plan.report.reused_executions = retained;
             cached.plan.report.pre_inference_ms = start.elapsed().as_secs_f64() * 1000.0;
+            let restored_bytes = cached.arena_bytes;
             let old_plan = std::mem::replace(&mut self.plan, cached.plan);
             let old_graph = std::mem::replace(&mut self.graph, cached.graph);
+            let old_bytes = old_plan.memory_plan.planned_bytes() as u64;
+            if let Some(accounts) = &self.accounts {
+                accounts.arena.sub(old_bytes);
+                accounts.arena.add(restored_bytes);
+            }
             self.park_plan(
                 current_key,
                 CachedPlan {
                     graph: old_graph,
                     plan: old_plan,
+                    arena_bytes: old_bytes,
                 },
             );
             self.cache_hits += 1;
@@ -147,13 +160,20 @@ impl Session {
                 )
                 .inc();
             new_plan.report.pre_inference_ms = start.elapsed().as_secs_f64() * 1000.0;
+            let new_bytes = new_plan.memory_plan.planned_bytes() as u64;
             let old_plan = std::mem::replace(&mut self.plan, new_plan);
             let old_graph = std::mem::replace(&mut self.graph, new_graph);
+            let old_bytes = old_plan.memory_plan.planned_bytes() as u64;
+            if let Some(accounts) = &self.accounts {
+                accounts.arena.sub(old_bytes);
+                accounts.arena.add(new_bytes);
+            }
             self.park_plan(
                 current_key,
                 CachedPlan {
                     graph: old_graph,
                     plan: old_plan,
+                    arena_bytes: old_bytes,
                 },
             );
         }
@@ -185,12 +205,21 @@ impl Session {
     fn park_plan(&mut self, key: Vec<Shape>, cached: CachedPlan) {
         let capacity = self.config.plan_cache_capacity;
         if capacity == 0 {
+            // The plan is dropped; its bytes already left the arena account
+            // at the swap, so there is nothing to move to the cache account.
             return;
         }
         if self.plan_cache.len() >= capacity {
             if let Some(evict) = self.plan_cache.keys().next().cloned() {
-                self.plan_cache.remove(&evict);
+                if let Some(evicted) = self.plan_cache.remove(&evict) {
+                    if let Some(accounts) = &self.accounts {
+                        accounts.plan_cache.sub(evicted.arena_bytes);
+                    }
+                }
             }
+        }
+        if let Some(accounts) = &self.accounts {
+            accounts.plan_cache.add(cached.arena_bytes);
         }
         self.plan_cache.insert(key, cached);
     }

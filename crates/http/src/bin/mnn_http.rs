@@ -32,6 +32,9 @@ struct Args {
     profiling: bool,
     tracing: Option<bool>,
     trace_slow_ms: u64,
+    watchdog_deadline_ms: Option<u64>,
+    slo_p99_ms: Option<f64>,
+    slo_availability: Option<f64>,
 }
 
 impl Default for Args {
@@ -54,6 +57,9 @@ impl Default for Args {
             profiling: false,
             tracing: None,
             trace_slow_ms: 250,
+            watchdog_deadline_ms: None,
+            slo_p99_ms: None,
+            slo_availability: None,
         }
     }
 }
@@ -86,6 +92,13 @@ SERVING OPTIONS:
     --tracing MODE         request tracing: on|off  [default: MNN_TRACE env, on]
                            traced waterfalls served at GET /v1/traces
     --trace-slow-ms MS     slow-trace reservoir threshold [default: 250]
+    --watchdog-deadline-ms MS
+                           flag a non-idle worker stalled after MS without a
+                           heartbeat (fails /readyz)   [default: 30000]
+    --slo-p99-ms MS        latency objective: p99 under MS  [default: 250]
+    --slo-availability F   availability objective in (0,1]  [default: 0.999]
+                           (passing either --slo-* flag enables SLO tracking,
+                           reported at GET /v1/status)
     --help                 print this message
 
 Metrics are always on: GET /metrics serves the Prometheus text format.
@@ -175,6 +188,31 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--trace-slow-ms: {e}"))?
             }
+            "--watchdog-deadline-ms" => {
+                args.watchdog_deadline_ms = Some(
+                    value("--watchdog-deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--watchdog-deadline-ms: {e}"))?,
+                )
+            }
+            "--slo-p99-ms" => {
+                args.slo_p99_ms = Some(
+                    value("--slo-p99-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slo-p99-ms: {e}"))?,
+                )
+            }
+            "--slo-availability" => {
+                let availability: f64 = value("--slo-availability")?
+                    .parse()
+                    .map_err(|e| format!("--slo-availability: {e}"))?;
+                if !(availability > 0.0 && availability <= 1.0) {
+                    return Err(format!(
+                        "--slo-availability: expected a fraction in (0, 1], got {availability}"
+                    ));
+                }
+                args.slo_availability = Some(availability);
+            }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -191,6 +229,13 @@ fn run(args: Args) -> Result<(), String> {
     if let Some(path) = &args.tune_cache {
         session = session.tune_cache_path(path);
     }
+    let slo = (args.slo_p99_ms.is_some() || args.slo_availability.is_some()).then(|| {
+        let default = mnn_obs::SloConfig::default();
+        mnn_obs::SloConfig {
+            latency_p99_ms: args.slo_p99_ms.unwrap_or(default.latency_p99_ms),
+            availability: args.slo_availability.unwrap_or(default.availability),
+        }
+    });
     let options = ServeOptions {
         workers: args.workers,
         max_batch: args.max_batch,
@@ -198,6 +243,8 @@ fn run(args: Args) -> Result<(), String> {
         queue_capacity: args.queue_capacity,
         session: session.build(),
         profiling: args.profiling,
+        watchdog_deadline: args.watchdog_deadline_ms.map(Duration::from_millis),
+        slo,
     };
 
     let mut registry = ModelRegistry::new();

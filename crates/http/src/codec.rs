@@ -5,6 +5,8 @@
 //! round-trip bit-identically — responses over the wire match in-process
 //! [`mnn_serve::Server::infer`] results exactly.
 
+use mnn_obs::resources::OsStats;
+use mnn_obs::{ScopeResources, SloSnapshot};
 use mnn_serve::ServerStats;
 use mnn_tensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
@@ -112,6 +114,87 @@ pub struct HealthResponse {
     pub models: usize,
 }
 
+/// Body of `GET /readyz`.
+///
+/// Unlike `/healthz` (liveness: the process is up and answering), readiness
+/// says whether this frontend should receive traffic *right now*: models
+/// loaded, not draining, no stalled workers, queues below saturation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadyResponse {
+    /// Whether the server is ready for traffic (`200` iff true).
+    pub ready: bool,
+    /// Human-readable reasons the server is not ready; empty when ready.
+    pub reasons: Vec<String>,
+    /// Number of registered models.
+    pub models: usize,
+}
+
+/// Build identity in `GET /v1/status` (owned mirror of
+/// [`mnn_obs::BuildInfo`], which borrows `'static` strings).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildJson {
+    /// Engine crate version.
+    pub version: String,
+    /// Build identifier baked in at compile time (`MNN_BUILD_ID`, or `dev`).
+    pub build_id: String,
+    /// Kernel backend selected at startup (`scalar`, `avx2fma`, `neon`).
+    pub kernel_backend: String,
+}
+
+/// One model's row in `GET /v1/status`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStatus {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Worker threads serving the model.
+    pub workers: usize,
+    /// Each worker's last-stamped state, in worker-index order.
+    pub worker_states: Vec<String>,
+    /// Workers currently flagged stalled by the health watchdog.
+    pub stalled_workers: usize,
+    /// Requests currently waiting in the model's queue.
+    pub queue_depth: usize,
+    /// The model's bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Requests accepted into the queue since startup.
+    pub submitted: u64,
+    /// Requests answered successfully since startup.
+    pub completed: u64,
+    /// Requests answered with an inference error since startup.
+    pub failed: u64,
+    /// Completed requests per second since startup.
+    pub throughput_rps: f64,
+    /// 99th-percentile end-to-end latency over the recent window, ms.
+    pub p99_latency_ms: f64,
+    /// Accounted memory for this model's scope: weights, active arenas and
+    /// parked plan-cache arenas, with a per-component breakdown.
+    pub memory: ScopeResources,
+    /// SLO compliance over the rolling window, if an SLO is configured.
+    pub slo: Option<SloSnapshot>,
+}
+
+/// Body of `GET /v1/status`: one page aggregating build identity, process
+/// resources and the per-model health/memory/SLO table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// `"ok"` while serving, `"draining"` once shutdown has begun.
+    pub status: String,
+    /// Whether `/readyz` would answer 200 right now.
+    pub ready: bool,
+    /// Reasons the server is not ready; empty when ready.
+    pub reasons: Vec<String>,
+    /// Build identity (version, build id, kernel backend).
+    pub build: BuildJson,
+    /// Seconds since the process first touched the metrics layer.
+    pub uptime_seconds: f64,
+    /// OS-reported process stats (RSS, thread count).
+    pub os: OsStats,
+    /// Sum of every ledger account: engine-attributed resident bytes.
+    pub accounted_bytes: u64,
+    /// Per-model status rows, in name order.
+    pub models: Vec<ModelStatus>,
+}
+
 /// Body of `GET /v1/models/{name}/stats`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsResponse {
@@ -119,6 +202,8 @@ pub struct StatsResponse {
     pub name: String,
     /// The serving runtime's counters and latency percentiles.
     pub stats: ServerStats,
+    /// Accounted memory for this model's scope (weights, arenas, plan cache).
+    pub memory: ScopeResources,
 }
 
 /// Body of `GET /v1/models/{name}/profile`.

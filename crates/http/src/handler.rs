@@ -1,8 +1,8 @@
 //! Request routing: maps parsed HTTP requests onto the serving API.
 
 use crate::codec::{
-    HealthResponse, InferRequest, InferResponse, ModelsResponse, NamedTensorJson, ProfileResponse,
-    StatsResponse, TracesResponse,
+    BuildJson, HealthResponse, InferRequest, InferResponse, ModelStatus, ModelsResponse,
+    NamedTensorJson, ProfileResponse, ReadyResponse, StatsResponse, StatusResponse, TracesResponse,
 };
 use crate::parser::HttpRequest;
 use crate::registry::{ModelEntry, ModelRegistry};
@@ -51,6 +51,8 @@ pub fn route_traced(
                 },
             )
         }),
+        ["readyz"] => expect_method(request, "GET", || readyz(registry, draining)),
+        ["v1", "status"] => expect_method(request, "GET", || status(registry, draining)),
         ["v1", "models"] => expect_method(request, "GET", || {
             HttpResponse::json(
                 200,
@@ -65,6 +67,7 @@ pub fn route_traced(
                 &StatsResponse {
                     name: name.to_string(),
                     stats: entry.server.stats(),
+                    memory: mnn_obs::resources::scope_snapshot(name),
                 },
             )
         }),
@@ -97,6 +100,93 @@ pub fn route_traced(
             format!("no route for {}", request.path),
         )),
     }
+}
+
+/// Evaluate readiness: loaded models, not draining, no stalled workers,
+/// every queue below saturation. Returns the (possibly empty) reasons list.
+fn readiness_reasons(registry: &ModelRegistry, draining: bool) -> Vec<String> {
+    let mut reasons = Vec::new();
+    if draining {
+        reasons.push("server is draining".to_string());
+    }
+    if registry.is_empty() {
+        reasons.push("no models registered".to_string());
+    }
+    for (name, entry) in registry.entries() {
+        let stalled = entry.server.stalled_workers();
+        if stalled > 0 {
+            reasons.push(format!("model '{name}': {stalled} stalled worker(s)"));
+        }
+        let depth = entry.server.queue_depth();
+        let capacity = entry.server.queue_capacity();
+        if depth >= capacity {
+            reasons.push(format!(
+                "model '{name}': queue saturated ({depth}/{capacity})"
+            ));
+        }
+    }
+    reasons
+}
+
+/// `GET /readyz`: `200` when the frontend should receive traffic, `503`
+/// with machine-readable reasons otherwise. Load balancers poll this;
+/// `/healthz` stays a pure liveness check.
+fn readyz(registry: &ModelRegistry, draining: bool) -> HttpResponse {
+    let reasons = readiness_reasons(registry, draining);
+    let ready = reasons.is_empty();
+    HttpResponse::json(
+        if ready { 200 } else { 503 },
+        &ReadyResponse {
+            ready,
+            reasons,
+            models: registry.len(),
+        },
+    )
+}
+
+/// `GET /v1/status`: build identity, process resources and the per-model
+/// health/memory/SLO table — the one page an operator reads first.
+fn status(registry: &ModelRegistry, draining: bool) -> HttpResponse {
+    let reasons = readiness_reasons(registry, draining);
+    let build = mnn_obs::resources::build_info();
+    let models = registry
+        .entries()
+        .map(|(name, entry)| {
+            let stats = entry.server.stats();
+            ModelStatus {
+                name: name.to_string(),
+                workers: stats.workers,
+                worker_states: stats.worker_states,
+                stalled_workers: stats.stalled_workers,
+                queue_depth: stats.queue_depth,
+                queue_capacity: entry.server.queue_capacity(),
+                submitted: stats.submitted,
+                completed: stats.completed,
+                failed: stats.failed,
+                throughput_rps: stats.throughput_rps,
+                p99_latency_ms: stats.p99_latency_ms,
+                memory: mnn_obs::resources::scope_snapshot(name),
+                slo: stats.slo,
+            }
+        })
+        .collect();
+    HttpResponse::json(
+        200,
+        &StatusResponse {
+            status: if draining { "draining" } else { "ok" }.to_string(),
+            ready: reasons.is_empty(),
+            reasons,
+            build: BuildJson {
+                version: build.version.to_string(),
+                build_id: build.build_id.to_string(),
+                kernel_backend: build.kernel_backend.to_string(),
+            },
+            uptime_seconds: mnn_obs::metrics::process_epoch().elapsed().as_secs_f64(),
+            os: mnn_obs::resources::os_stats(),
+            accounted_bytes: mnn_obs::resources::snapshot().accounted_bytes,
+            models,
+        },
+    )
 }
 
 fn expect_method(

@@ -71,8 +71,9 @@ pub mod response;
 pub mod server;
 
 pub use codec::{
-    HealthResponse, InferRequest, InferResponse, ModelSummary, ModelsResponse, NamedTensorJson,
-    ProfileResponse, StatsResponse, TensorJson, TracesResponse,
+    BuildJson, HealthResponse, InferRequest, InferResponse, ModelStatus, ModelSummary,
+    ModelsResponse, NamedTensorJson, ProfileResponse, ReadyResponse, StatsResponse, StatusResponse,
+    TensorJson, TracesResponse,
 };
 pub use error::HttpError;
 pub use parser::{HttpRequest, ParseError, ParseOutcome, RequestParser};

@@ -11,7 +11,7 @@ use crate::error::HttpError;
 use mnn_converter::{ModelFile, ModelManifest};
 use mnn_core::SessionConfig;
 use mnn_models::ModelKind;
-use mnn_obs::Profiler;
+use mnn_obs::{Profiler, SloConfig};
 use mnn_serve::{DrainReport, Server};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -34,6 +34,13 @@ pub struct ServeOptions {
     /// Attach a per-model runtime [`Profiler`] to every session, exposed at
     /// `GET /v1/models/{name}/profile` (default off).
     pub profiling: bool,
+    /// Watchdog deadline for each model's workers; `None` uses the serve
+    /// default (30 s). A non-idle worker silent past the deadline is flagged
+    /// stalled, which fails `/readyz` and surfaces in `/v1/status`.
+    pub watchdog_deadline: Option<Duration>,
+    /// Latency/availability objective tracked per model and reported in
+    /// `/v1/status` and `/v1/models/{name}/stats` (default none).
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServeOptions {
@@ -45,6 +52,8 @@ impl Default for ServeOptions {
             queue_capacity: None,
             session: SessionConfig::default(),
             profiling: false,
+            watchdog_deadline: None,
+            slo: None,
         }
     }
 }
@@ -66,6 +75,22 @@ pub struct ModelEntry {
     /// Per-model runtime profiler, present when the entry was registered with
     /// [`ServeOptions::profiling`] enabled.
     pub profiler: Option<Arc<Profiler>>,
+    /// Ledger account holding the model's constant (weight) bytes under
+    /// `(model name, "constants")`; zeroed when the entry is dropped. A
+    /// separate guard (not `Drop` on the entry itself) so drain can still
+    /// move the server out.
+    #[allow(dead_code)] // held for its Drop
+    constants_account: ConstantsGuard,
+}
+
+/// Owns a model's `"constants"` ledger component and releases it on drop:
+/// unloading the model releases the weights.
+struct ConstantsGuard(mnn_obs::AccountedBytes);
+
+impl Drop for ConstantsGuard {
+    fn drop(&mut self) {
+        self.0.set(0);
+    }
 }
 
 /// Name-keyed table of serving runtimes (see the [module docs](self)).
@@ -118,6 +143,10 @@ impl ModelRegistry {
         if let Some(profiler) = &profiler {
             session.profiler = Some(Arc::clone(profiler));
         }
+        // Sessions account their arenas and plan caches under the registry
+        // name, so `/v1/status` attributes memory to the model a client
+        // addresses (several entries may share one graph name).
+        session.resource_scope = Some(name.clone());
 
         let mut builder = Server::builder()
             .workers(options.workers)
@@ -127,9 +156,18 @@ impl ModelRegistry {
         if let Some(capacity) = options.queue_capacity {
             builder = builder.queue_capacity(capacity);
         }
+        if let Some(deadline) = options.watchdog_deadline {
+            builder = builder.watchdog_deadline(deadline);
+        }
+        if let Some(slo) = options.slo {
+            builder = builder.slo(slo);
+        }
         let server = builder
             .build(model.graph)
             .map_err(|e| HttpError::Model(format!("model '{name}': {e}")))?;
+
+        let constants_account = mnn_obs::resources::account(&name, "constants");
+        constants_account.set(constant_bytes);
 
         self.entries.insert(
             name,
@@ -141,6 +179,7 @@ impl ModelRegistry {
                 inputs,
                 outputs,
                 profiler,
+                constants_account: ConstantsGuard(constants_account),
             },
         );
         Ok(())
@@ -242,6 +281,13 @@ impl ModelRegistry {
     /// Registered model names, sorted.
     pub fn names(&self) -> Vec<&str> {
         self.entries.keys().map(|k| k.as_str()).collect()
+    }
+
+    /// Iterate `(name, entry)` pairs in name order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &ModelEntry)> {
+        self.entries
+            .iter()
+            .map(|(name, entry)| (name.as_str(), entry))
     }
 
     /// Wire-level summaries for `GET /v1/models`, in name order.

@@ -287,13 +287,26 @@ impl HttpServer {
     }
 }
 
-/// Accept connections until drain begins; enforce the connection cap.
+/// Accept connections until drain completes; enforce the connection cap.
+///
+/// Draining does not stop accepting immediately: while in-flight connections
+/// are still finishing (and the drain deadline has not passed), new
+/// connections are accepted and served — each gets exactly one response with
+/// `Connection: close`. This keeps `/readyz` and `/healthz` answering
+/// (`503`/`draining`) during the drain window, so load balancers observe the
+/// flip instead of connection refusals.
 fn accept_loop(
     listener: TcpListener,
     shared: Arc<Shared>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
-    while !shared.draining.load(Ordering::SeqCst) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst)
+            && (shared.active_connections.load(Ordering::SeqCst) == 0
+                || shared.past_drain_deadline())
+        {
+            return;
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 if shared.active_connections.load(Ordering::SeqCst) >= shared.config.max_connections
@@ -402,6 +415,10 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     // The instant the in-progress request's first byte arrived; the traced
     // waterfall's time zero. Reset once that request has been answered.
     let mut request_started: Option<Instant> = None;
+    // Whether this connection has been answered at least once; drain closes
+    // idle *answered* connections immediately but lets a fresh connection
+    // (e.g. a health probe racing the drain) deliver its first request.
+    let mut responded = false;
     loop {
         // Serve everything already buffered (pipelining) before reading more.
         loop {
@@ -435,6 +452,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         trace.finish(u64::from(status));
                         shared.traces_counter.inc();
                     }
+                    responded = true;
                     if !write_ok {
                         return;
                     }
@@ -459,10 +477,11 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         }
 
         if shared.draining.load(Ordering::SeqCst)
-            && (!parser.has_partial() || shared.past_drain_deadline())
+            && ((responded && !parser.has_partial()) || shared.past_drain_deadline())
         {
-            // Idle (or out of time): close. A request whose bytes are still
-            // arriving gets until the drain deadline to complete.
+            // An answered, idle connection closes at drain; one whose request
+            // bytes are still arriving — or that connected during the drain
+            // and has not been answered yet — gets until the drain deadline.
             return;
         }
 

@@ -33,9 +33,18 @@
 //!   recent traces + always-kept slow-request reservoir), exported as JSON
 //!   and chrome://tracing. With tracing off, every instrumented path costs a
 //!   single relaxed atomic load, like the profiler.
+//! * [`resources`] + [`slo`] — resource observability: a process-wide byte
+//!   ledger ([`AccountedBytes`] handles charged by sessions, plan caches,
+//!   model constants and the tune cache, rolled up per model and
+//!   process-wide next to `/proc/self` RSS/thread gauges), and rolling-window
+//!   SLO tracking ([`SloTracker`]: availability + latency objectives with
+//!   burn rates). Both feed `/metrics` and the `mnn-http` `/v1/status`
+//!   operator surface. Charging an account is one relaxed atomic op.
 //!
-//! The crate sits below every engine layer (it depends only on `serde`), so
-//! tensor-to-HTTP code can share one vocabulary of evidence.
+//! The crate sits below every engine layer (its only runtime dependencies
+//! are `serde` and the dependency-free `mnn-kernels`, for naming the active
+//! kernel backend in build info), so tensor-to-HTTP code can share one
+//! vocabulary of evidence.
 
 #![deny(missing_docs)]
 
@@ -44,6 +53,8 @@ pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
+pub mod resources;
+pub mod slo;
 mod trace;
 
 pub use context::{OpCapture, TraceContext, TraceScope};
@@ -51,3 +62,5 @@ pub use log::{set_max_level, set_sink, Level, LogSink, StderrSink};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use profile::{NodeBreakdown, OpBreakdown, ProfileReport, Profiler, RunRecorder, SpanRecord};
 pub use recorder::{ActiveTrace, BatchLink, FlightRecorder, RequestTrace, StageSpan};
+pub use resources::{AccountedBytes, BuildInfo, ResourceSnapshot, ScopeResources};
+pub use slo::{SloConfig, SloSnapshot, SloTracker};

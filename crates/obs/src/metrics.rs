@@ -71,6 +71,20 @@ pub mod names {
     pub const BATCH_ASSEMBLY_MS: &str = "mnn_batch_assembly_ms";
     /// Request traces completed by the flight recorder (counter).
     pub const TRACES_RECORDED: &str = "mnn_traces_recorded_total";
+    /// Constant 1, labeled version/build_id/kernel_backend (gauge).
+    pub const BUILD_INFO: &str = "mnn_build_info";
+    /// Kernel-reported resident set size of this process, bytes (gauge).
+    pub const PROCESS_RSS_BYTES: &str = "mnn_process_rss_bytes";
+    /// Kernel-reported thread count of this process (gauge).
+    pub const PROCESS_THREADS: &str = "mnn_process_threads";
+    /// Engine-accounted resident bytes, labeled scope/component (gauge).
+    pub const RESIDENT_BYTES: &str = "mnn_resident_bytes";
+    /// Sum of all engine-accounted resident bytes (gauge).
+    pub const RESIDENT_BYTES_TOTAL: &str = "mnn_resident_bytes_total";
+    /// Workers flagged stalled by the health watchdog, cumulative (counter).
+    pub const WORKER_STALLS: &str = "mnn_worker_stalls_total";
+    /// Workers currently flagged stalled (gauge).
+    pub const STALLED_WORKERS: &str = "mnn_stalled_workers";
 }
 
 /// Default latency bucket bounds, milliseconds.
@@ -314,7 +328,13 @@ impl Registry {
 
     /// Register (or look up) an unlabeled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        match self.series(name, help, &[], MetricKind::Gauge, || {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or look up) a gauge with label pairs, e.g.
+    /// `gauge_with("mnn_resident_bytes", help, &[("scope", "tiny-cnn")])`.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, labels, MetricKind::Gauge, || {
             Series::Gauge(Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))))
         }) {
             Series::Gauge(g) => g,
@@ -607,16 +627,31 @@ pub fn register_defaults() {
         names::TRACES_RECORDED,
         "Request traces completed by the flight recorder.",
     );
+    registry.counter(
+        names::WORKER_STALLS,
+        "Workers flagged stalled by the health watchdog, cumulative.",
+    );
+    registry.gauge(
+        names::STALLED_WORKERS,
+        "Workers currently flagged stalled by the health watchdog.",
+    );
+    registry.gauge(names::UPTIME_SECONDS, "Seconds since process start.");
+    // Build identity, OS-level process gauges and the resource ledger render
+    // even when idle: publish them at registration time too, not only on the
+    // render_global refresh.
+    crate::resources::publish_gauges(registry);
 }
 
-/// Refresh the `mnn_uptime_seconds` gauge and render the [`global`] registry,
-/// with the full well-known schema pre-registered ([`register_defaults`]).
+/// Refresh the live gauges (`mnn_uptime_seconds`, the resource ledger, RSS
+/// and thread count) and render the [`global`] registry, with the full
+/// well-known schema pre-registered ([`register_defaults`]).
 pub fn render_global() -> String {
     register_defaults();
     let registry = global();
     registry
         .gauge(names::UPTIME_SECONDS, "Seconds since process start.")
         .set(process_epoch().elapsed().as_secs_f64());
+    crate::resources::publish_gauges(registry);
     registry.render_prometheus()
 }
 

@@ -657,6 +657,61 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_finishes_keep_ring_and_reservoir_bounded() {
+        // Hammer a tiny ring from many threads at once: the per-slot locks
+        // plus the fetch-add slot counter must keep both stores bounded and
+        // every retained trace intact — no slot may hold a torn or duplicate
+        // entry, and the completed counter must see every finish exactly once.
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 100;
+        const RING: usize = 8;
+
+        let recorder = Arc::new(FlightRecorder::with_capacity(RING));
+        // Zero threshold: every trace is "slow", so the reservoir's own
+        // bound is exercised by the same storm.
+        recorder.set_slow_threshold(Duration::ZERO);
+
+        std::thread::scope(|scope| {
+            for worker in 0..THREADS {
+                let recorder = Arc::clone(&recorder);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let trace = recorder.begin_trace(None).unwrap();
+                        trace.set_model(&format!("m{worker}"));
+                        let start = trace.started();
+                        trace.add_stage("serve", 0, start, Instant::now());
+                        trace.finish(200 + (i % 2) as u64);
+                    }
+                });
+            }
+        });
+
+        assert_eq!(recorder.completed(), (THREADS * PER_THREAD) as u64);
+        let recent = recorder.recent();
+        assert_eq!(recent.len(), RING, "ring stays exactly at capacity");
+        let slow = recorder.slow();
+        assert_eq!(slow.len(), SLOW_CAPACITY, "reservoir stays at capacity");
+
+        // Retained traces are whole: valid ids, a model name one of the
+        // workers wrote, the stage that thread recorded — and no duplicates.
+        let mut seen = std::collections::BTreeSet::new();
+        for trace in recent.iter().chain(slow.iter()) {
+            assert_eq!(trace.trace_id.len(), 32);
+            assert!(trace.model.starts_with('m'), "model = {:?}", trace.model);
+            assert_eq!(trace.stages.len(), 1);
+            assert_eq!(trace.stages[0].name, "serve");
+            assert!(trace.slow);
+            seen.insert(trace.trace_id.clone());
+        }
+        // The ring and the reservoir may overlap, but within themselves
+        // every entry is a distinct request.
+        let ring_ids: std::collections::BTreeSet<_> =
+            recent.iter().map(|t| t.trace_id.clone()).collect();
+        assert_eq!(ring_ids.len(), recent.len(), "no duplicate ring slots");
+        assert!(seen.len() >= SLOW_CAPACITY);
+    }
+
+    #[test]
     fn batch_links_and_ops_round_trip_through_json() {
         let recorder = Arc::new(FlightRecorder::new());
         let trace = recorder.begin_trace(None).unwrap();

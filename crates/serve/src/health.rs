@@ -1,0 +1,201 @@
+//! Worker health: per-worker heartbeats, states, and the stall watchdog.
+//!
+//! Every worker owns a [`WorkerSlot`] it stamps at batch boundaries — idle
+//! before blocking on the queue, *batching* once a head request is taken,
+//! *running* around the inference — each stamp refreshing a heartbeat
+//! timestamp. A watchdog thread (see `Server`) periodically calls
+//! [`WorkerHealth::check`]: a worker that is **not idle** and has not
+//! heartbeaten within the configured deadline is flagged stalled (counter +
+//! gauge + structured warning). The flag clears itself on the worker's next
+//! heartbeat, so recovery is observed at the following batch boundary.
+//!
+//! Idle workers are never flagged: blocking on an empty queue's condvar is
+//! the healthy steady state, not a stall.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a worker was last seen doing (stamped at batch boundaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Blocked on the queue waiting for work.
+    Idle,
+    /// Took a head request and is coalescing its micro-batch window.
+    Batching,
+    /// Executing a batch.
+    Running,
+}
+
+impl WorkerState {
+    /// Stable lowercase name, as reported in `ServerStats.worker_states`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkerState::Idle => "idle",
+            WorkerState::Batching => "batching",
+            WorkerState::Running => "running",
+        }
+    }
+
+    fn from_u8(value: u8) -> WorkerState {
+        match value {
+            1 => WorkerState::Batching,
+            2 => WorkerState::Running,
+            _ => WorkerState::Idle,
+        }
+    }
+}
+
+/// One worker's health cell: state + heartbeat + stall flag. Stamping is a
+/// pair of relaxed stores; the watchdog only ever reads.
+pub(crate) struct WorkerSlot {
+    index: usize,
+    state: AtomicU8,
+    /// Microseconds since `epoch` of the last heartbeat.
+    heartbeat_us: AtomicU64,
+    stalled: AtomicBool,
+    epoch: Instant,
+    stalled_gauge: mnn_obs::Gauge,
+    stalls: mnn_obs::Counter,
+}
+
+impl WorkerSlot {
+    /// Stamp a state transition and refresh the heartbeat. Clears a standing
+    /// stall flag — a heartbeat *is* the recovery signal.
+    pub(crate) fn beat(&self, state: WorkerState) {
+        self.heartbeat_us
+            .store(self.epoch.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.state.store(state as u8, Ordering::Relaxed);
+        if self.stalled.swap(false, Ordering::AcqRel) {
+            self.stalled_gauge.sub(1.0);
+            mnn_obs::info!(
+                "mnn-serve",
+                "worker {} recovered: heartbeat resumed ({})",
+                self.index,
+                state.as_str()
+            );
+        }
+    }
+}
+
+/// The health table of one server's worker fleet.
+pub(crate) struct WorkerHealth {
+    slots: Vec<Arc<WorkerSlot>>,
+}
+
+impl WorkerHealth {
+    pub(crate) fn new(workers: usize) -> Self {
+        let epoch = Instant::now();
+        let metrics = mnn_obs::global();
+        let stalled_gauge = metrics.gauge(
+            mnn_obs::metrics::names::STALLED_WORKERS,
+            "Workers currently flagged stalled by the health watchdog.",
+        );
+        let stalls = metrics.counter(
+            mnn_obs::metrics::names::WORKER_STALLS,
+            "Workers flagged stalled by the health watchdog, cumulative.",
+        );
+        WorkerHealth {
+            slots: (0..workers)
+                .map(|index| {
+                    Arc::new(WorkerSlot {
+                        index,
+                        state: AtomicU8::new(WorkerState::Idle as u8),
+                        heartbeat_us: AtomicU64::new(0),
+                        stalled: AtomicBool::new(false),
+                        epoch,
+                        stalled_gauge: stalled_gauge.clone(),
+                        stalls: stalls.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The slot worker `index` stamps.
+    pub(crate) fn slot(&self, index: usize) -> Arc<WorkerSlot> {
+        Arc::clone(&self.slots[index])
+    }
+
+    /// One watchdog tick: flag every non-idle worker whose heartbeat is older
+    /// than `deadline`. Idempotent per stall — the counter/gauge/log fire
+    /// once per stall episode, and the worker's own next heartbeat clears
+    /// the flag.
+    pub(crate) fn check(&self, deadline: Duration) {
+        let deadline_us = deadline.as_micros() as u64;
+        for slot in &self.slots {
+            let state = WorkerState::from_u8(slot.state.load(Ordering::Relaxed));
+            if state == WorkerState::Idle {
+                continue;
+            }
+            let now_us = slot.epoch.elapsed().as_micros() as u64;
+            let age_us = now_us.saturating_sub(slot.heartbeat_us.load(Ordering::Relaxed));
+            if age_us > deadline_us && !slot.stalled.swap(true, Ordering::AcqRel) {
+                slot.stalls.inc();
+                slot.stalled_gauge.add(1.0);
+                mnn_obs::warn!(
+                    "mnn-serve",
+                    "worker {} stalled: {} for {}ms without a heartbeat (deadline {}ms)",
+                    slot.index,
+                    state.as_str(),
+                    age_us / 1000,
+                    deadline.as_millis()
+                );
+            }
+        }
+    }
+
+    /// Workers currently flagged stalled.
+    pub(crate) fn stalled_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| slot.stalled.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Every worker's last-stamped state, in worker-index order.
+    pub(crate) fn states(&self) -> Vec<WorkerState> {
+        self.slots
+            .iter()
+            .map(|slot| WorkerState::from_u8(slot.state.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_workers_are_never_flagged() {
+        let health = WorkerHealth::new(2);
+        // Heartbeats are ancient (never stamped), but both workers are idle.
+        std::thread::sleep(Duration::from_millis(5));
+        health.check(Duration::from_millis(1));
+        assert_eq!(health.stalled_count(), 0);
+    }
+
+    #[test]
+    fn stale_running_worker_is_flagged_once_and_recovers_on_beat() {
+        let health = WorkerHealth::new(1);
+        let slot = health.slot(0);
+        slot.beat(WorkerState::Running);
+        std::thread::sleep(Duration::from_millis(10));
+        health.check(Duration::from_millis(2));
+        health.check(Duration::from_millis(2)); // second tick: no double count
+        assert_eq!(health.stalled_count(), 1);
+        assert_eq!(health.states(), vec![WorkerState::Running]);
+
+        slot.beat(WorkerState::Idle);
+        assert_eq!(health.stalled_count(), 0, "heartbeat clears the flag");
+        assert_eq!(health.states(), vec![WorkerState::Idle]);
+    }
+
+    #[test]
+    fn fresh_heartbeats_pass_the_check() {
+        let health = WorkerHealth::new(1);
+        health.slot(0).beat(WorkerState::Batching);
+        health.check(Duration::from_secs(5));
+        assert_eq!(health.stalled_count(), 0);
+    }
+}

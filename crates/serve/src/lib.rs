@@ -68,14 +68,18 @@
 
 mod batcher;
 mod error;
+mod health;
 mod queue;
 mod request;
 mod server;
 mod stats;
 
 pub use error::ServeError;
+pub use health::WorkerState;
 pub use request::ResponseHandle;
 pub use server::{DrainReport, Server, ServerBuilder};
 pub use stats::ServerStats;
 
-pub use mnn_obs::{ActiveTrace, FlightRecorder, RequestTrace, TraceContext};
+pub use mnn_obs::{
+    ActiveTrace, FlightRecorder, RequestTrace, SloConfig, SloSnapshot, SloTracker, TraceContext,
+};

@@ -64,8 +64,12 @@ impl RequestQueue {
             });
         }
         state.deque.push_back(request);
-        drop(state);
+        // Gauge updates happen under the queue lock (here and at every
+        // removal site) so `mnn_queue_depth` tracks the deque exactly: no
+        // interleaving can leave it transiently negative or non-zero after a
+        // drain. A relaxed atomic under a held mutex costs nothing.
         self.depth_gauge.add(1.0);
+        drop(state);
         // notify_all, not notify_one: a worker coalescing a batch waits on this
         // same condvar, and waking only *it* for an incompatible request would
         // leave an idle worker asleep while the request sits queued.
@@ -108,8 +112,8 @@ impl RequestQueue {
         let mut state = self.lock();
         state.closed = true;
         let abandoned: Vec<QueuedRequest> = state.deque.drain(..).collect();
-        drop(state);
         self.depth_gauge.sub(abandoned.len() as f64);
+        drop(state);
         self.nonempty.notify_all();
         abandoned
     }
@@ -122,14 +126,32 @@ impl RequestQueue {
     /// returned alone; a batchable head opens a window of `batch_window` in
     /// which compatible requests are coalesced as they arrive, skipping over
     /// incompatible ones (those stay queued for other workers).
+    #[cfg_attr(not(test), allow(dead_code))] // workers use the observed variant
     pub(crate) fn next_batch(
         &self,
         max_batch: usize,
         batch_window: Duration,
     ) -> Option<Vec<QueuedRequest>> {
+        self.next_batch_observed(max_batch, batch_window, None)
+    }
+
+    /// [`RequestQueue::next_batch`] with worker-health observation: once a
+    /// head request is taken, the worker's slot is stamped *batching* (and
+    /// heartbeaten) so the watchdog can tell a worker coalescing a window
+    /// from one idling on an empty queue.
+    pub(crate) fn next_batch_observed(
+        &self,
+        max_batch: usize,
+        batch_window: Duration,
+        health: Option<&crate::health::WorkerSlot>,
+    ) -> Option<Vec<QueuedRequest>> {
         let mut state = self.lock();
         let first = loop {
             if let Some(mut request) = state.deque.pop_front() {
+                // Depth decrements happen at the removal site, under the
+                // lock, so the gauge mirrors the deque exactly (see
+                // `try_push`).
+                self.depth_gauge.sub(1.0);
                 request.dequeued = Some(Instant::now());
                 break request;
             }
@@ -141,17 +163,20 @@ impl RequestQueue {
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         };
+        if let Some(slot) = health {
+            slot.beat(crate::health::WorkerState::Batching);
+        }
 
         let mut batch = vec![first];
         if max_batch <= 1 || !batch[0].batchable {
-            drop(state);
-            self.depth_gauge.sub(1.0);
             return Some(batch);
         }
         let signature = batch[0].signature.clone();
         let deadline = Instant::now() + batch_window;
         loop {
+            let before = batch.len();
             drain_compatible(&mut state.deque, &signature, max_batch, &mut batch);
+            self.depth_gauge.sub((batch.len() - before) as f64);
             if batch.len() >= max_batch || state.closed {
                 break;
             }
@@ -165,12 +190,12 @@ impl RequestQueue {
                 .unwrap_or_else(PoisonError::into_inner);
             state = next;
             if timeout.timed_out() {
+                let before = batch.len();
                 drain_compatible(&mut state.deque, &signature, max_batch, &mut batch);
+                self.depth_gauge.sub((batch.len() - before) as f64);
                 break;
             }
         }
-        drop(state);
-        self.depth_gauge.sub(batch.len() as f64);
         Some(batch)
     }
 }

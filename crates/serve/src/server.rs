@@ -1,17 +1,23 @@
 //! The [`Server`]: worker threads, submission API and lifecycle.
 
 use crate::batcher;
+use crate::health::{WorkerHealth, WorkerSlot, WorkerState};
 use crate::queue::RequestQueue;
 use crate::request::{QueuedRequest, ResponseHandle, ResponseSlot, Signature};
 use crate::stats::{ServerStats, StatsCollector};
 use crate::ServeError;
 use mnn_core::{Interpreter, SessionConfig, SessionPool, TuningMode};
 use mnn_graph::Graph;
-use mnn_obs::{ActiveTrace, FlightRecorder};
+use mnn_obs::{ActiveTrace, FlightRecorder, SloConfig, SloSnapshot, SloTracker};
 use mnn_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Default watchdog deadline: generous enough that only a genuinely wedged
+/// worker (deadlocked kernel, runaway inference) trips it.
+const DEFAULT_WATCHDOG_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Configures and builds a [`Server`]; obtained from [`Server::builder`].
 #[derive(Debug, Clone)]
@@ -22,6 +28,8 @@ pub struct ServerBuilder {
     queue_capacity: Option<usize>,
     session: SessionConfig,
     trace_recorder: Option<Arc<FlightRecorder>>,
+    watchdog_deadline: Duration,
+    slo: Option<SloConfig>,
 }
 
 impl Default for ServerBuilder {
@@ -33,6 +41,8 @@ impl Default for ServerBuilder {
             queue_capacity: None,
             session: SessionConfig::default(),
             trace_recorder: None,
+            watchdog_deadline: DEFAULT_WATCHDOG_DEADLINE,
+            slo: None,
         }
     }
 }
@@ -102,6 +112,26 @@ impl ServerBuilder {
         self
     }
 
+    /// How long a non-idle worker may go without a heartbeat before the
+    /// watchdog flags it stalled (default 30 s). Workers heartbeat at batch
+    /// boundaries, so the deadline must comfortably exceed the longest
+    /// expected single inference. A stalled worker raises the
+    /// `mnn_stalled_workers` gauge, increments `mnn_worker_stalls_total`,
+    /// surfaces in [`ServerStats::stalled_workers`] and fails `/readyz`; the
+    /// flag clears when the worker heartbeats again.
+    pub fn watchdog_deadline(mut self, deadline: Duration) -> Self {
+        self.watchdog_deadline = deadline;
+        self
+    }
+
+    /// Attach a latency/availability service-level objective. Every completed
+    /// request feeds a rolling one-hour window; compliance and burn rates are
+    /// reported in [`ServerStats::slo`] (and `/v1/status` under `mnn-http`).
+    pub fn slo(mut self, config: SloConfig) -> Self {
+        self.slo = Some(config);
+        self
+    }
+
     /// Validate the graph and start the server: builds the session pool (full
     /// pre-inference per worker) and spawns the worker threads.
     ///
@@ -146,7 +176,9 @@ impl ServerBuilder {
             .map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
 
         let queue = Arc::new(RequestQueue::new(queue_capacity));
-        let stats = Arc::new(StatsCollector::new(self.max_batch));
+        let slo = self.slo.map(|config| Arc::new(SloTracker::new(config)));
+        let stats = Arc::new(StatsCollector::new(self.max_batch, slo.clone()));
+        let health = Arc::new(WorkerHealth::new(self.workers));
         let workers = (0..self.workers)
             .map(|index| {
                 let queue = Arc::clone(&queue);
@@ -154,12 +186,40 @@ impl ServerBuilder {
                 let pool = pool.clone();
                 let max_batch = self.max_batch;
                 let window = self.batch_window;
+                let slot = health.slot(index);
                 std::thread::Builder::new()
                     .name(format!("mnn-serve-{index}"))
-                    .spawn(move || worker_loop(&queue, &pool, &stats, max_batch, window))
+                    .spawn(move || worker_loop(&queue, &pool, &stats, max_batch, window, &slot))
                     .map_err(|e| ServeError::InvalidConfig(format!("spawn failed: {e}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
+
+        // The watchdog samples much faster than the deadline so a stall is
+        // flagged promptly after it exceeds the budget, without busy-spinning.
+        let watchdog_stop = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let health = Arc::clone(&health);
+            let stop = Arc::clone(&watchdog_stop);
+            let deadline = self.watchdog_deadline;
+            let interval =
+                (deadline / 4).clamp(Duration::from_millis(1), Duration::from_millis(500));
+            std::thread::Builder::new()
+                .name("mnn-serve-watchdog".into())
+                .spawn(move || {
+                    // Sleep in short slices so shutdown never waits a full
+                    // interval for the watchdog to notice the stop flag.
+                    let slice = interval.min(Duration::from_millis(10));
+                    let mut next_check = Instant::now();
+                    while !stop.load(Ordering::Relaxed) {
+                        if Instant::now() >= next_check {
+                            health.check(deadline);
+                            next_check = Instant::now() + interval;
+                        }
+                        std::thread::sleep(slice);
+                    }
+                })
+                .map_err(|e| ServeError::InvalidConfig(format!("spawn failed: {e}")))?
+        };
 
         Ok(Server {
             graph: interpreter.graph_arc(),
@@ -171,22 +231,35 @@ impl ServerBuilder {
             batch_window: self.batch_window,
             queue_capacity,
             trace_recorder: self.trace_recorder,
+            health,
+            watchdog: Some(watchdog),
+            watchdog_stop,
+            watchdog_deadline: self.watchdog_deadline,
+            slo,
         })
     }
 }
 
-/// One worker: pull micro-batches until the queue closes and drains.
+/// One worker: pull micro-batches until the queue closes and drains,
+/// heartbeating its health slot at every batch boundary.
 fn worker_loop(
     queue: &RequestQueue,
     pool: &SessionPool,
     stats: &StatsCollector,
     max_batch: usize,
     batch_window: Duration,
+    slot: &WorkerSlot,
 ) {
-    while let Some(batch) = queue.next_batch(max_batch, batch_window) {
+    loop {
+        slot.beat(WorkerState::Idle);
+        let Some(batch) = queue.next_batch_observed(max_batch, batch_window, Some(slot)) else {
+            break;
+        };
+        slot.beat(WorkerState::Running);
         let mut session = pool.acquire();
         batcher::process_batch(&mut session, batch, stats);
     }
+    slot.beat(WorkerState::Idle);
 }
 
 /// A concurrent model server: a pool of pre-warmed sessions fed by a bounded
@@ -210,6 +283,11 @@ pub struct Server {
     batch_window: Duration,
     queue_capacity: usize,
     trace_recorder: Option<Arc<FlightRecorder>>,
+    health: Arc<WorkerHealth>,
+    watchdog: Option<JoinHandle<()>>,
+    watchdog_stop: Arc<AtomicBool>,
+    watchdog_deadline: Duration,
+    slo: Option<Arc<SloTracker>>,
 }
 
 impl Server {
@@ -357,10 +435,26 @@ impl Server {
         self.trace_recorder.as_ref()
     }
 
-    /// Snapshot of throughput, latency percentiles, batch histogram and queue
-    /// depth.
+    /// Snapshot of throughput, latency percentiles, batch histogram, queue
+    /// depth, worker health and SLO compliance.
     pub fn stats(&self) -> ServerStats {
-        self.stats.snapshot(self.queue.depth(), self.worker_count)
+        self.stats
+            .snapshot(self.queue.depth(), self.worker_count, Some(&self.health))
+    }
+
+    /// Workers currently flagged stalled by the health watchdog.
+    pub fn stalled_workers(&self) -> usize {
+        self.health.stalled_count()
+    }
+
+    /// Configured watchdog deadline (see [`ServerBuilder::watchdog_deadline`]).
+    pub fn watchdog_deadline(&self) -> Duration {
+        self.watchdog_deadline
+    }
+
+    /// SLO compliance over the rolling window, if an SLO was configured.
+    pub fn slo_snapshot(&self) -> Option<SloSnapshot> {
+        self.slo.as_ref().map(|tracker| tracker.snapshot())
     }
 
     /// The model served by this server.
@@ -450,6 +544,12 @@ impl Server {
     }
 
     fn join_workers(&mut self) {
+        self.watchdog_stop.store(true, Ordering::Relaxed);
+        if let Some(watchdog) = self.watchdog.take() {
+            // The watchdog never panics, but a join error must not unwind
+            // here either (this runs from Drop).
+            let _ = watchdog.join();
+        }
         for worker in self.workers.drain(..) {
             // Workers contain panics around each batch (see `process_batch`),
             // so join errors should be impossible; if one happens anyway, do

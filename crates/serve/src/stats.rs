@@ -1,9 +1,11 @@
 //! Server telemetry: counters, latency percentiles and the batch-size histogram.
 
+use crate::health::WorkerHealth;
+use mnn_obs::{SloSnapshot, SloTracker};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Most recent per-request latencies retained for percentile estimation. A
@@ -107,10 +109,12 @@ pub(crate) struct StatsCollector {
     inner: Mutex<StatsInner>,
     metrics: GlobalMetrics,
     started: Instant,
+    /// Attached SLO tracker; every batch member's latency/outcome feeds it.
+    slo: Option<Arc<SloTracker>>,
 }
 
 impl StatsCollector {
-    pub(crate) fn new(max_batch: usize) -> Self {
+    pub(crate) fn new(max_batch: usize, slo: Option<Arc<SloTracker>>) -> Self {
         StatsCollector {
             inner: Mutex::new(StatsInner {
                 submitted: 0,
@@ -126,6 +130,7 @@ impl StatsCollector {
             }),
             metrics: GlobalMetrics::register(),
             started: Instant::now(),
+            slo,
         }
     }
 
@@ -185,6 +190,12 @@ impl StatsCollector {
                 None => self.metrics.latency_ms.observe(*latency),
             }
         }
+        drop(inner);
+        if let Some(slo) = &self.slo {
+            for (latency, _) in latencies_ms {
+                slo.record(*latency, ok);
+            }
+        }
     }
 
     /// Record one request's queue-wait and batch-assembly stages (derived
@@ -226,7 +237,12 @@ impl StatsCollector {
         self.metrics.traces.inc();
     }
 
-    pub(crate) fn snapshot(&self, queue_depth: usize, workers: usize) -> ServerStats {
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        workers: usize,
+        health: Option<&WorkerHealth>,
+    ) -> ServerStats {
         let inner = self.lock();
         let uptime_ms = self.started.elapsed().as_secs_f64() * 1000.0;
         let mut sorted: Vec<f64> = inner.latencies_ms.iter().copied().collect();
@@ -277,6 +293,11 @@ impl StatsCollector {
                 .filter(|(_, &count)| count > 0)
                 .map(|(i, &count)| (i + 1, count))
                 .collect(),
+            stalled_workers: health.map_or(0, WorkerHealth::stalled_count),
+            worker_states: health.map_or_else(Vec::new, |h| {
+                h.states().iter().map(|s| s.as_str().to_string()).collect()
+            }),
+            slo: self.slo.as_ref().map(|tracker| tracker.snapshot()),
         }
     }
 }
@@ -355,15 +376,27 @@ pub struct ServerStats {
     pub mean_batch_size: f64,
     /// `(batch_size, executed_batches)` pairs, ascending, zero entries omitted.
     pub batch_histogram: Vec<(usize, u64)>,
+    /// Workers currently flagged stalled by the health watchdog (heartbeat
+    /// older than the configured deadline while not idle). Zero on a healthy
+    /// server.
+    pub stalled_workers: usize,
+    /// Every worker's last-stamped state (`"idle"`, `"batching"` or
+    /// `"running"`), in worker-index order.
+    pub worker_states: Vec<String>,
+    /// SLO compliance over the rolling one-hour window, when an
+    /// [`SloConfig`](mnn_obs::SloConfig) was attached via
+    /// [`ServerBuilder::slo`](crate::ServerBuilder::slo).
+    pub slo: Option<SloSnapshot>,
 }
 
 impl fmt::Display for ServerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "workers {} | submitted {} | completed {} | failed {} | rejected {} | aborted {} \
-             | panics {} | queued {}",
+            "workers {} ({} stalled) | submitted {} | completed {} | failed {} | rejected {} \
+             | aborted {} | panics {} | queued {}",
             self.workers,
+            self.stalled_workers,
             self.submitted,
             self.completed,
             self.failed,
@@ -412,14 +445,14 @@ mod tests {
 
     #[test]
     fn batches_feed_histogram_and_counters() {
-        let stats = StatsCollector::new(4);
+        let stats = StatsCollector::new(4, None);
         stats.record_submitted();
         stats.record_submitted();
         stats.record_submitted();
         stats.record_batch(&[(1.0, None), (2.0, None)], true);
         stats.record_batch(&[(3.0, None)], true);
         stats.record_batch(&[(4.0, Some("deadbeef".into()))], false);
-        let snap = stats.snapshot(5, 2);
+        let snap = stats.snapshot(5, 2, None);
         assert_eq!(snap.submitted, 3);
         assert_eq!(snap.completed, 3);
         assert_eq!(snap.failed, 1);
@@ -432,10 +465,10 @@ mod tests {
 
     #[test]
     fn panics_and_evictions_become_counters() {
-        let stats = StatsCollector::new(2);
+        let stats = StatsCollector::new(2, None);
         stats.record_worker_panic();
         stats.record_aborted(3);
-        let snap = stats.snapshot(0, 1);
+        let snap = stats.snapshot(0, 1, None);
         assert_eq!(snap.worker_panics, 1);
         assert_eq!(snap.aborted, 3);
         assert!(snap.uptime_seconds >= 0.0);
@@ -444,12 +477,12 @@ mod tests {
 
     #[test]
     fn stage_waits_surface_as_percentiles() {
-        let stats = StatsCollector::new(4);
+        let stats = StatsCollector::new(4, None);
         for wait in [1.0, 2.0, 3.0, 4.0] {
             stats.record_stage_waits(wait, wait / 10.0, None);
         }
         stats.record_stage_waits(100.0, 10.0, Some("deadbeef"));
-        let snap = stats.snapshot(0, 1);
+        let snap = stats.snapshot(0, 1, None);
         assert_eq!(snap.queue_wait_p50_ms, 3.0);
         assert_eq!(snap.queue_wait_p99_ms, 100.0);
         assert_eq!(snap.batch_assembly_p50_ms, 0.3);
@@ -458,9 +491,9 @@ mod tests {
 
     #[test]
     fn oversized_batches_fold_into_last_bucket() {
-        let stats = StatsCollector::new(2);
+        let stats = StatsCollector::new(2, None);
         stats.record_batch(&[(1.0, None), (1.0, None), (1.0, None)], true); // size 3 with max_batch 2
-        let snap = stats.snapshot(0, 1);
+        let snap = stats.snapshot(0, 1, None);
         assert_eq!(snap.batch_histogram, vec![(2, 1)]);
     }
 
@@ -490,6 +523,9 @@ mod tests {
             batch_assembly_p99_ms: 0.75,
             mean_batch_size: 1.5,
             batch_histogram: vec![(1, 4), (2, 2)],
+            stalled_workers: 1,
+            worker_states: vec!["running".into(), "idle".into()],
+            slo: None,
         };
         let json = serde_json::to_string(&stats).unwrap();
         assert_eq!(
@@ -502,7 +538,9 @@ mod tests {
                 "\"p50_latency_ms\":2.0,\"p99_latency_ms\":4.5,",
                 "\"queue_wait_p50_ms\":0.5,\"queue_wait_p99_ms\":1.75,",
                 "\"batch_assembly_p50_ms\":0.25,\"batch_assembly_p99_ms\":0.75,",
-                "\"mean_batch_size\":1.5,\"batch_histogram\":[[1,4],[2,2]]}"
+                "\"mean_batch_size\":1.5,\"batch_histogram\":[[1,4],[2,2]],",
+                "\"stalled_workers\":1,\"worker_states\":[\"running\",\"idle\"],",
+                "\"slo\":null}"
             )
         );
         let back: ServerStats = serde_json::from_str(&json).unwrap();
@@ -511,9 +549,9 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let stats = StatsCollector::new(4);
+        let stats = StatsCollector::new(4, None);
         stats.record_batch(&[(1.0, None), (2.0, None), (3.0, None), (4.0, None)], true);
-        let text = stats.snapshot(0, 2).to_string();
+        let text = stats.snapshot(0, 2, None).to_string();
         assert!(text.contains("throughput"));
         assert!(text.contains("queue wait"));
         assert!(text.contains("4×1"));

@@ -1,0 +1,91 @@
+//! Worker-health watchdog, end to end: a deliberately long single-batch
+//! inference trips the stall flag (heartbeats only happen at batch
+//! boundaries, so a slow batch *is* a stall at a short deadline), and the
+//! worker's next heartbeat clears it.
+//!
+//! Kept in its own integration-test binary: the stall gauge and counter are
+//! process-global.
+
+use mnn_models::{build, ModelKind};
+use mnn_serve::{Server, SloConfig};
+use mnn_tensor::{Shape, Tensor};
+use std::time::{Duration, Instant};
+
+/// Big enough that one debug-build inference takes far longer than the
+/// watchdog deadline below; heartbeats cannot refresh mid-batch.
+const STALL_PIXELS: usize = 192;
+
+#[test]
+fn slow_batch_trips_the_watchdog_and_recovers() {
+    let server = Server::builder()
+        .workers(1)
+        .max_batch(1)
+        .watchdog_deadline(Duration::from_millis(5))
+        .slo(SloConfig {
+            latency_p99_ms: 1e9, // never violated; presence is what's tested
+            availability: 0.5,
+        })
+        .build(build(ModelKind::TinyCnn, 1, STALL_PIXELS))
+        .expect("server builds");
+
+    let input = Tensor::zeros(Shape::nchw(1, 3, STALL_PIXELS, STALL_PIXELS));
+    let handle = server.submit(&[("data", &input)]).expect("submitted");
+
+    // The watchdog samples every ~1-2 ms; the stall must be flagged while
+    // the inference is still running.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut stalled_stats = None;
+    while Instant::now() < deadline {
+        if server.stalled_workers() > 0 {
+            stalled_stats = Some(server.stats());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stalled_stats = stalled_stats.expect("watchdog flagged the slow batch");
+    assert_eq!(stalled_stats.stalled_workers, 1);
+    assert_eq!(stalled_stats.worker_states, vec!["running".to_string()]);
+
+    handle.wait().expect("inference still completes");
+
+    // Recovery: the worker heartbeats at the next batch boundary, clearing
+    // the flag without any watchdog involvement.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stalled_workers() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.stalled_workers, 0, "stall flag clears on heartbeat");
+    assert_eq!(stats.worker_states, vec!["idle".to_string()]);
+
+    // The SLO tracker saw the request and (with an absurd latency objective)
+    // reports full compliance.
+    let slo = stats.slo.expect("SLO configured at build time");
+    assert_eq!(slo.requests, 1);
+    assert_eq!(slo.errors, 0);
+    assert!(slo.latency_compliant, "{slo:?}");
+    assert!(slo.availability_compliant, "{slo:?}");
+    assert_eq!(slo.availability_burn_rate, 0.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn fast_batches_never_trip_a_generous_watchdog() {
+    let server = Server::builder()
+        .workers(2)
+        .max_batch(2)
+        .watchdog_deadline(Duration::from_secs(30))
+        .build(build(ModelKind::TinyCnn, 1, 16))
+        .expect("server builds");
+    let input = Tensor::zeros(Shape::nchw(1, 3, 16, 16));
+    for _ in 0..8 {
+        server.infer(&[("data", &input)]).expect("served");
+        assert_eq!(server.stalled_workers(), 0);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.stalled_workers, 0);
+    assert_eq!(stats.worker_states.len(), 2);
+    assert!(stats.slo.is_none(), "no SLO configured");
+    server.shutdown();
+}

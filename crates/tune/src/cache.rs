@@ -71,6 +71,23 @@ impl TuneCache {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Approximate resident bytes of the in-memory cache: key and scheme
+    /// strings plus per-entry/per-candidate struct overhead. Used by the
+    /// `mnn_obs::resources` ledger (`scope="tune", component="tune_cache"`);
+    /// an estimate is fine there — the cache is re-measured after every
+    /// insert, not tracked by deltas.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut bytes = std::mem::size_of::<Self>() as u64;
+        for (key, entry) in &self.entries {
+            bytes += (key.len() + std::mem::size_of::<TuneEntry>() + entry.scheme.len()) as u64;
+            for candidate in &entry.candidates {
+                bytes +=
+                    (std::mem::size_of::<CandidateMeasurement>() + candidate.scheme.len()) as u64;
+            }
+        }
+        bytes
+    }
 }
 
 /// The on-disk document: version + fingerprint + entries.

@@ -69,6 +69,16 @@ struct CacheInner {
     measured_candidates: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Resource-ledger account (`scope="tune", component="tune_cache"`) and
+    /// the bytes this cache currently has charged to it.
+    ledger: mnn_obs::AccountedBytes,
+    ledger_bytes: AtomicU64,
+}
+
+impl Drop for CacheInner {
+    fn drop(&mut self) {
+        self.ledger.sub(self.ledger_bytes.load(Ordering::Relaxed));
+    }
 }
 
 /// A cheaply-clonable handle to one device-keyed tuning cache (entries +
@@ -91,18 +101,38 @@ impl SharedTuneCache {
             None => CacheLoad::Missing,
         };
         let loaded_from_disk = load.is_loaded();
-        SharedTuneCache {
+        let entries = load.into_cache();
+        let cache = SharedTuneCache {
             inner: Arc::new(CacheInner {
                 fingerprint,
                 path,
-                entries: Mutex::new(load.into_cache()),
+                entries: Mutex::new(entries),
                 dirty: AtomicBool::new(false),
                 loaded_from_disk,
                 tuned_nodes: AtomicU64::new(0),
                 measured_candidates: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 cache_misses: AtomicU64::new(0),
+                ledger: mnn_obs::resources::account("tune", "tune_cache"),
+                ledger_bytes: AtomicU64::new(0),
             }),
+        };
+        // A warm-started cache reports its loaded size immediately; inserts
+        // keep the figure current (see `refresh_ledger`).
+        cache.refresh_ledger();
+        cache
+    }
+
+    /// Re-measure the in-memory entries and move the ledger by the delta, so
+    /// several live caches (tests, multiple fingerprints) sum correctly and a
+    /// dropped cache releases exactly what it charged.
+    fn refresh_ledger(&self) {
+        let now = self.entries().approx_bytes();
+        let before = self.inner.ledger_bytes.swap(now, Ordering::Relaxed);
+        if now >= before {
+            self.inner.ledger.add(now - before);
+        } else {
+            self.inner.ledger.sub(before - now);
         }
     }
 
@@ -152,6 +182,7 @@ impl SharedTuneCache {
     pub fn insert(&self, signature: &OpSignature, entry: TuneEntry) {
         self.entries().insert(signature, entry);
         self.inner.dirty.store(true, Ordering::Relaxed);
+        self.refresh_ledger();
     }
 
     /// Number of tuned signatures currently held.

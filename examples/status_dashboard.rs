@@ -1,0 +1,196 @@
+//! The operator's view: `/readyz` and `/v1/status` under a worker stall.
+//!
+//! ```text
+//! cargo run --release --example status_dashboard
+//! ```
+//!
+//! Starts an HTTP frontend with two zoo models — one healthy, one built with
+//! a deliberately impossible watchdog deadline — renders `/v1/status` as the
+//! kind of table a dashboard would show (per-model memory attribution, worker
+//! states, SLO compliance), then fires a slow inference and watches `/readyz`
+//! flip `200 → 503 → 200` as the watchdog flags and clears the stall.
+
+use mnn::http::{
+    HttpConfig, HttpServer, InferRequest, ModelRegistry, ReadyResponse, ServeOptions,
+    StatusResponse, TensorJson,
+};
+use mnn::models::ModelKind;
+use mnn::obs::SloConfig;
+use mnn::SessionConfig;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Input edge for the model whose inference should outlast the watchdog
+/// deadline below. At 1 ms even a release build cannot finish in time.
+const SLOW_PIXELS: usize = 256;
+
+/// Send one request on a fresh connection; return (status code, body).
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    writer.write_all(body)?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 0 && line != "\r\n" {
+        line.clear();
+    }
+    let mut body = String::new();
+    reader.read_to_string(&mut body)?;
+    Ok((status, body))
+}
+
+fn print_status(status: &StatusResponse) {
+    println!(
+        "  build {} ({}, kernels: {}), up {:.1}s, rss {:.1} MiB, accounted {:.1} MiB",
+        status.build.version,
+        status.build.build_id,
+        status.build.kernel_backend,
+        status.uptime_seconds,
+        status.os.rss_bytes as f64 / (1024.0 * 1024.0),
+        status.accounted_bytes as f64 / (1024.0 * 1024.0),
+    );
+    println!(
+        "  {:<16} {:>7} {:>8} {:>7} {:>10} {:>9} {:>12}",
+        "model", "workers", "stalled", "queue", "mem KiB", "p99 ms", "slo"
+    );
+    for model in &status.models {
+        let slo = match &model.slo {
+            Some(slo) if slo.latency_compliant && slo.availability_compliant => "ok".to_string(),
+            Some(slo) => format!("burn {:.1}x", slo.availability_burn_rate),
+            None => "-".to_string(),
+        };
+        println!(
+            "  {:<16} {:>7} {:>8} {:>7} {:>10.1} {:>9.2} {:>12}",
+            model.name,
+            model.workers,
+            model.stalled_workers,
+            format!("{}/{}", model.queue_depth, model.queue_capacity),
+            model.memory.resident_bytes as f64 / 1024.0,
+            model.p99_latency_ms,
+            slo,
+        );
+        for component in &model.memory.components {
+            println!(
+                "      {:<24} {:>10.1} KiB",
+                component.component,
+                component.bytes as f64 / 1024.0
+            );
+        }
+    }
+}
+
+/// Poll `/readyz` until it reports `code`, returning the last body.
+fn await_readyz(
+    addr: std::net::SocketAddr,
+    code: u16,
+    within: Duration,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let deadline = Instant::now() + within;
+    loop {
+        let (status, body) = request(addr, "GET", "/readyz", b"")?;
+        if status == code {
+            return Ok(body);
+        }
+        if Instant::now() > deadline {
+            return Err(format!("readyz never reached {code}; last: {status} {body}").into());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== starting a two-model frontend ==");
+    let mut registry = ModelRegistry::new();
+    registry.register_zoo(
+        ModelKind::TinyCnn,
+        16,
+        &ServeOptions {
+            workers: 2,
+            session: SessionConfig::cpu(1),
+            slo: Some(SloConfig {
+                latency_p99_ms: 250.0,
+                availability: 0.999,
+            }),
+            ..ServeOptions::default()
+        },
+    )?;
+    // The stall victim: one worker and a watchdog deadline no inference at
+    // this resolution can meet, so the first request reads as a stall.
+    registry.register_model(
+        "slow-cnn",
+        mnn::converter::ModelFile::new(mnn::models::build(ModelKind::TinyCnn, 1, SLOW_PIXELS)),
+        &ServeOptions {
+            workers: 1,
+            max_batch: 1,
+            session: SessionConfig::cpu(1),
+            watchdog_deadline: Some(Duration::from_millis(1)),
+            ..ServeOptions::default()
+        },
+    )?;
+    let server = HttpServer::bind("127.0.0.1:0", registry, HttpConfig::default())?;
+    let addr = server.local_addr();
+    println!("listening on http://{addr}\n");
+
+    let (code, _) = request(addr, "GET", "/readyz", b"")?;
+    println!("GET /readyz -> {code} (healthy at rest)\n");
+
+    println!("GET /v1/status");
+    let (_, body) = request(addr, "GET", "/v1/status", b"")?;
+    print_status(&serde_json::from_str(&body)?);
+
+    println!("\n== inducing a stall on slow-cnn ==");
+    let infer = InferRequest {
+        inputs: BTreeMap::from([(
+            "data".to_string(),
+            TensorJson {
+                shape: vec![1, 3, SLOW_PIXELS, SLOW_PIXELS],
+                data: vec![0.5; 3 * SLOW_PIXELS * SLOW_PIXELS],
+            },
+        )]),
+    };
+    let infer_body = serde_json::to_vec(&infer)?;
+    let slow =
+        std::thread::spawn(move || request(addr, "POST", "/v1/models/slow-cnn/infer", &infer_body));
+
+    let body = await_readyz(addr, 503, Duration::from_secs(60))?;
+    let ready: ReadyResponse = serde_json::from_str(&body)?;
+    println!(
+        "GET /readyz -> 503 while the batch is stuck: {:?}",
+        ready.reasons
+    );
+
+    let (_, body) = request(addr, "GET", "/v1/status", b"")?;
+    print_status(&serde_json::from_str(&body)?);
+
+    let (code, _) = slow.join().expect("infer thread")?;
+    println!("\nslow inference finally answered -> {code}");
+
+    await_readyz(addr, 200, Duration::from_secs(30))?;
+    println!("GET /readyz -> 200 (stall cleared at the next heartbeat)");
+
+    let summary = server.shutdown();
+    println!("\n== drained: {} ==", summary.drained);
+    Ok(())
+}

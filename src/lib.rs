@@ -294,9 +294,9 @@
 //! external HTTP dependency). Tensors travel as JSON and round-trip f32
 //! values bit-exactly, so wire responses match in-process inference.
 //!
-//! Routes: `GET /healthz`, `GET /v1/models`, `GET /v1/models/{name}/stats`,
-//! `POST /v1/models/{name}/infer`, `GET /v1/traces`,
-//! `POST /admin/shutdown`. Admission control
+//! Routes: `GET /healthz`, `GET /readyz`, `GET /v1/status`, `GET /v1/models`,
+//! `GET /v1/models/{name}/stats`, `POST /v1/models/{name}/infer`,
+//! `GET /v1/traces`, `POST /admin/shutdown`. Admission control
 //! is layered: a connection cap answers excess connections with `503`, and
 //! the per-model bounded queue surfaces as `429` — both with `Retry-After`.
 //! Graceful shutdown drains every accepted request within a deadline; none
@@ -456,6 +456,58 @@
 //! `X-Request-Id` header or a latency-histogram exemplar in `/metrics` —
 //! and `?format=trace` exports chrome://tracing JSON. See
 //! `examples/traced_request.rs` for an end-to-end session.
+//!
+//! ## Resource observability
+//!
+//! Where does the memory go, are the workers alive, and is the service
+//! meeting its objective? Three pieces answer those, all surfaced at
+//! `GET /v1/status` (and `/metrics`):
+//!
+//! * **The resource ledger** ([`obs::resources`](mnn_obs::resources)) — every
+//!   allocation class charges bytes to a `(scope, component)` account:
+//!   sessions account their planned arenas and parked plan-cache plans, the
+//!   registry accounts each model's constants, the tuner its cache. Scopes
+//!   default to the graph name, so `/v1/status` attributes resident bytes to
+//!   the model a client addresses — `arena`, `constants`, `plan_cache` —
+//!   next to the OS's own view (`VmRSS`, threads) for capacity planning.
+//! * **The worker watchdog** — serve workers heartbeat at batch boundaries
+//!   (idle / batching / running); a watchdog thread flags any non-idle worker
+//!   silent past [`ServerBuilder::watchdog_deadline`](mnn_serve::ServerBuilder)
+//!   (default 30 s). A stalled worker fails `GET /readyz` — the *readiness*
+//!   probe load balancers poll, distinct from `/healthz` liveness — with a
+//!   machine-readable reason, and clears on the next heartbeat.
+//! * **SLO tracking** ([`obs::SloTracker`](mnn_obs::SloTracker)) — give a
+//!   model a latency/availability objective
+//!   ([`ServeOptions::slo`](mnn_http::ServeOptions)) and a ring of one-minute
+//!   buckets tracks p99-vs-objective compliance, availability, and the error
+//!   burn rate over the window.
+//!
+//! ```
+//! use mnn::obs::resources::{account, scope_snapshot};
+//! use mnn::obs::{SloConfig, SloTracker};
+//!
+//! // The ledger: components charge bytes under a scope; snapshots roll up.
+//! let arena = account("facade-doc-model", "arena");
+//! arena.set(4096);
+//! let scope = scope_snapshot("facade-doc-model");
+//! assert_eq!(scope.resident_bytes, 4096);
+//! assert_eq!(scope.components[0].component, "arena");
+//!
+//! // The SLO tracker: sliding one-minute buckets, compliance + burn rate.
+//! let slo = SloTracker::new(SloConfig { latency_p99_ms: 250.0, availability: 0.999 });
+//! for _ in 0..100 {
+//!     slo.record(3.0, true);
+//! }
+//! let snapshot = slo.snapshot();
+//! assert_eq!(snapshot.requests, 100);
+//! assert!(snapshot.latency_compliant && snapshot.availability_compliant);
+//! assert_eq!(snapshot.availability_burn_rate, 0.0);
+//! arena.set(0); // release the doc's charge
+//! ```
+//!
+//! See `examples/status_dashboard.rs` for the full loop over HTTP: the
+//! per-model status table, a deliberately induced stall, and `/readyz`
+//! flipping `200 → 503 → 200` as the watchdog flags and clears it.
 
 #![deny(missing_docs)]
 
